@@ -1,0 +1,125 @@
+// Ablations and in-text claims of the paper:
+//  * §II-C  — ">82% of the last accesses to cache blocks are writebacks"
+//  * §III-A1 — "~90% of blocks inside a page fall into the [0,1) reuse
+//              std-dev bin, 6% into [1,2)" (justifies page-shared alpha)
+//  * §III-C — RCU drain-condition statistics and the 6.375x latency factor
+//  * static-alpha sweep — what the adaptive controller competes against
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dramcache/redcache.hpp"
+#include "workloads/profiler.hpp"
+
+namespace {
+
+using namespace redcache;
+using namespace redcache::bench;
+
+void LastWriteAndUniformity() {
+  std::printf("== last-access and page-uniformity claims ==\n");
+  TextTable table({"workload", "last access = writeback", "blocks in [0,1) "
+                   "sigma", "[1,2) sigma"});
+  double wb_sum = 0, one_sum = 0, two_sum = 0;
+  const auto workloads = SelectedWorkloads();
+  for (const std::string& wl : workloads) {
+    RunSpec spec;
+    spec.arch = Arch::kNoHbm;
+    spec.workload = wl;
+    spec.preset = EvalPreset();
+    auto system = BuildSystem(spec);
+    BlockProfiler profiler;
+    system->SetRequestObserver(
+        [&](Addr addr, bool is_wb) { profiler.OnRequest(addr, is_wb); });
+    (void)system->Run();
+    const double wb = profiler.LastAccessWritebackFraction();
+    const auto uni = profiler.PageReuseUniformity();
+    wb_sum += wb;
+    one_sum += uni.within_one;
+    two_sum += uni.within_two;
+    table.AddRow({wl, TextTable::Pct(wb), TextTable::Pct(uni.within_one),
+                  TextTable::Pct(uni.within_two)});
+  }
+  const double n = static_cast<double>(workloads.size());
+  table.AddRow({"mean", TextTable::Pct(wb_sum / n),
+                TextTable::Pct(one_sum / n), TextTable::Pct(two_sum / n)});
+  std::printf("%s", table.Render().c_str());
+  std::printf("paper: >82%% writebacks; ~90%% within [0,1) sigma, 6%% in "
+              "[1,2)\n\n");
+}
+
+void RcuStatistics() {
+  std::printf("== RCU manager statistics (paper SIII-C) ==\n");
+  const DramTimingParams t = HbmCacheConfig().timing;
+  std::printf("latency reduction factor (tBL+tCWD+tWTR)/tCCD = %.3f "
+              "(paper 6.375)\n",
+              static_cast<double>(t.tBL + t.tCWD + t.tWTR) /
+                  static_cast<double>(t.tCCD));
+  TextTable table({"workload", "parked updates", "merged (cond.1)",
+                   "idle (cond.2)", "capacity (cond.3)",
+                   "deferred past insert"});
+  for (const std::string& wl : SelectedWorkloads()) {
+    const CellResult r = RunCell(Arch::kRedCache, wl);
+    const double inserts =
+        static_cast<double>(r.stats.GetCounter("ctrl.rcu_inserts"));
+    if (inserts == 0) {
+      table.AddRow({wl, "0", "-", "-", "-", "-"});
+      continue;
+    }
+    const double merged =
+        static_cast<double>(r.stats.GetCounter("ctrl.rcu_merged_flushes"));
+    const double idle =
+        static_cast<double>(r.stats.GetCounter("ctrl.rcu_idle_flushes"));
+    const double cap =
+        static_cast<double>(r.stats.GetCounter("ctrl.rcu_capacity_flushes"));
+    // "Deferred" = updates that were parked rather than served the moment
+    // they arrived (the paper claims >97% see no immediately-true
+    // condition; every insert is deferred by construction, and the split
+    // below shows how they eventually drained).
+    table.AddRow({wl, std::to_string(static_cast<std::uint64_t>(inserts)),
+                  TextTable::Pct(merged / inserts),
+                  TextTable::Pct(idle / inserts),
+                  TextTable::Pct(cap / inserts), "100%"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("paper: >97%% of updates see none of the drain conditions at "
+              "insert time\n\n");
+}
+
+void StaticAlphaSweep() {
+  std::printf("== static-alpha ablation (adaptive controller reference) ==\n");
+  TextTable table({"alpha", "FT exec (Mcycles)", "LU exec (Mcycles)",
+                   "RDX exec (Mcycles)"});
+  for (std::uint32_t alpha = 1; alpha <= 3; ++alpha) {
+    std::vector<std::string> row = {std::to_string(alpha)};
+    for (const char* wl : {"FT", "LU", "RDX"}) {
+      RedCacheOptions opt = RedCacheOptions::Full();
+      opt.alpha.initial_alpha = alpha;
+      opt.alpha.adaptive = false;
+      RunSpec spec;
+      spec.workload = wl;
+      spec.preset = EvalPreset();
+      WorkloadBuildParams wp;
+      wp.num_cores = spec.preset.hierarchy.num_cores;
+      wp.scale = EffectiveScale(1.0);
+      auto trace = MakeWorkload(wl, wp);
+      auto ctrl = std::make_unique<RedCacheController>(spec.preset.mem, opt,
+                                                       "static-alpha");
+      System system(spec.preset.hierarchy, spec.preset.core, std::move(ctrl),
+                    std::move(trace));
+      const RunResult r = system.Run();
+      row.push_back(TextTable::Num(
+          static_cast<double>(r.exec_cycles) / 1e6, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  LastWriteAndUniformity();
+  RcuStatistics();
+  StaticAlphaSweep();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Organization ablation (extension): how RedCache's mechanisms interact
+// with cache organization — direct-mapped (the paper's design) vs 2-/4-way
+// set-associative, and against the coarse-grained footprint cache that the
+// paper's introduction argues fails for these workloads.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "dramcache/assoc_redcache.hpp"
+#include "dramcache/footprint.hpp"
+
+namespace {
+
+using namespace redcache;
+using namespace redcache::bench;
+
+RunResult RunCustom(const std::string& wl,
+                    std::unique_ptr<MemController> ctrl) {
+  const SimPreset preset = EvalPreset();
+  WorkloadBuildParams wp;
+  wp.num_cores = preset.hierarchy.num_cores;
+  wp.scale = EffectiveScale(1.0);
+  auto trace = MakeWorkload(wl, wp);
+  System system(preset.hierarchy, preset.core, std::move(ctrl),
+                std::move(trace));
+  return system.Run();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Organization ablation — RedCache mechanisms across cache\n");
+  std::printf("organizations (not a paper figure; extension study)\n\n");
+
+  const char* workloads[] = {"FT", "LU"};
+  TextTable table({"workload", "direct-mapped", "2-way", "4-way",
+                   "footprint 2KB", "(exec cycles normalized to DM)"});
+
+  for (const char* wl : workloads) {
+    const SimPreset preset = EvalPreset();
+    const RunResult dm = RunCustom(
+        wl, MakeController(Arch::kRedCache, preset.mem));
+    const RunResult w2 = RunCustom(
+        wl, std::make_unique<AssocRedCacheController>(
+                preset.mem, RedCacheOptions::Full(), 2, "rc2"));
+    const RunResult w4 = RunCustom(
+        wl, std::make_unique<AssocRedCacheController>(
+                preset.mem, RedCacheOptions::Full(), 4, "rc4"));
+    const RunResult fp =
+        RunCustom(wl, std::make_unique<FootprintCacheController>(preset.mem));
+    const double base = static_cast<double>(dm.exec_cycles);
+    table.AddRow({wl, "1.000",
+                  TextTable::Num(static_cast<double>(w2.exec_cycles) / base, 3),
+                  TextTable::Num(static_cast<double>(w4.exec_cycles) / base, 3),
+                  TextTable::Num(static_cast<double>(fp.exec_cycles) / base, 3),
+                  ""});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "expected: modest associativity gains (alpha already removes most\n"
+      "conflict pressure); the coarse-grained footprint cache trails on\n"
+      "these fine-grained workloads — the paper's premise.\n");
+  return 0;
+}

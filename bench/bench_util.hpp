@@ -1,0 +1,137 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Runs (architecture x workload) simulations on the scaled evaluation
+// preset and optionally caches results on disk so the three evaluation
+// figures (execution time / HBM energy / system energy), which share one
+// sweep, do not re-simulate. The cache is enabled by setting
+// REDCACHE_CACHE_DIR; entries key on (arch, workload, scale, preset).
+// Delete the directory after changing simulator code.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/runner.hpp"
+
+namespace redcache::bench {
+
+/// Workload scale used by all figure benches (overridable via
+/// REDCACHE_REFS_SCALE, which multiplies on top).
+inline double DefaultScale() { return 1.0; }
+
+struct CellResult {
+  Cycle exec_cycles = 0;
+  StatSet stats;
+  EnergyBreakdown energy;
+};
+
+inline std::string CacheKey(Arch arch, const std::string& workload,
+                            double scale, const char* preset,
+                            const std::string& variant = "") {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "%s_%s_%s_%.4f%s%s.stats", preset,
+                ToString(arch), workload.c_str(), scale,
+                variant.empty() ? "" : "_", variant.c_str());
+  std::string key = buf;
+  for (char& c : key) {
+    if (c == ' ' || c == '/') c = '-';
+  }
+  return key;
+}
+
+inline std::optional<CellResult> LoadCached(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  CellResult r;
+  std::string name;
+  std::uint64_t value;
+  if (!(in >> name >> value) || name != "exec_cycles") return std::nullopt;
+  r.exec_cycles = value;
+  while (in >> name >> value) {
+    r.stats.Counter(name) = value;
+  }
+  return r;
+}
+
+inline void SaveCached(const std::string& path, const CellResult& r) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "exec_cycles " << r.exec_cycles << '\n';
+  for (const auto& [name, value] : r.stats.counters()) {
+    out << name << ' ' << value << '\n';
+  }
+}
+
+/// Run one cell (with caching if REDCACHE_CACHE_DIR is set). `variant`
+/// distinguishes non-default configurations (e.g. fill granularity) in the
+/// cache key; `preset` may be customized to match.
+inline CellResult RunCell(Arch arch, const std::string& workload,
+                          double scale = DefaultScale(),
+                          const std::string& variant = "",
+                          const SimPreset* custom_preset = nullptr) {
+  const SimPreset preset =
+      custom_preset != nullptr ? *custom_preset : EvalPreset();
+  const char* cache_dir = std::getenv("REDCACHE_CACHE_DIR");
+  std::string path;
+  if (cache_dir != nullptr) {
+    path = std::string(cache_dir) + "/" +
+           CacheKey(arch, workload, EffectiveScale(scale), preset.name,
+                    variant);
+    if (auto cached = LoadCached(path)) {
+      CellResult r = std::move(*cached);
+      const EnergyModel model;
+      r.energy = model.Compute(r.stats, r.exec_cycles,
+                               preset.hierarchy.num_cores,
+                               preset.mem.hbm.geometry.channels,
+                               preset.mem.mainmem.geometry.channels);
+      return r;
+    }
+  }
+  RunSpec spec;
+  spec.arch = arch;
+  spec.workload = workload;
+  spec.scale = scale;
+  spec.preset = preset;
+  const RunResult run = RunOne(spec);
+  CellResult r;
+  r.exec_cycles = run.exec_cycles;
+  r.stats = run.stats;
+  r.energy = run.energy;
+  if (!path.empty()) SaveCached(path, r);
+  return r;
+}
+
+/// Workload filter from REDCACHE_WORKLOADS (comma separated labels).
+inline std::vector<std::string> SelectedWorkloads() {
+  const char* env = std::getenv("REDCACHE_WORKLOADS");
+  if (env == nullptr) return WorkloadLabels();
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = env;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  return out.empty() ? WorkloadLabels() : out;
+}
+
+/// Geometric mean helper for "average" rows (ratios combine multiplicatively).
+inline double GeoMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace redcache::bench

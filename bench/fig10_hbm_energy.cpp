@@ -1,0 +1,58 @@
+// Figure 10: HBM (DRAM cache) energy of every architecture normalized to
+// Alloy Cache for the 11 parallel workloads.
+//
+// Paper reference points: RedCache improves HBM cache energy by 42% over
+// Alloy and 37% over Bear; RedCache even beats Red-InSitu slightly because
+// it performs no computation inside the HBM dies.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace redcache;
+  using namespace redcache::bench;
+
+  const auto workloads = SelectedWorkloads();
+  const auto& archs = EvaluationArchs();
+
+  std::printf("Figure 10 — HBM cache energy normalized to Alloy Cache\n");
+  std::printf("(lower is better; paper means: RedCache 0.58 vs Alloy,\n");
+  std::printf(" 0.63 vs Bear)\n\n");
+
+  std::vector<std::string> header = {"workload"};
+  for (const Arch a : archs) header.push_back(ToString(a));
+  TextTable table(header);
+
+  std::map<Arch, std::vector<double>> ratios;
+  for (const std::string& wl : workloads) {
+    const CellResult alloy = RunCell(Arch::kAlloy, wl);
+    std::vector<std::string> row = {wl};
+    for (const Arch a : archs) {
+      const CellResult r = a == Arch::kAlloy ? alloy : RunCell(a, wl);
+      const double ratio = r.energy.HbmCacheNj() / alloy.energy.HbmCacheNj();
+      ratios[a].push_back(ratio);
+      row.push_back(TextTable::Num(ratio, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::vector<std::string> mean_row = {"geomean"};
+  for (const Arch a : archs) {
+    mean_row.push_back(TextTable::Num(GeoMean(ratios[a]), 3));
+  }
+  table.AddRow(std::move(mean_row));
+  std::printf("%s\n", table.Render().c_str());
+
+  const double red = GeoMean(ratios[Arch::kRedCache]);
+  const double bear = GeoMean(ratios[Arch::kBear]);
+  const double insitu = GeoMean(ratios[Arch::kRedInSitu]);
+  std::printf("summary (measured vs paper):\n");
+  std::printf("  RedCache HBM energy vs Alloy: -%.1f%% (paper -42%%)\n",
+              (1.0 - red) * 100.0);
+  std::printf("  RedCache HBM energy vs Bear:  -%.1f%% (paper -37%%)\n",
+              (1.0 - red / bear) * 100.0);
+  std::printf("  RedCache vs Red-InSitu: %s (paper: RedCache slightly "
+              "better — no in-DRAM compute)\n",
+              red <= insitu ? "better" : "worse");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Component micro-benchmarks (google-benchmark): raw simulation speed of
+// the DRAM channel scheduler, the SRAM cache, the alpha table and the trace
+// generators. These guard against performance regressions in the simulator
+// itself — they do not reproduce a paper figure.
+#include <benchmark/benchmark.h>
+
+#include "core/alpha_table.hpp"
+#include "core/rcu.hpp"
+#include "dram/dram_system.hpp"
+#include "sram/cache.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace {
+
+using namespace redcache;
+
+void BM_DramChannelStreamingReads(benchmark::State& state) {
+  DramSystem sys(HbmCacheConfig(8_MiB));
+  Cycle now = 0;
+  Addr addr = 0;
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    if (sys.CanAccept(addr)) {
+      sys.Enqueue(addr, false, now);
+      addr = (addr + 64) % 4_MiB;
+    }
+    sys.Tick(now);
+    completed += sys.completions().size();
+    sys.completions().clear();
+    now += 2;
+  }
+  state.counters["completed"] = static_cast<double>(completed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+}
+BENCHMARK(BM_DramChannelStreamingReads);
+
+void BM_SramCacheAccess(benchmark::State& state) {
+  SramCache cache({.name = "l3", .size_bytes = 1_MiB, .ways = 8,
+                   .latency = 38});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access((i * 2654435761u) % 8_MiB, false));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_SramCacheAccess);
+
+void BM_AlphaTableOnRequest(benchmark::State& state) {
+  AlphaTable table;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.OnRequest((i * 40503u) % 64_MiB));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_AlphaTableOnRequest);
+
+void BM_RcuInsertMatch(benchmark::State& state) {
+  RcuManager rcu(32);
+  DramAddress loc;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    loc.row = i % 64;
+    benchmark::DoNotOptimize(rcu.Insert(i * 64, loc));
+    if (i % 4 == 0) benchmark::DoNotOptimize(rcu.MatchIndex(loc));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_RcuInsertMatch);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  WorkloadBuildParams p;
+  p.num_cores = 1;
+  p.scale = 1.0;
+  auto trace = MakeWorkload("RDX", p);
+  MemRef r;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    if (!trace->Next(0, r)) {
+      trace = MakeWorkload("RDX", p);
+      continue;
+    }
+    benchmark::DoNotOptimize(r.addr);
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Table I: the evaluated system configurations.
+//
+// Prints both presets (paper-faithful and the scaled default) and
+// self-checks the paper preset against Table I's numbers.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sim/presets.hpp"
+
+namespace {
+
+using namespace redcache;
+
+void PrintPreset(const SimPreset& p) {
+  std::printf("== preset: %s ==\n", p.name);
+
+  TextTable proc({"processor", "value"});
+  proc.AddRow({"cores", std::to_string(p.hierarchy.num_cores) +
+                            " 4-issue OoO @ 3.2 GHz (trace-driven model)"});
+  proc.AddRow({"L1 (per core)",
+               std::to_string(p.hierarchy.l1.size_bytes / 1024) + " KB, " +
+                   std::to_string(p.hierarchy.l1.ways) + "-way, LRU, 64 B"});
+  proc.AddRow({"L2 (per core)",
+               std::to_string(p.hierarchy.l2.size_bytes / 1024) + " KB, " +
+                   std::to_string(p.hierarchy.l2.ways) + "-way, LRU, 64 B"});
+  proc.AddRow({"L3 (shared)",
+               std::to_string(p.hierarchy.l3.size_bytes / 1024) + " KB, " +
+                   std::to_string(p.hierarchy.l3.ways) + "-way, LRU, 64 B"});
+  std::printf("%s\n", proc.Render().c_str());
+
+  const auto dram_rows = [](const DramConfig& d) {
+    TextTable t({d.name + std::string(" parameter"), "value"});
+    t.AddRow({"capacity", std::to_string(d.geometry.capacity_bytes >> 20) +
+                              " MiB"});
+    t.AddRow({"channels", std::to_string(d.geometry.channels)});
+    t.AddRow({"ranks/channel", std::to_string(d.geometry.ranks_per_channel)});
+    t.AddRow({"banks/rank", std::to_string(d.geometry.banks_per_rank)});
+    t.AddRow({"bus width", std::to_string(d.geometry.bus_bits) + " bits"});
+    t.AddRow({"tRCD/tCAS/tCCD", std::to_string(d.timing.tRCD) + "/" +
+                                    std::to_string(d.timing.tCAS) + "/" +
+                                    std::to_string(d.timing.tCCD)});
+    t.AddRow({"tWTR/tWR/tRTP", std::to_string(d.timing.tWTR) + "/" +
+                                   std::to_string(d.timing.tWR) + "/" +
+                                   std::to_string(d.timing.tRTP)});
+    t.AddRow({"tBL/tCWD/tRP", std::to_string(d.timing.tBL) + "/" +
+                                  std::to_string(d.timing.tCWD) + "/" +
+                                  std::to_string(d.timing.tRP)});
+    t.AddRow({"tRRD/tRAS/tRC/tFAW",
+              std::to_string(d.timing.tRRD) + "/" +
+                  std::to_string(d.timing.tRAS) + "/" +
+                  std::to_string(d.timing.tRC) + "/" +
+                  std::to_string(d.timing.tFAW)});
+    return t.Render();
+  };
+  std::printf("%s\n", dram_rows(p.mem.hbm).c_str());
+  std::printf("%s\n", dram_rows(p.mem.mainmem).c_str());
+}
+
+int CheckPaperPreset() {
+  const SimPreset p = PaperPreset();
+  int failures = 0;
+  const auto expect = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("MISMATCH vs Table I: %s\n", what);
+      failures++;
+    }
+  };
+  expect(p.hierarchy.num_cores == 16, "16 cores");
+  expect(p.hierarchy.l3.size_bytes == 8_MiB, "8MB L3");
+  expect(p.mem.hbm.geometry.capacity_bytes == 2_GiB, "2GB DRAM cache");
+  expect(p.mem.hbm.geometry.channels == 4, "4 HBM channels");
+  expect(p.mem.hbm.geometry.bus_bits == 128, "128-bit HBM channel");
+  expect(p.mem.hbm.timing.tCCD == 16, "HBM tCCD 16");
+  expect(p.mem.mainmem.geometry.capacity_bytes == 32_GiB, "32GB main memory");
+  expect(p.mem.mainmem.geometry.channels == 2, "2 DDR4 channels");
+  expect(p.mem.mainmem.timing.tCCD == 61, "DDR4 tCCD 61");
+  expect(p.mem.mainmem.timing.tCWD == 44, "DDR4 tCWD 44");
+  return failures;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table I — evaluated system configurations\n\n");
+  PrintPreset(PaperPreset());
+  PrintPreset(EvalPreset());
+  const int failures = CheckPaperPreset();
+  if (failures == 0) {
+    std::printf("paper preset matches Table I: OK\n");
+  }
+  return failures == 0 ? 0 : 1;
+}

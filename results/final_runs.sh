@@ -1,0 +1,6 @@
+#!/bin/bash
+cd /root/repo
+export REDCACHE_CACHE_DIR=/tmp/rcache
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -3
+for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt > /dev/null
+echo FINAL_DONE

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Full figure-reproduction sweep; results land in results/.
+export REDCACHE_CACHE_DIR=/tmp/rcache
+cd /root/repo
+for b in table1_configs table2_workloads fig9_execution_time fig10_hbm_energy fig11_system_energy fig2a_topology fig2b_granularity fig3_reuse_histogram ablation_claims; do
+  echo "=== $b ==="
+  ./build/bench/$b > results/$b.txt 2>&1
+  echo "done $b"
+done
+./build/bench/micro_components --benchmark_min_time=0.2s > results/micro_components.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,26 @@
+// Small bit-manipulation helpers used by address mapping code.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace redcache {
+
+constexpr bool IsPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)); v must be non-zero.
+constexpr std::uint32_t Log2(std::uint64_t v) {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+/// Extract `bits` bits of `v` starting at bit `lo`.
+constexpr std::uint64_t Bits(std::uint64_t v, std::uint32_t lo,
+                             std::uint32_t bits) {
+  return (v >> lo) & ((std::uint64_t{1} << bits) - 1);
+}
+
+constexpr std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace redcache

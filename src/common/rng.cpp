@@ -1,0 +1,31 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace redcache {
+
+std::uint64_t Rng::Geometric(double mean) {
+  if (mean <= 1.0) return 1;
+  const double p = 1.0 / mean;
+  // Inverse CDF sampling; clamp u away from 0 to avoid log(0).
+  double u = NextDouble();
+  if (u < 1e-12) u = 1e-12;
+  const double v = std::log(u) / std::log(1.0 - p);
+  const auto k = static_cast<std::uint64_t>(v) + 1;
+  return k == 0 ? 1 : k;
+}
+
+std::uint64_t Rng::Zipf(std::uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Inverse-power transform: rank ~ u^(1/(1-s)) scaled to [0, n).
+  // For s in (0, 1.6] this gives a usable heavy-tailed rank distribution
+  // without the cost of exact Zipf rejection sampling.
+  double u = NextDouble();
+  if (u < 1e-12) u = 1e-12;
+  const double expo = 1.0 / (1.0 + s);
+  const double r = std::pow(u, 1.0 / expo);  // concentrated near 0
+  auto rank = static_cast<std::uint64_t>(r * static_cast<double>(n));
+  return rank >= n ? n - 1 : rank;
+}
+
+}  // namespace redcache

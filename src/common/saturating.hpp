@@ -1,0 +1,33 @@
+// Saturating counter, as used by the paper's r-counts ("In practice,
+// RedCache employs saturating counters for tracking block reuses").
+#pragma once
+
+#include <cstdint>
+
+namespace redcache {
+
+/// An N-bit-style saturating counter with runtime maximum.
+class SaturatingCounter {
+ public:
+  explicit SaturatingCounter(std::uint32_t max = 255, std::uint32_t value = 0)
+      : max_(max), value_(value > max ? max : value) {}
+
+  std::uint32_t value() const { return value_; }
+  std::uint32_t max() const { return max_; }
+
+  void Increment() {
+    if (value_ < max_) ++value_;
+  }
+  void Decrement() {
+    if (value_ > 0) --value_;
+  }
+  void Reset(std::uint32_t v = 0) { value_ = v > max_ ? max_ : v; }
+
+  bool Saturated() const { return value_ == max_; }
+
+ private:
+  std::uint32_t max_;
+  std::uint32_t value_;
+};
+
+}  // namespace redcache

@@ -1,0 +1,105 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace redcache {
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : bucket_width_(bucket_width == 0 ? 1 : bucket_width),
+      buckets_(num_buckets == 0 ? 1 : num_buckets, 0) {}
+
+void Histogram::Add(std::uint64_t value, std::uint64_t weight) {
+  const std::uint64_t idx = value / bucket_width_;
+  if (idx < buckets_.size()) {
+    buckets_[idx] += weight;
+  } else {
+    overflow_ += weight;
+  }
+  total_samples_ += 1;
+  total_weight_ += weight;
+  weighted_sum_ += static_cast<double>(value) * static_cast<double>(weight);
+}
+
+double Histogram::Mean() const {
+  if (total_weight_ == 0) return 0.0;
+  return weighted_sum_ / static_cast<double>(total_weight_);
+}
+
+std::uint64_t Histogram::Quantile(double q) const {
+  if (total_weight_ == 0) return 0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_weight_));
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    acc += buckets_[i];
+    if (acc >= target) return (i + 1) * bucket_width_ - 1;
+  }
+  return buckets_.size() * bucket_width_;  // in overflow
+}
+
+void Histogram::Clear() {
+  for (auto& b : buckets_) b = 0;
+  overflow_ = 0;
+  total_samples_ = 0;
+  total_weight_ = 0;
+  weighted_sum_ = 0.0;
+}
+
+std::uint64_t& StatSet::Counter(const std::string& name) {
+  return counters_[name];
+}
+
+std::uint64_t StatSet::GetCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool StatSet::HasCounter(const std::string& name) const {
+  return counters_.count(name) != 0;
+}
+
+Histogram& StatSet::Hist(const std::string& name, std::uint64_t bucket_width,
+                         std::size_t num_buckets) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(name, Histogram(bucket_width, num_buckets)).first;
+  }
+  return it->second;
+}
+
+const Histogram* StatSet::FindHist(const std::string& name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+StatSet StatSet::Diff(const StatSet& other) const {
+  StatSet out;
+  for (const auto& [name, value] : counters_) {
+    out.Counter(name) = value - other.GetCounter(name);
+  }
+  return out;
+}
+
+void StatSet::Absorb(const StatSet& other, const std::string& prefix) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[prefix + name] += value;
+  }
+  for (const auto& [name, hist] : other.hists_) {
+    hists_.emplace(prefix + name, hist);
+  }
+}
+
+void StatSet::Clear() {
+  counters_.clear();
+  hists_.clear();
+}
+
+std::string StatSet::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace redcache

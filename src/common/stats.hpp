@@ -1,0 +1,79 @@
+// Lightweight statistics collection.
+//
+// Every simulated component owns named counters and histograms registered in
+// a StatSet. Benches and tests read them by name; the registry supports
+// hierarchical prefixes ("hbm.chan0.act") and snapshot/diff so a benchmark
+// can measure a region of execution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace redcache {
+
+/// A fixed-width bucketed histogram over uint64 samples.
+class Histogram {
+ public:
+  /// `bucket_width` >= 1; values >= bucket_width*num_buckets go to overflow.
+  Histogram(std::uint64_t bucket_width = 1, std::size_t num_buckets = 64);
+
+  void Add(std::uint64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t total_samples() const { return total_samples_; }
+  std::uint64_t total_weight() const { return total_weight_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+  std::uint64_t bucket_width() const { return bucket_width_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+  /// Mean of the weighted samples (0 if empty).
+  double Mean() const;
+  /// Smallest v such that >= q of total weight lies in buckets <= v.
+  std::uint64_t Quantile(double q) const;
+
+  void Clear();
+
+ private:
+  std::uint64_t bucket_width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_samples_ = 0;
+  std::uint64_t total_weight_ = 0;
+  double weighted_sum_ = 0.0;
+};
+
+/// Named counters + histograms. Cheap to copy (snapshot).
+class StatSet {
+ public:
+  /// Returns a reference valid until the StatSet is destroyed or copied.
+  std::uint64_t& Counter(const std::string& name);
+  std::uint64_t GetCounter(const std::string& name) const;
+  bool HasCounter(const std::string& name) const;
+
+  Histogram& Hist(const std::string& name, std::uint64_t bucket_width = 1,
+                  std::size_t num_buckets = 64);
+  const Histogram* FindHist(const std::string& name) const;
+
+  /// All counters, sorted by name.
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  /// this - other for every counter present in this (missing treated as 0).
+  StatSet Diff(const StatSet& other) const;
+
+  /// Merge `other` into this, adding counters and prefixing names.
+  void Absorb(const StatSet& other, const std::string& prefix);
+
+  void Clear();
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> hists_;
+};
+
+}  // namespace redcache

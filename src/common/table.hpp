@@ -1,0 +1,27 @@
+// ASCII table printer used by the bench harnesses to emit paper-shaped rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace redcache {
+
+/// Collects rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string Num(double v, int prec = 3);
+  static std::string Pct(double v, int prec = 1);  ///< 0.31 -> "31.0%"
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace redcache

@@ -1,0 +1,17 @@
+#include "common/types.hpp"
+
+namespace redcache {
+
+const char* ToString(AccessType t) {
+  switch (t) {
+    case AccessType::kRead:
+      return "read";
+    case AccessType::kWrite:
+      return "write";
+    case AccessType::kWriteback:
+      return "writeback";
+  }
+  return "?";
+}
+
+}  // namespace redcache

@@ -1,0 +1,63 @@
+// Fundamental types shared by every RedCache module.
+//
+// All simulated times are expressed in CPU cycles at 3.2 GHz (the paper's
+// Table I gives DRAM timing parameters directly in CPU cycles). The DRAM
+// devices run at 1600 MHz DDR, i.e. one DRAM clock == 2 CPU cycles; the
+// DRAM model takes care of that internally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace redcache {
+
+/// Physical byte address.
+using Addr = std::uint64_t;
+
+/// Simulated time in CPU cycles (3.2 GHz).
+using Cycle = std::uint64_t;
+
+/// Unique, monotonically increasing id of an in-flight memory request.
+using RequestId = std::uint64_t;
+
+/// Cache-block size used throughout the hierarchy (Table I: 64 B blocks).
+inline constexpr std::uint32_t kBlockBytes = 64;
+inline constexpr std::uint32_t kBlockShift = 6;
+
+/// OS page size; alpha counters are shared by all blocks of a page.
+inline constexpr std::uint32_t kPageBytes = 4096;
+inline constexpr std::uint32_t kPageShift = 12;
+inline constexpr std::uint32_t kBlocksPerPage = kPageBytes / kBlockBytes;
+
+/// Tag+ECC sidecar moved together with a block on the WideIO bus
+/// (Table I note: "HBM cache puts tags with data in the unused ECC bits",
+/// i.e. an Alloy-style TAD transfer of 72 B).
+inline constexpr std::uint32_t kTagEccBytes = 8;
+
+/// Kind of a memory access as seen below the L3 (and inside the caches).
+enum class AccessType : std::uint8_t {
+  kRead,      ///< demand read / fetch
+  kWrite,     ///< store (write-allocate inside SRAM levels)
+  kWriteback  ///< dirty eviction travelling down the hierarchy
+};
+
+/// True for both store-like flavours.
+constexpr bool IsWrite(AccessType t) {
+  return t != AccessType::kRead;
+}
+
+const char* ToString(AccessType t);
+
+/// Block-aligned address of `a`.
+constexpr Addr BlockAlign(Addr a) { return a & ~Addr{kBlockBytes - 1}; }
+/// Block index (address / 64).
+constexpr Addr BlockIndex(Addr a) { return a >> kBlockShift; }
+/// Page index (address / 4096).
+constexpr Addr PageIndex(Addr a) { return a >> kPageShift; }
+
+/// Common size literals.
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+}  // namespace redcache

@@ -1,0 +1,71 @@
+#include "core/alpha_table.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace redcache {
+
+AlphaTable::AlphaTable(const Params& params)
+    : params_(params), alpha_(params.initial_alpha) {
+  alpha_ = std::clamp(alpha_, params_.min_alpha, params_.max_alpha);
+  std::size_t entries = params_.buffer_entries;
+  if (!IsPow2(entries)) entries = std::size_t{1} << (Log2(entries) + 1);
+  buffer_tags_.assign(entries, 0);
+}
+
+bool AlphaTable::OnRequest(Addr addr) {
+  const Addr page = PageIndex(addr);
+  lookups_++;
+
+  // Buffer model: tag array indexed by hashed page id (0 = empty; store
+  // page+1 so page 0 is representable).
+  const std::size_t slot = Mix64(page) & (buffer_tags_.size() - 1);
+  if (buffer_tags_[slot] != page + 1) {
+    buffer_misses_++;
+    buffer_tags_[slot] = page + 1;
+  }
+
+  PageState& st = counts_[page];
+  if (st.hot) return true;
+
+  // Lazy decay: progress fades while the page sits untouched.
+  if (st.epoch != epoch_ && params_.decay_shift > 0) {
+    const std::uint32_t elapsed = epoch_ - st.epoch;
+    const std::uint32_t shift = std::min<std::uint32_t>(
+        31, (elapsed / params_.epochs_per_decay) * params_.decay_shift);
+    st.progress >>= shift;
+  }
+  st.epoch = epoch_;
+
+  if (++st.progress >= Threshold()) {
+    st.hot = true;
+    pages_hot_++;
+    return true;
+  }
+  return false;
+}
+
+bool AlphaTable::IsHot(Addr addr) const {
+  auto it = counts_.find(PageIndex(addr));
+  return it != counts_.end() && it->second.hot;
+}
+
+void AlphaTable::Retune(double dead_fill_fraction) {
+  if (!params_.adaptive) return;
+  if (dead_fill_fraction > params_.waste_high && alpha_ < params_.max_alpha) {
+    ++alpha_;  // too many fills die unused: demand more proof first
+    retunes_up_++;
+  } else if (dead_fill_fraction < params_.waste_low &&
+             alpha_ > params_.min_alpha) {
+    --alpha_;  // admissions are paying off: admit blocks sooner
+    retunes_down_++;
+  }
+}
+
+void AlphaTable::SetAlpha(std::uint32_t a) {
+  alpha_ = std::clamp(a, params_.min_alpha, params_.max_alpha);
+}
+
+}  // namespace redcache

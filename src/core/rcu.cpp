@@ -1,0 +1,80 @@
+#include "core/rcu.hpp"
+
+#include <algorithm>
+
+namespace redcache {
+
+std::vector<RcuManager::Entry> RcuManager::Insert(Addr block,
+                                                  const DramAddress& loc) {
+  inserts_++;
+  for (Entry& e : entries_) {
+    if (e.block == block) {
+      updates_in_place_++;  // already parked; newest count wins
+      return {};
+    }
+  }
+  std::vector<Entry> evicted;
+  if (entries_.size() >= capacity_) {
+    evicted.push_back(entries_.front());
+    entries_.pop_front();
+    capacity_flushes_++;
+  }
+  entries_.push_back({block, loc});
+  return evicted;
+}
+
+bool RcuManager::Contains(Addr block) {
+  searches_++;
+  for (const Entry& e : entries_) {
+    if (e.block == block) {
+      block_hits_++;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RcuManager::Remove(Addr block) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->block == block) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<RcuManager::Entry> RcuManager::MatchIndex(const DramAddress& loc) {
+  std::vector<Entry> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->loc.SameRowAs(loc)) {
+      out.push_back(*it);
+      it = entries_.erase(it);
+      merged_flushes_++;
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<RcuManager::Entry> RcuManager::PopChannel(std::uint32_t channel) {
+  std::vector<Entry> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->loc.channel == channel) {
+      out.push_back(*it);
+      it = entries_.erase(it);
+      idle_flushes_++;
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<RcuManager::Entry> RcuManager::PopAll() {
+  std::vector<Entry> out(entries_.begin(), entries_.end());
+  entries_.clear();
+  return out;
+}
+
+}  // namespace redcache

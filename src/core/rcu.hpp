@@ -1,0 +1,79 @@
+// RCU (r-count update) manager (paper §III-C).
+//
+// On every read hit the block's refreshed r-count must eventually be
+// written back into its HBM row. Doing that immediately reverses the bus
+// for every read hit (tBL + tCWD + tWTR); the RCU manager instead parks the
+// update in a 32-entry CAM+RAM and drains it when one of three conditions
+// holds:
+//   (1) the command scheduler issues a data write to the same DRAM index
+//       (channel, rank, bank, row) — the update then piggybacks at tCCD
+//       cost with no extra turnaround;
+//   (2) the channel's transaction queue is empty — updates drain for free;
+//   (3) the queue is full — the oldest entry is force-flushed to make room.
+// The 32-entry RAM holds the most recently read blocks, so it doubles as a
+// tiny block cache that can serve repeat reads without touching HBM.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/address.hpp"
+
+namespace redcache {
+
+class RcuManager {
+ public:
+  struct Entry {
+    Addr block = 0;
+    DramAddress loc;
+  };
+
+  explicit RcuManager(std::size_t capacity = 32) : capacity_(capacity) {}
+
+  /// Park an update for `block`. If the queue is full the oldest entry is
+  /// evicted and returned (condition 3) — the caller must write it to HBM.
+  std::vector<Entry> Insert(Addr block, const DramAddress& loc);
+
+  /// Block-cache lookup (charges a CAM search).
+  bool Contains(Addr block);
+
+  /// Remove a parked update (block invalidated or evicted from HBM).
+  void Remove(Addr block);
+
+  /// Condition 1: a data write to `loc`'s index was issued; pop all parked
+  /// updates sharing that index so they can piggyback.
+  std::vector<Entry> MatchIndex(const DramAddress& loc);
+
+  /// Condition 2: the channel went idle; pop all entries on it.
+  std::vector<Entry> PopChannel(std::uint32_t channel);
+
+  /// Drain everything (end of simulation).
+  std::vector<Entry> PopAll();
+
+  std::size_t size() const { return entries_.size(); }
+  bool full() const { return entries_.size() >= capacity_; }
+
+  std::uint64_t inserts() const { return inserts_; }
+  std::uint64_t updates_in_place() const { return updates_in_place_; }
+  std::uint64_t searches() const { return searches_; }
+  std::uint64_t block_hits() const { return block_hits_; }
+  std::uint64_t merged_flushes() const { return merged_flushes_; }
+  std::uint64_t idle_flushes() const { return idle_flushes_; }
+  std::uint64_t capacity_flushes() const { return capacity_flushes_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Entry> entries_;  ///< front = oldest
+
+  std::uint64_t inserts_ = 0;
+  std::uint64_t updates_in_place_ = 0;
+  std::uint64_t searches_ = 0;
+  std::uint64_t block_hits_ = 0;
+  std::uint64_t merged_flushes_ = 0;
+  std::uint64_t idle_flushes_ = 0;
+  std::uint64_t capacity_flushes_ = 0;
+};
+
+}  // namespace redcache

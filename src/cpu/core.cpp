@@ -1,0 +1,85 @@
+#include "cpu/core.hpp"
+
+namespace redcache {
+
+Core::Core(std::uint32_t id, const CoreParams& params, TraceSource* trace,
+           CacheHierarchy* hierarchy, MemoryPort* port, std::uint64_t seed)
+    : id_(id),
+      params_(params),
+      trace_(trace),
+      hierarchy_(hierarchy),
+      port_(port),
+      rng_(Mix64(seed + id * 0x9e37ULL + 1)) {}
+
+Cycle Core::Progress(Cycle now) {
+  while (true) {
+    if (Finished()) return kWaiting;
+    if (stalled_) return kWaiting;
+
+    if (pending_miss_) {
+      // Misses are real events: issue them at their local time, so the
+      // simulator's event pacing stays anchored to memory traffic.
+      if (t_ > now) return t_;
+      if (outstanding_ >= params_.max_outstanding) return kWaiting;
+      const std::uint64_t tag = MakeTag();
+      if (!port_->TrySubmitRead(pending_addr_, tag, now)) {
+        return now + params_.retry_interval;  // backpressure
+      }
+      outstanding_++;
+      misses_++;
+      pending_miss_ = false;
+      if (pending_dependent_) {
+        stalled_ = true;
+        stalled_tag_ = tag;
+        return kWaiting;
+      }
+      continue;
+    }
+
+    if (trace_done_) return kWaiting;  // draining outstanding misses
+
+    // On-die work (gaps + cache hits) runs ahead of `now` freely; only the
+    // next miss re-synchronizes with the memory system. This keeps the run
+    // loop event-paced instead of cycle-paced.
+    MemRef ref;
+    if (!trace_->Next(id_, ref)) {
+      trace_done_ = true;
+      if (outstanding_ == 0) finish_time_ = t_ > now ? t_ : now;
+      continue;
+    }
+    refs_++;
+    t_ += ref.gap;
+
+    const HierarchyResult res = hierarchy_->Access(id_, ref.addr,
+                                                   ref.is_write);
+    for (const Addr wb : res.writebacks) {
+      port_->SubmitWriteback(wb, now);
+    }
+    if (res.hit_level != 0) {
+      hits_[res.hit_level - 1]++;
+      switch (res.hit_level) {
+        case 1: t_ += params_.l1_hit_cost; break;
+        case 2: t_ += params_.l2_hit_cost; break;
+        default: t_ += params_.l3_hit_cost; break;
+      }
+      continue;
+    }
+    // L3 miss: queue it for issue on the next iteration.
+    pending_miss_ = true;
+    pending_addr_ = BlockAlign(ref.addr);
+    pending_dependent_ = rng_.Chance(params_.dependent_fraction);
+  }
+}
+
+void Core::OnMemComplete(std::uint64_t tag, Cycle now) {
+  if (outstanding_ > 0) outstanding_--;
+  if (stalled_ && tag == stalled_tag_) {
+    stalled_ = false;
+    if (t_ < now) t_ = now;
+  }
+  if (trace_done_ && outstanding_ == 0) {
+    finish_time_ = t_ > now ? t_ : now;
+  }
+}
+
+}  // namespace redcache

@@ -1,0 +1,27 @@
+#include "dram/address.hpp"
+
+namespace redcache {
+
+AddressMapper::AddressMapper(const DramGeometry& geo)
+    : channels_(geo.channels),
+      ranks_(geo.ranks_per_channel),
+      banks_(geo.banks_per_rank),
+      blocks_per_row_(geo.BlocksPerRow()),
+      rows_(geo.RowsPerBank()) {}
+
+DramAddress AddressMapper::Map(Addr byte_addr) const {
+  std::uint64_t block = BlockIndex(byte_addr);
+  DramAddress out;
+  out.channel = static_cast<std::uint32_t>(block % channels_);
+  block /= channels_;
+  out.column = static_cast<std::uint32_t>(block % blocks_per_row_);
+  block /= blocks_per_row_;
+  out.bank = static_cast<std::uint32_t>(block % banks_);
+  block /= banks_;
+  out.rank = static_cast<std::uint32_t>(block % ranks_);
+  block /= ranks_;
+  out.row = block % rows_;
+  return out;
+}
+
+}  // namespace redcache

@@ -1,0 +1,52 @@
+// Physical-address to DRAM-coordinate mapping.
+//
+// Blocks are interleaved across channels (stride 64 B), then across columns
+// within an open row, then banks, ranks and rows. This is the classic
+// mapping that maximizes channel parallelism for streaming access while
+// keeping spatial locality within an open row.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/timing.hpp"
+
+namespace redcache {
+
+/// Coordinates of a block inside a DRAM device.
+struct DramAddress {
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+  std::uint32_t column = 0;  ///< block index within the row
+
+  bool SameRowAs(const DramAddress& o) const {
+    return channel == o.channel && rank == o.rank && bank == o.bank &&
+           row == o.row;
+  }
+  bool SameBankAs(const DramAddress& o) const {
+    return channel == o.channel && rank == o.rank && bank == o.bank;
+  }
+};
+
+/// Maps physical block addresses onto a device's geometry. Addresses beyond
+/// the device capacity wrap (callers index DRAM-cache sets directly and main
+/// memory by physical address modulo capacity, which is fine for simulation).
+class AddressMapper {
+ public:
+  explicit AddressMapper(const DramGeometry& geo);
+
+  DramAddress Map(Addr byte_addr) const;
+
+  std::uint32_t channels() const { return channels_; }
+
+ private:
+  std::uint32_t channels_;
+  std::uint32_t ranks_;
+  std::uint32_t banks_;
+  std::uint32_t blocks_per_row_;
+  std::uint64_t rows_;
+};
+
+}  // namespace redcache

@@ -1,0 +1,77 @@
+// Per-bank and per-rank DRAM state tracking.
+//
+// Each bank records its open row and the earliest CPU cycle at which each
+// command class may legally issue; the channel updates these as commands
+// are scheduled (DRAMSim-style "earliest issue time" bookkeeping).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/timing.hpp"
+
+namespace redcache {
+
+struct BankState {
+  static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+
+  std::uint64_t open_row = kNoRow;
+  Cycle next_activate = 0;
+  Cycle next_column = 0;     ///< earliest read/write command (covers tRCD)
+  Cycle next_precharge = 0;
+
+  bool RowOpen() const { return open_row != kNoRow; }
+};
+
+/// Rank-level constraints: tRRD/tFAW activate pacing and refresh windows.
+class RankState {
+ public:
+  void Init(const DramTimingParams& t, std::uint32_t rank_index) {
+    timing_ = &t;
+    // Stagger refresh across ranks so they do not all block simultaneously.
+    next_refresh_ = t.tREFI / 2 + rank_index * (t.tREFI / 8);
+  }
+
+  /// Earliest cycle an activate may issue on this rank.
+  Cycle NextActivateAllowed() const {
+    Cycle allowed = next_act_rrd_;
+    // Window entries are stored biased by +1 so an activate at cycle 0 is
+    // distinguishable from an empty slot.
+    if (act_window_[3] != 0) {
+      allowed = std::max(allowed, (act_window_[3] - 1) + timing_->tFAW);
+    }
+    return allowed;
+  }
+
+  void RecordActivate(Cycle now) {
+    next_act_rrd_ = now + timing_->tRRD;
+    // Slide the four-activate window (biased timestamps, see above).
+    act_window_[3] = act_window_[2];
+    act_window_[2] = act_window_[1];
+    act_window_[1] = act_window_[0];
+    act_window_[0] = now + 1;
+  }
+
+  bool RefreshDue(Cycle now) const { return now >= next_refresh_; }
+  bool Refreshing(Cycle now) const { return now < refreshing_until_; }
+  Cycle refreshing_until() const { return refreshing_until_; }
+  Cycle next_refresh() const { return next_refresh_; }
+
+  void StartRefresh(Cycle now) {
+    refreshing_until_ = now + timing_->tRFC;
+    next_refresh_ += timing_->tREFI;
+    if (next_refresh_ <= now) next_refresh_ = now + timing_->tREFI;
+  }
+
+ private:
+  const DramTimingParams* timing_ = nullptr;
+  Cycle next_act_rrd_ = 0;
+  std::array<Cycle, 4> act_window_{};  // newest first; 0 == unused
+  Cycle next_refresh_ = 0;
+  Cycle refreshing_until_ = 0;
+};
+
+}  // namespace redcache

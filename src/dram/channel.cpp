@@ -1,0 +1,346 @@
+#include "dram/channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redcache {
+
+namespace {
+/// Round `t` up to the next DRAM command slot boundary.
+Cycle AlignUp(Cycle t) {
+  const Cycle rem = t % kCpuCyclesPerDramCycle;
+  return rem == 0 ? t : t + (kCpuCyclesPerDramCycle - rem);
+}
+}  // namespace
+
+DramChannel::DramChannel(const DramConfig& cfg, std::uint32_t channel_index)
+    : cfg_(cfg) {
+  (void)channel_index;
+  banks_.resize(std::size_t{cfg_.geometry.ranks_per_channel} *
+                cfg_.geometry.banks_per_rank);
+  ranks_.resize(cfg_.geometry.ranks_per_channel);
+  for (std::uint32_t r = 0; r < cfg_.geometry.ranks_per_channel; ++r) {
+    ranks_[r].Init(cfg_.timing, r);
+  }
+  queue_.reserve(cfg_.controller.queue_depth);
+}
+
+void DramChannel::Enqueue(const DramRequest& req) {
+  assert(CanAccept());
+  Pending p;
+  p.req = req;
+  p.bursts_left = std::max<std::uint32_t>(1, req.bursts);
+  p.bank_idx = req.loc.rank * cfg_.geometry.banks_per_rank + req.loc.bank;
+  queue_.push_back(p);
+  if (req.is_write) write_count_++;
+  counters_.transactions++;
+  sleep_until_ = 0;  // new work: wake the scheduler
+}
+
+Cycle DramChannel::ColumnReadyAt(const Pending& p) const {
+  const auto& t = cfg_.timing;
+  const BankState& bank = banks_[p.bank_idx];
+  const Cycle lat = p.req.is_write ? t.tCWD : t.tCAS;
+  // Follow-up bursts of the same transaction stream back to back, gated by
+  // the data bus only (not tCCD).
+  const Cycle col_gate =
+      last_column_req_ == p.req.id && p.bursts_left < p.req.bursts
+          ? Cycle{0}
+          : next_column_cmd_;
+  Cycle ready = std::max({bank.next_column, col_gate, next_cmd_slot_,
+                          p.req.is_write ? next_write_cmd_ : next_read_cmd_});
+  if (data_bus_free_ > lat) {
+    ready = std::max(ready, data_bus_free_ - lat);
+  }
+  const RankState& rank = ranks_[p.req.loc.rank];
+  if (rank.Refreshing(ready)) {
+    ready = rank.refreshing_until();
+  }
+  return AlignUp(ready);
+}
+
+bool DramChannel::RowWantedByQueue(const DramAddress& loc,
+                                   std::uint64_t row) const {
+  for (const Pending& q : queue_) {
+    if (q.req.loc.SameBankAs(loc) && q.req.loc.row == row) return true;
+  }
+  return false;
+}
+
+DramChannel::Action DramChannel::RequiredAction(const Pending& p,
+                                                Cycle& ready_at) const {
+  const BankState& bank = banks_[p.bank_idx];
+  const RankState& rank = ranks_[p.req.loc.rank];
+
+  if (!bank.RowOpen()) {
+    Cycle ready =
+        std::max({bank.next_activate, rank.NextActivateAllowed(),
+                  next_cmd_slot_});
+    if (rank.Refreshing(ready)) ready = rank.refreshing_until();
+    ready_at = AlignUp(ready);
+    return Action::kActivate;
+  }
+  if (bank.open_row != p.req.loc.row) {
+    Cycle ready = std::max(bank.next_precharge, next_cmd_slot_);
+    if (rank.Refreshing(ready)) ready = rank.refreshing_until();
+    ready_at = AlignUp(ready);
+    return Action::kPrecharge;
+  }
+  ready_at = ColumnReadyAt(p);
+  return Action::kColumn;
+}
+
+void DramChannel::IssueColumn(std::size_t idx, Cycle now) {
+  const auto& t = cfg_.timing;
+  const auto& geo = cfg_.geometry;
+  Pending& p = queue_[idx];
+  BankState& bank = BankOf(p.req.loc);
+  const bool is_write = p.req.is_write;
+
+  const Cycle lat = is_write ? t.tCWD : t.tCAS;
+  const Cycle data_start = now + lat;
+  const Cycle data_end = data_start + t.tBL;
+
+  data_bus_free_ = data_end;
+  next_column_cmd_ = now + t.tCCD;
+  last_column_req_ = p.req.id;
+  next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
+
+  if (is_write) {
+    next_read_cmd_ = std::max(next_read_cmd_, data_end + t.tWTR);
+    bank.next_precharge = std::max(bank.next_precharge, data_end + t.tWR);
+    counters_.write_bursts++;
+    if (last_data_ == LastData::kRead) counters_.turnarounds_rw++;
+    last_data_ = LastData::kWrite;
+  } else {
+    // A later write burst must wait for the bus to reverse after our data.
+    const Cycle wr_ok =
+        data_end + t.tRTW_bubble > t.tCWD ? data_end + t.tRTW_bubble - t.tCWD
+                                          : Cycle{0};
+    next_write_cmd_ = std::max(next_write_cmd_, wr_ok);
+    bank.next_precharge = std::max(bank.next_precharge, now + t.tRTP);
+    counters_.read_bursts++;
+    if (last_data_ == LastData::kWrite) counters_.turnarounds_wr++;
+    last_data_ = LastData::kRead;
+  }
+  counters_.data_busy_cycles += t.tBL;
+  counters_.bytes_transferred += geo.burst_bytes + geo.sideband_bytes;
+  counters_.row_hits++;
+
+  if (!p.first_command_issued) {
+    p.first_command_issued = true;
+    counters_.queue_wait_cycles += now - p.req.arrival;
+  }
+
+  if (observer_ != nullptr) {
+    observer_->OnColumnCommand({p.req.loc, is_write, now});
+  }
+
+  p.bursts_left--;
+  if (p.bursts_left == 0) {
+    pending_done_.push_back(
+        {p.req.id, p.req.addr, is_write, data_end, p.req.user_tag});
+    if (is_write) write_count_--;
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+}
+
+void DramChannel::IssueActivate(Pending& p, Cycle now) {
+  const auto& t = cfg_.timing;
+  BankState& bank = BankOf(p.req.loc);
+  bank.open_row = p.req.loc.row;
+  bank.next_column = now + t.tRCD;
+  bank.next_precharge = std::max(bank.next_precharge, now + t.tRAS);
+  bank.next_activate = now + t.tRC;
+  ranks_[p.req.loc.rank].RecordActivate(now);
+  next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
+  counters_.activates++;
+  counters_.row_misses++;
+  if (!p.first_command_issued) {
+    p.first_command_issued = true;
+    counters_.queue_wait_cycles += now - p.req.arrival;
+  }
+}
+
+void DramChannel::IssuePrecharge(BankState& bank, Cycle now) {
+  bank.open_row = BankState::kNoRow;
+  bank.next_activate = std::max(bank.next_activate, now + cfg_.timing.tRP);
+  next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
+  counters_.precharges++;
+}
+
+bool DramChannel::MaybeRefresh(Cycle now, Cycle& min_ready) {
+  // Fast path: nothing refresh-related can happen before refresh_wake_.
+  if (now < refresh_wake_) {
+    min_ready = std::min(min_ready, refresh_wake_);
+    return false;
+  }
+  Cycle wake = kNever;
+  for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
+    RankState& rank = ranks_[r];
+    if (rank.Refreshing(now)) {
+      wake = std::min(wake, rank.refreshing_until());
+      continue;
+    }
+    if (!rank.RefreshDue(now)) {
+      wake = std::min(wake, rank.next_refresh());
+      continue;
+    }
+    // Refresh is due: close all banks, then wait tRP, then refresh.
+    Cycle rank_ready = now;
+    bool all_closed = true;
+    BankState* bank_base =
+        &banks_[std::size_t{r} * cfg_.geometry.banks_per_rank];
+    for (std::uint32_t b = 0; b < cfg_.geometry.banks_per_rank; ++b) {
+      BankState& bank = bank_base[b];
+      if (bank.RowOpen()) {
+        all_closed = false;
+        if (now >= bank.next_precharge) {
+          IssuePrecharge(bank, now);
+          return true;  // refresh_wake_ stays hot (<= now)
+        }
+        rank_ready = std::max(rank_ready, bank.next_precharge);
+      } else {
+        rank_ready = std::max(rank_ready, bank.next_activate);
+      }
+    }
+    if (!all_closed || now < rank_ready) {
+      wake = std::min(wake, AlignUp(std::max(rank_ready, now + 1)));
+      continue;
+    }
+    rank.StartRefresh(now);
+    for (std::uint32_t b = 0; b < cfg_.geometry.banks_per_rank; ++b) {
+      bank_base[b].next_activate =
+          std::max(bank_base[b].next_activate, now + cfg_.timing.tRFC);
+    }
+    next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
+    counters_.refreshes++;
+    return true;
+  }
+  refresh_wake_ = wake;
+  min_ready = std::min(min_ready, wake);
+  return false;
+}
+
+void DramChannel::Tick(Cycle now, std::vector<DramCompletion>& done) {
+  // Deliver finished data movements.
+  if (!pending_done_.empty()) {
+    for (std::size_t i = 0; i < pending_done_.size();) {
+      if (pending_done_[i].done <= now) {
+        done.push_back(pending_done_[i]);
+        pending_done_.erase(pending_done_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  if (now % kCpuCyclesPerDramCycle != 0) return;
+  if (now < next_cmd_slot_ || now < sleep_until_) return;
+
+  Cycle min_ready = kNever;
+  if (MaybeRefresh(now, min_ready)) return;
+
+  if (queue_.empty()) {
+    sleep_until_ = min_ready == kNever ? now + cfg_.timing.tREFI : min_ready;
+    return;
+  }
+
+  const Cycle starve = cfg_.controller.starvation_cycles;
+
+  // Anti-starvation: once the oldest request (queue front, arrival order)
+  // has waited past the threshold, issue its next command ahead of row
+  // hits — but only when it can actually issue; blocking the channel on a
+  // not-yet-ready command would serialize the banks.
+  if (queue_.front().req.arrival + starve < now) {
+    Pending& p = queue_.front();
+    Cycle ready = kNever;
+    const Action act = RequiredAction(p, ready);
+    if (ready <= now) {
+      if (act == Action::kColumn) {
+        IssueColumn(0, now);
+      } else if (act == Action::kActivate) {
+        IssueActivate(p, now);
+      } else {
+        IssuePrecharge(banks_[p.bank_idx], now);
+      }
+      return;
+    }
+    min_ready = std::min(min_ready, ready);
+    // Fall through: serve other ready work while the starved head waits on
+    // its bank timing.
+  }
+
+  // Writes are posted: demand reads get priority until writes pile up past
+  // the watermark (standard write-drain policy; keeps read latency low
+  // without starving fills/writebacks/update traffic).
+  const bool drain_writes =
+      2 * write_count_ > cfg_.controller.queue_depth;
+
+  std::size_t open_pick = queue_.size();
+  Action open_action = Action::kNone;
+  std::size_t write_pick = queue_.size();
+
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Pending& p = queue_[i];
+    Cycle ready = kNever;
+    const Action act = RequiredAction(p, ready);
+
+    if (act == Action::kColumn && ready <= now) {
+      if (!p.req.is_write || drain_writes) {
+        // FR-FCFS: the oldest ready row-hit (read-first) wins.
+        IssueColumn(i, now);
+        return;
+      }
+      if (write_pick == queue_.size()) write_pick = i;
+      continue;
+    }
+    if (act == Action::kPrecharge) {
+      // Do not close a row another queued transaction still wants.
+      const BankState& bank = banks_[p.bank_idx];
+      if (RowWantedByQueue(p.req.loc, bank.open_row)) continue;
+    }
+
+    min_ready = std::min(min_ready, ready);
+    if (ready > now) continue;
+    if (act != Action::kColumn && open_pick == queue_.size()) {
+      open_pick = i;
+      open_action = act;
+    }
+  }
+
+  if (write_pick < queue_.size()) {
+    IssueColumn(write_pick, now);
+    return;
+  }
+  if (open_pick < queue_.size()) {
+    if (open_action == Action::kActivate) {
+      IssueActivate(queue_[open_pick], now);
+    } else {
+      IssuePrecharge(banks_[queue_[open_pick].bank_idx], now);
+    }
+    return;
+  }
+
+  sleep_until_ = min_ready == kNever
+                     ? now + kCpuCyclesPerDramCycle
+                     : std::max(min_ready, now + kCpuCyclesPerDramCycle);
+}
+
+Cycle DramChannel::NextEventHint(Cycle now) const {
+  Cycle next = kNever;
+  for (const auto& c : pending_done_) next = std::min(next, c.done);
+  if (!queue_.empty()) {
+    next = std::min(next, std::max({now + 1, next_cmd_slot_, sleep_until_}));
+  } else {
+    // Idle: the only future work is refresh bookkeeping.
+    for (const auto& r : ranks_) {
+      next = std::min(next, r.Refreshing(now) ? r.refreshing_until()
+                                              : r.next_refresh());
+    }
+  }
+  return next;
+}
+
+}  // namespace redcache

@@ -1,0 +1,120 @@
+// One DRAM channel: transaction queue, FR-FCFS command scheduler, banks,
+// shared command/data buses and read<->write turnaround tracking.
+//
+// The channel is tick-driven at CPU-cycle granularity but self-limits work:
+// when nothing can issue it computes a wake-up cycle so the simulator can
+// fast-forward through stalls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/bank.hpp"
+#include "dram/request.hpp"
+#include "dram/timing.hpp"
+
+namespace redcache {
+
+/// Raw event counters a channel accumulates; the energy model and the
+/// bandwidth-efficiency benches consume these.
+struct ChannelCounters {
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t read_bursts = 0;
+  std::uint64_t write_bursts = 0;
+  std::uint64_t row_hits = 0;         ///< column commands issued
+  std::uint64_t row_misses = 0;       ///< activates (row conflicts/misses)
+  std::uint64_t data_busy_cycles = 0; ///< CPU cycles the data bus is driven
+  std::uint64_t bytes_transferred = 0;  ///< payload + sideband bytes
+  std::uint64_t turnarounds_rw = 0;   ///< read burst followed by write burst
+  std::uint64_t turnarounds_wr = 0;   ///< write burst followed by read burst
+  std::uint64_t transactions = 0;
+  std::uint64_t queue_wait_cycles = 0;  ///< sum of (first command - arrival)
+};
+
+class DramChannel {
+ public:
+  DramChannel(const DramConfig& cfg, std::uint32_t channel_index);
+
+  bool CanAccept() const { return queue_.size() < cfg_.controller.queue_depth; }
+  bool QueueEmpty() const { return queue_.empty() && pending_done_.empty(); }
+  std::size_t QueueSize() const { return queue_.size(); }
+
+  /// Enqueue a transaction (caller checked CanAccept).
+  void Enqueue(const DramRequest& req);
+
+  /// Advance to CPU cycle `now`; may issue at most one command per DRAM
+  /// clock. Completed transactions are appended to `done`.
+  void Tick(Cycle now, std::vector<DramCompletion>& done);
+
+  /// True while the addressed rank is executing a refresh — RedCache's
+  /// bypass-on-refresh checks this before routing a request to the HBM.
+  bool RankRefreshing(std::uint32_t rank, Cycle now) const {
+    return ranks_[rank].Refreshing(now);
+  }
+
+  void SetObserver(ColumnCommandObserver* obs) { observer_ = obs; }
+
+  const ChannelCounters& counters() const { return counters_; }
+
+  /// Earliest future cycle at which calling Tick could have an effect.
+  Cycle NextEventHint(Cycle now) const;
+
+ private:
+  struct Pending {
+    DramRequest req;
+    std::uint32_t bursts_left;
+    std::uint32_t bank_idx;  ///< cached rank*banks_per_rank + bank
+    bool first_command_issued = false;
+  };
+  enum class Action { kNone, kColumn, kActivate, kPrecharge };
+
+  static constexpr Cycle kNever = ~Cycle{0};
+
+  /// Next required command for `p` and its earliest legal issue cycle.
+  Action RequiredAction(const Pending& p, Cycle& ready_at) const;
+  Cycle ColumnReadyAt(const Pending& p) const;
+
+  void IssueColumn(std::size_t idx, Cycle now);
+  void IssueActivate(Pending& p, Cycle now);
+  void IssuePrecharge(BankState& bank, Cycle now);
+  /// Handles refresh duty. Returns true if a command slot was consumed.
+  bool MaybeRefresh(Cycle now, Cycle& min_ready);
+
+  bool RowWantedByQueue(const DramAddress& loc, std::uint64_t row) const;
+
+  BankState& BankOf(const DramAddress& a) {
+    return banks_[a.rank * cfg_.geometry.banks_per_rank + a.bank];
+  }
+  const BankState& BankOf(const DramAddress& a) const {
+    return banks_[a.rank * cfg_.geometry.banks_per_rank + a.bank];
+  }
+
+  DramConfig cfg_;
+  std::vector<BankState> banks_;
+  std::vector<RankState> ranks_;
+  std::vector<Pending> queue_;
+  std::vector<DramCompletion> pending_done_;  ///< data still on the bus
+
+  // Channel-shared bus state.
+  Cycle next_cmd_slot_ = 0;    ///< command bus: one command per DRAM clock
+  Cycle next_column_cmd_ = 0;  ///< tCCD spacing between column commands
+  /// Consecutive bursts of one multi-burst transaction stream at data-bus
+  /// rate (burst-chop/BL-extension semantics) instead of paying tCCD each.
+  RequestId last_column_req_ = 0;
+  Cycle next_read_cmd_ = 0;    ///< write->read turnaround (tWTR)
+  Cycle next_write_cmd_ = 0;   ///< read->write turnaround (bus reversal)
+  Cycle data_bus_free_ = 0;
+  enum class LastData { kNone, kRead, kWrite } last_data_ = LastData::kNone;
+
+  Cycle sleep_until_ = 0;  ///< no scheduling work possible before this
+  Cycle refresh_wake_ = 0;  ///< earliest cycle refresh bookkeeping matters
+  std::uint32_t write_count_ = 0;  ///< writes currently in the queue
+
+  ChannelCounters counters_;
+  ColumnCommandObserver* observer_ = nullptr;
+};
+
+}  // namespace redcache

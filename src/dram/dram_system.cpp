@@ -1,0 +1,107 @@
+#include "dram/dram_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redcache {
+
+DramSystem::DramSystem(const DramConfig& cfg)
+    : cfg_(cfg), mapper_(cfg.geometry) {
+  channels_.reserve(cfg_.geometry.channels);
+  for (std::uint32_t c = 0; c < cfg_.geometry.channels; ++c) {
+    channels_.push_back(std::make_unique<DramChannel>(cfg_, c));
+  }
+}
+
+RequestId DramSystem::Enqueue(Addr addr, bool is_write, Cycle now,
+                              std::uint64_t user_tag, std::uint32_t bursts) {
+  DramRequest req;
+  req.id = next_id_++;
+  req.addr = BlockAlign(addr);
+  req.loc = mapper_.Map(addr);
+  req.is_write = is_write;
+  req.bursts = bursts;
+  req.arrival = now;
+  req.user_tag = user_tag;
+  assert(channels_[req.loc.channel]->CanAccept());
+  channels_[req.loc.channel]->Enqueue(req);
+  inflight_++;
+  hint_valid_ = false;
+  return req.id;
+}
+
+void DramSystem::Tick(Cycle now) {
+  if (hint_valid_ && now < cached_hint_) return;  // nothing can happen yet
+  hint_valid_ = false;
+  const std::size_t before = completions_.size();
+  for (auto& ch : channels_) {
+    ch->Tick(now, completions_);
+  }
+  inflight_ -= completions_.size() - before;
+}
+
+bool DramSystem::Refreshing(Addr addr, Cycle now) const {
+  const DramAddress loc = mapper_.Map(addr);
+  return channels_[loc.channel]->RankRefreshing(loc.rank, now);
+}
+
+bool DramSystem::TransactionQueuesEmpty() const {
+  return std::all_of(channels_.begin(), channels_.end(),
+                     [](const auto& ch) { return ch->QueueEmpty(); });
+}
+
+void DramSystem::SetObserver(ColumnCommandObserver* obs) {
+  for (auto& ch : channels_) ch->SetObserver(obs);
+}
+
+ChannelCounters DramSystem::TotalCounters() const {
+  ChannelCounters total;
+  for (const auto& ch : channels_) {
+    const ChannelCounters& c = ch->counters();
+    total.activates += c.activates;
+    total.precharges += c.precharges;
+    total.refreshes += c.refreshes;
+    total.read_bursts += c.read_bursts;
+    total.write_bursts += c.write_bursts;
+    total.row_hits += c.row_hits;
+    total.row_misses += c.row_misses;
+    total.data_busy_cycles += c.data_busy_cycles;
+    total.bytes_transferred += c.bytes_transferred;
+    total.turnarounds_rw += c.turnarounds_rw;
+    total.turnarounds_wr += c.turnarounds_wr;
+    total.transactions += c.transactions;
+    total.queue_wait_cycles += c.queue_wait_cycles;
+  }
+  return total;
+}
+
+void DramSystem::ExportStats(StatSet& stats) const {
+  const ChannelCounters t = TotalCounters();
+  const std::string p = cfg_.name + ".";
+  stats.Counter(p + "activates") = t.activates;
+  stats.Counter(p + "precharges") = t.precharges;
+  stats.Counter(p + "refreshes") = t.refreshes;
+  stats.Counter(p + "read_bursts") = t.read_bursts;
+  stats.Counter(p + "write_bursts") = t.write_bursts;
+  stats.Counter(p + "row_hits") = t.row_hits;
+  stats.Counter(p + "row_misses") = t.row_misses;
+  stats.Counter(p + "data_busy_cycles") = t.data_busy_cycles;
+  stats.Counter(p + "bytes_transferred") = t.bytes_transferred;
+  stats.Counter(p + "turnarounds_rw") = t.turnarounds_rw;
+  stats.Counter(p + "turnarounds_wr") = t.turnarounds_wr;
+  stats.Counter(p + "transactions") = t.transactions;
+  stats.Counter(p + "queue_wait_cycles") = t.queue_wait_cycles;
+}
+
+Cycle DramSystem::NextEventHint(Cycle now) const {
+  if (hint_valid_ && cached_hint_ > now) return cached_hint_;
+  Cycle next = ~Cycle{0};
+  for (const auto& ch : channels_) {
+    next = std::min(next, ch->NextEventHint(now));
+  }
+  cached_hint_ = next;
+  hint_valid_ = true;
+  return next;
+}
+
+}  // namespace redcache

@@ -1,0 +1,100 @@
+// Multi-channel DRAM device facade.
+//
+// Owners (cache controllers / the NoHBM path) enqueue block transactions,
+// tick the system every CPU cycle, and drain completions. Channel selection
+// comes from the address mapper; per-channel FR-FCFS scheduling, timing and
+// refresh live in DramChannel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dram/address.hpp"
+#include "dram/channel.hpp"
+#include "dram/request.hpp"
+#include "dram/timing.hpp"
+
+namespace redcache {
+
+class DramSystem {
+ public:
+  explicit DramSystem(const DramConfig& cfg);
+
+  const DramConfig& config() const { return cfg_; }
+
+  /// Which channel would serve this address.
+  std::uint32_t ChannelOf(Addr addr) const { return mapper_.Map(addr).channel; }
+
+  bool CanAccept(Addr addr) const {
+    return channels_[ChannelOf(addr)]->CanAccept();
+  }
+  bool ChannelCanAccept(std::uint32_t channel) const {
+    return channels_[channel]->CanAccept();
+  }
+
+  /// Enqueue a transaction; returns its request id. The caller must have
+  /// checked CanAccept. `bursts` > 1 models coarse-grained transfers.
+  RequestId Enqueue(Addr addr, bool is_write, Cycle now,
+                    std::uint64_t user_tag = 0, std::uint32_t bursts = 1);
+
+  void Tick(Cycle now);
+
+  /// Completions accumulated since the last Drain call.
+  std::vector<DramCompletion>& completions() { return completions_; }
+
+  /// True if the rank serving `addr` is mid-refresh (bypass-on-refresh).
+  bool Refreshing(Addr addr, Cycle now) const;
+
+  bool TransactionQueuesEmpty() const;
+  bool ChannelQueueEmpty(std::uint32_t channel) const {
+    return channels_[channel]->QueueEmpty();
+  }
+  /// True when the channel's transaction queue has no requests (in-flight
+  /// data that already left the queue does not count) — the RCU manager's
+  /// "transaction queue becomes empty" drain condition.
+  bool ChannelTransactionQueueEmpty(std::uint32_t channel) const {
+    return channels_[channel]->QueueSize() == 0;
+  }
+
+  /// Observe every column command on every channel (RCU manager hook).
+  void SetObserver(ColumnCommandObserver* obs);
+
+  std::uint32_t num_channels() const {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
+
+  const ChannelCounters& channel_counters(std::uint32_t c) const {
+    return channels_[c]->counters();
+  }
+
+  /// Sum of all channels' counters.
+  ChannelCounters TotalCounters() const;
+
+  /// Export counters into `stats` under "<name>." prefix.
+  void ExportStats(StatSet& stats) const;
+
+  /// Fast-forward hint: earliest cycle any channel could act.
+  Cycle NextEventHint(Cycle now) const;
+
+  const AddressMapper& mapper() const { return mapper_; }
+
+  std::uint64_t inflight() const { return inflight_; }
+
+ private:
+  DramConfig cfg_;
+  AddressMapper mapper_;
+  std::vector<std::unique_ptr<DramChannel>> channels_;
+  std::vector<DramCompletion> completions_;
+  RequestId next_id_ = 1;
+  std::uint64_t inflight_ = 0;
+  /// Cached NextEventHint; lets Tick skip all channel work while nothing
+  /// can happen. Invalidated by Enqueue and by ticks that do work.
+  mutable Cycle cached_hint_ = 0;
+  mutable bool hint_valid_ = false;
+};
+
+}  // namespace redcache

@@ -1,0 +1,42 @@
+#include "dram/timing.hpp"
+
+namespace redcache {
+
+DramConfig HbmCacheConfig(std::uint64_t capacity_bytes) {
+  DramConfig cfg;
+  cfg.name = "hbm";
+  // Table I, DRAM cache: tRCD:44 tCAS:44 tCCD:16 tWTR:31 tWR:4 tRTP:46
+  // tBL:10 tCWD:61 tRP:44 tRRD:16 tRAS:112 tRC:271 tFAW:181 (CPU cycles).
+  cfg.timing = DramTimingParams{};  // defaults match the DRAM-cache column
+  cfg.geometry.channels = 4;
+  // Table I lists "8 rank/channel, 16 banks/channel"; we model 2 ranks of
+  // 16 banks each per channel, which preserves the bank-level parallelism
+  // the scheduler exploits while keeping the geometry self-consistent.
+  cfg.geometry.ranks_per_channel = 2;
+  cfg.geometry.banks_per_rank = 16;
+  cfg.geometry.row_bytes = 2048;
+  cfg.geometry.capacity_bytes = capacity_bytes;
+  cfg.geometry.bus_bits = 128;
+  cfg.geometry.burst_bytes = 64;
+  cfg.geometry.sideband_bytes = kTagEccBytes;  // TAD: tag rides in ECC lanes
+  return cfg;
+}
+
+DramConfig MainMemoryConfig(std::uint64_t capacity_bytes) {
+  DramConfig cfg;
+  cfg.name = "ddr4";
+  cfg.timing = DramTimingParams{};
+  cfg.timing.tCCD = 61;  // Table I main-memory column
+  cfg.timing.tCWD = 44;
+  cfg.geometry.channels = 2;
+  cfg.geometry.ranks_per_channel = 2;
+  cfg.geometry.banks_per_rank = 8;
+  cfg.geometry.row_bytes = 2048;
+  cfg.geometry.capacity_bytes = capacity_bytes;
+  cfg.geometry.bus_bits = 64;
+  cfg.geometry.burst_bytes = 64;
+  cfg.geometry.sideband_bytes = 0;
+  return cfg;
+}
+
+}  // namespace redcache

@@ -1,0 +1,95 @@
+// DRAM timing and geometry parameters.
+//
+// All values are in CPU cycles at 3.2 GHz, exactly as the paper's Table I
+// reports them. The devices are clocked at 1600 MHz (DDR), i.e. one DRAM
+// command slot every kCpuCyclesPerDramCycle CPU cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace redcache {
+
+/// CPU (3.2 GHz) to DRAM (1600 MHz) clock ratio.
+inline constexpr Cycle kCpuCyclesPerDramCycle = 2;
+
+/// Per-device timing constraints, CPU cycles (Table I).
+struct DramTimingParams {
+  Cycle tRCD = 44;   ///< activate -> column command
+  Cycle tCAS = 44;   ///< read command -> first data beat (aka tCL)
+  Cycle tCCD = 16;   ///< column command -> column command
+  Cycle tWTR = 31;   ///< end of write data -> read command (turnaround)
+  Cycle tWR = 4;     ///< end of write data -> precharge
+  Cycle tRTP = 46;   ///< read command -> precharge
+  Cycle tBL = 10;    ///< data burst duration on the bus
+  Cycle tCWD = 61;   ///< write command -> first data beat (aka tCWL)
+  Cycle tRP = 44;    ///< precharge -> activate
+  Cycle tRRD = 16;   ///< activate -> activate, different banks of a rank
+  Cycle tRAS = 112;  ///< activate -> precharge, same bank
+  Cycle tRC = 271;   ///< activate -> activate, same bank
+  Cycle tFAW = 181;  ///< window for at most four activates per rank
+  // Refresh is not listed in Table I; standard DDR4 values (7.8 us / 350 ns
+  // at 3.2 GHz). RedCache's bypass-on-refresh optimization keys on these.
+  Cycle tREFI = 24960;  ///< refresh interval per rank
+  Cycle tRFC = 1120;    ///< refresh cycle duration (rank blocked)
+  /// Extra bus-turnaround bubble between a read burst ending and a write
+  /// burst starting on the same data bus (two DRAM clocks).
+  Cycle tRTW_bubble = 2 * kCpuCyclesPerDramCycle;
+};
+
+/// Device geometry. `rows_per_bank` is derived from capacity.
+struct DramGeometry {
+  std::uint32_t channels = 4;
+  std::uint32_t ranks_per_channel = 2;
+  std::uint32_t banks_per_rank = 16;
+  std::uint64_t row_bytes = 2048;          ///< open-row (page) size
+  std::uint64_t capacity_bytes = 32_MiB;   ///< total device capacity
+  std::uint32_t bus_bits = 128;            ///< data-bus width per channel
+  /// Bytes moved by one burst (one column command) — the data payload.
+  /// For the HBM cache a burst also carries the 8 B tag/ECC sidecar at no
+  /// extra time cost (tags live in unused ECC bits, Table I).
+  std::uint32_t burst_bytes = 64;
+  /// Additional bytes per burst carried in ECC/tag lanes (counted as
+  /// transferred data for the Fig. 2 efficiency accounting, but free in time).
+  std::uint32_t sideband_bytes = 0;
+
+  std::uint64_t RowsPerBank() const {
+    const std::uint64_t denom = std::uint64_t{channels} * ranks_per_channel *
+                                banks_per_rank * row_bytes;
+    return capacity_bytes / denom;
+  }
+  std::uint32_t BlocksPerRow() const {
+    return static_cast<std::uint32_t>(row_bytes / kBlockBytes);
+  }
+};
+
+/// Transaction-queue depth and scheduler knobs per channel.
+struct DramControllerParams {
+  std::uint32_t queue_depth = 32;
+  /// A request older than this is issued ahead of row hits *when it can
+  /// issue*, bounding FR-FCFS starvation. Set well above typical loaded
+  /// queue waits: a tight threshold flips a saturated channel into strict
+  /// FCFS, destroying bank parallelism.
+  Cycle starvation_cycles = 50000;
+};
+
+/// Everything needed to instantiate a DramSystem.
+struct DramConfig {
+  std::string name = "dram";
+  DramTimingParams timing;
+  DramGeometry geometry;
+  DramControllerParams controller;
+};
+
+/// Table I "DRAM cache" column: in-package WideIO HBM, 4 channels,
+/// 128-bit buses, 1600 MHz DDR4-class timing. Capacity is scaled by the
+/// simulation preset (see sim/presets.hpp); default 32 MiB.
+DramConfig HbmCacheConfig(std::uint64_t capacity_bytes = 32_MiB);
+
+/// Table I "Off-Chip Main Memory" column: 2-channel DDR4, 64-bit buses.
+/// Note the much larger tCCD (61 CPU cycles) and tCWD of 44.
+DramConfig MainMemoryConfig(std::uint64_t capacity_bytes = 512_MiB);
+
+}  // namespace redcache

@@ -1,0 +1,74 @@
+// Set-associative RedCache (extension).
+//
+// Same alpha / gamma / RCU / bypass-on-refresh machinery as the paper's
+// direct-mapped controller, on an N-way LRU organization. One probe read
+// returns the set's tags (they live in the row's ECC lanes) together with
+// the MRU way's data; a hit on any other way costs one extra data burst,
+// and a miss fill targets the LRU victim. This quantifies how much of
+// RedCache's benefit survives — or is subsumed by — associativity, the
+// direction the authors explore in their R-Cache work.
+#pragma once
+
+#include <vector>
+
+#include "core/alpha_table.hpp"
+#include "core/gamma.hpp"
+#include "core/rcu.hpp"
+#include "dramcache/assoc_tags.hpp"
+#include "dramcache/controller.hpp"
+#include "dramcache/redcache.hpp"
+
+namespace redcache {
+
+class AssocRedCacheController : public ControllerBase {
+ public:
+  AssocRedCacheController(MemControllerConfig cfg, RedCacheOptions options,
+                          std::uint32_t ways,
+                          const char* display_name = "redcache-assoc");
+
+  const char* name() const override { return display_name_; }
+
+  const AssocTags& tags() const { return tags_; }
+
+ protected:
+  void StartTxn(Txn& txn, Cycle now) override;
+  void OnDeviceComplete(Txn& txn, bool from_hbm, const DramCompletion& c,
+                        Cycle now) override;
+  void PolicyTick(Cycle now) override;
+  void ExportOwnStats(StatSet& stats) const override;
+  void OnColumnCommand(const IssuedColumnCommand& cmd) override;
+
+ private:
+  void HandleProbeResult(Txn& txn, const DramCompletion& c, Cycle now);
+  void Fill(Addr addr, bool dirty, Cycle now);
+  void FlushRcuEntries(const std::vector<RcuManager::Entry>& entries,
+                       Cycle now);
+  void Depart(std::uint64_t set, std::uint32_t way, bool lifetime_sample);
+  /// Way the probe's speculative data burst returns (the set's MRU way).
+  std::uint32_t MruWay(std::uint64_t set) const;
+
+  RedCacheOptions opt_;
+  const char* display_name_;
+  AssocTags tags_;
+  AlphaTable alpha_;
+  GammaController gamma_;
+  RcuManager rcu_;
+  std::vector<RcuManager::Entry> pending_rcu_flushes_;
+
+  std::uint64_t epoch_request_count_ = 0;
+  std::uint64_t epoch_departures_ = 0;
+  std::uint64_t epoch_dead_departures_ = 0;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t mru_hits_ = 0;       ///< data arrived with the probe
+  std::uint64_t non_mru_hits_ = 0;   ///< needed an extra data burst
+  std::uint64_t fills_ = 0;
+  std::uint64_t victim_writebacks_ = 0;
+  std::uint64_t alpha_bypasses_ = 0;
+  std::uint64_t gamma_invalidations_ = 0;
+  std::uint64_t insitu_updates_ = 0;
+  std::uint64_t immediate_updates_ = 0;
+};
+
+}  // namespace redcache

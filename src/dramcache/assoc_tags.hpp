@@ -1,0 +1,104 @@
+// Set-associative DRAM-cache metadata.
+//
+// The DAC'20 paper evaluates RedCache on a direct-mapped (Alloy-style)
+// organization; the authors' companion work (R-Cache, ICCD'18) argues for
+// higher associativity in package. This store supports both: way lookup is
+// resolved by the controller after the probe read (all ways of a set live
+// in one DRAM row, so one probe burst still suffices for tag checking,
+// while data for way > 0 costs one extra burst — the classic LH-cache
+// trade-off the controller charges for).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace redcache {
+
+class AssocTags {
+ public:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    std::uint8_t r_count = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool write_filled = false;
+  };
+
+  AssocTags(std::uint64_t capacity_bytes, std::uint32_t ways)
+      : ways_(ways),
+        num_sets_(capacity_bytes / kBlockBytes / ways),
+        lines_(num_sets_ * ways) {}
+
+  std::uint64_t num_sets() const { return num_sets_; }
+  std::uint32_t ways() const { return ways_; }
+
+  std::uint64_t SetOf(Addr addr) const {
+    return (addr / kBlockBytes) % num_sets_;
+  }
+  std::uint64_t TagOf(Addr addr) const {
+    return addr / kBlockBytes / num_sets_;
+  }
+
+  /// Way holding `addr`, or ways() if absent.
+  std::uint32_t FindWay(Addr addr) const {
+    const Line* base = &lines_[SetOf(addr) * ways_];
+    const std::uint64_t tag = TagOf(addr);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (base[w].valid && base[w].tag == tag) return w;
+    }
+    return ways_;
+  }
+
+  bool Hit(Addr addr) const { return FindWay(addr) != ways_; }
+
+  Line& line(std::uint64_t set, std::uint32_t way) {
+    return lines_[set * ways_ + way];
+  }
+  const Line& line(std::uint64_t set, std::uint32_t way) const {
+    return lines_[set * ways_ + way];
+  }
+
+  /// LRU victim way (invalid ways first).
+  std::uint32_t VictimWay(std::uint64_t set) const {
+    const Line* base = &lines_[set * ways_];
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (!base[w].valid) return w;
+      if (base[w].lru < base[victim].lru) victim = w;
+    }
+    return victim;
+  }
+
+  void Touch(std::uint64_t set, std::uint32_t way) {
+    lines_[set * ways_ + way].lru = ++tick_;
+  }
+
+  /// Main-memory address of the block in (set, way).
+  Addr VictimAddr(std::uint64_t set, std::uint32_t way) const {
+    return (lines_[set * ways_ + way].tag * num_sets_ + set) * kBlockBytes;
+  }
+
+  /// HBM device address of (set, way): ways of a set are adjacent blocks
+  /// of the same row whenever ways <= blocks-per-row.
+  Addr HbmAddr(std::uint64_t set, std::uint32_t way) const {
+    return (set * ways_ + way) * kBlockBytes;
+  }
+
+  std::uint32_t BumpRcount(std::uint64_t set, std::uint32_t way) {
+    Line& l = lines_[set * ways_ + way];
+    if (l.r_count != 0xff) ++l.r_count;
+    return l.r_count;
+  }
+
+ private:
+  std::uint32_t ways_;
+  std::uint64_t num_sets_;
+  std::vector<Line> lines_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace redcache

@@ -1,0 +1,154 @@
+#include "dramcache/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redcache {
+
+ControllerBase::ControllerBase(const MemControllerConfig& cfg) : cfg_(cfg) {
+  if (cfg_.has_hbm) {
+    hbm_ = std::make_unique<DramSystem>(cfg_.hbm);
+    hbm_->SetObserver(this);
+  }
+  mm_ = std::make_unique<DramSystem>(cfg_.mainmem);
+  txns_.resize(cfg_.txn_pool_size);
+  free_txns_.reserve(cfg_.txn_pool_size);
+  for (std::uint32_t i = 0; i < cfg_.txn_pool_size; ++i) {
+    free_txns_.push_back(cfg_.txn_pool_size - 1 - i);
+  }
+}
+
+void ControllerBase::SubmitRead(Addr addr, std::uint64_t tag, Cycle now) {
+  (void)now;
+  assert(CanAcceptRead());
+  input_.push_back({BlockAlign(addr), tag, false});
+  reads_seen_++;
+}
+
+void ControllerBase::SubmitWriteback(Addr addr, Cycle now) {
+  (void)now;
+  assert(CanAcceptWriteback());
+  input_.push_back({BlockAlign(addr), 0, true});
+  writebacks_seen_++;
+}
+
+ControllerBase::Txn& ControllerBase::AllocTxn(const Input& in) {
+  assert(!free_txns_.empty());
+  const std::uint32_t idx = free_txns_.back();
+  free_txns_.pop_back();
+  Txn& t = txns_[idx];
+  t = Txn{};
+  t.addr = in.addr;
+  t.tag = in.tag;
+  t.is_writeback = in.is_writeback;
+  t.active = true;
+  active_txns_++;
+  return t;
+}
+
+void ControllerBase::FreeTxn(Txn& txn) {
+  assert(txn.active);
+  txn.active = false;
+  active_txns_--;
+  free_txns_.push_back(TxnIndex(txn));
+}
+
+void ControllerBase::CompleteRead(Txn& txn, Cycle done) {
+  read_completions_.push_back({txn.addr, txn.tag, done});
+}
+
+void ControllerBase::SendHbm(std::uint32_t txn, Addr addr, bool is_write,
+                             Cycle now, std::uint32_t bursts) {
+  assert(hbm_ != nullptr);
+  const std::uint32_t channel = hbm_->ChannelOf(addr);
+  if (deferred_hbm_.empty() && hbm_->ChannelCanAccept(channel)) {
+    hbm_->Enqueue(addr, is_write, now, txn, bursts);
+  } else {
+    deferred_hbm_.push_back({addr, is_write, bursts, txn, channel});
+  }
+}
+
+void ControllerBase::SendMm(std::uint32_t txn, Addr addr, bool is_write,
+                            Cycle now, std::uint32_t bursts) {
+  const std::uint32_t channel = mm_->ChannelOf(addr);
+  if (deferred_mm_.empty() && mm_->ChannelCanAccept(channel)) {
+    mm_->Enqueue(addr, is_write, now, txn, bursts);
+  } else {
+    deferred_mm_.push_back({addr, is_write, bursts, txn, channel});
+  }
+}
+
+void ControllerBase::PumpDeferred(Cycle now) {
+  // Scan a small window so one blocked channel does not stall the rest.
+  constexpr std::size_t kWindow = 8;
+  auto pump = [&](std::deque<DevOp>& q, DramSystem& dev) {
+    for (std::size_t i = 0; i < q.size() && i < kWindow;) {
+      if (dev.ChannelCanAccept(q[i].channel)) {
+        dev.Enqueue(q[i].addr, q[i].is_write, now, q[i].txn, q[i].bursts);
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  };
+  if (hbm_ != nullptr && !deferred_hbm_.empty()) pump(deferred_hbm_, *hbm_);
+  if (!deferred_mm_.empty()) pump(deferred_mm_, *mm_);
+}
+
+void ControllerBase::RouteCompletions(DramSystem& dev, bool from_hbm,
+                                      Cycle now) {
+  auto& list = dev.completions();
+  for (const DramCompletion& c : list) {
+    if (c.user_tag == kPostedOp) continue;
+    Txn& t = txns_[static_cast<std::uint32_t>(c.user_tag)];
+    assert(t.active);
+    OnDeviceComplete(t, from_hbm, c, now);
+  }
+  list.clear();
+}
+
+void ControllerBase::Tick(Cycle now) {
+  PumpDeferred(now);
+  if (hbm_ != nullptr) hbm_->Tick(now);
+  mm_->Tick(now);
+  if (hbm_ != nullptr) RouteCompletions(*hbm_, true, now);
+  RouteCompletions(*mm_, false, now);
+  PolicyTick(now);
+  PumpDeferred(now);
+  while (!input_.empty() && HasFreeTxn()) {
+    const Input in = input_.front();
+    input_.pop_front();
+    Txn& t = AllocTxn(in);
+    StartTxn(t, now);
+  }
+  PumpDeferred(now);
+}
+
+Cycle ControllerBase::NextEventHint(Cycle now) const {
+  Cycle next = ~Cycle{0};
+  if (hbm_ != nullptr) next = std::min(next, hbm_->NextEventHint(now));
+  next = std::min(next, mm_->NextEventHint(now));
+  // Fresh input needs a prompt tick only while transaction slots are free;
+  // deferred device ops can only progress on device events, which the
+  // device hints above already cover.
+  if (!input_.empty() && !free_txns_.empty()) {
+    next = std::min(next, now + 1);
+  }
+  return next;
+}
+
+bool ControllerBase::Idle() const {
+  return input_.empty() && active_txns_ == 0 && deferred_hbm_.empty() &&
+         deferred_mm_.empty() && (hbm_ == nullptr || hbm_->inflight() == 0) &&
+         mm_->inflight() == 0;
+}
+
+void ControllerBase::ExportStats(StatSet& stats) const {
+  if (hbm_ != nullptr) hbm_->ExportStats(stats);
+  mm_->ExportStats(stats);
+  stats.Counter("ctrl.reads") = reads_seen_;
+  stats.Counter("ctrl.writebacks") = writebacks_seen_;
+  ExportOwnStats(stats);
+}
+
+}  // namespace redcache

@@ -1,0 +1,159 @@
+// Memory-controller interface below the L3, plus a base class with the
+// shared plumbing every policy needs: input queueing, a transaction pool,
+// deferred device operations with backpressure, and completion routing.
+//
+// Concrete policies (NoHBM, Ideal, Alloy, Bear, RedCache family) implement
+// the per-transaction state machines on top.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "dram/dram_system.hpp"
+
+namespace redcache {
+
+/// Response delivered to the CPU side for a demand read.
+struct ReadCompletion {
+  Addr addr = 0;
+  std::uint64_t tag = 0;
+  Cycle done = 0;
+};
+
+struct MemControllerConfig {
+  DramConfig hbm = HbmCacheConfig();
+  DramConfig mainmem = MainMemoryConfig();
+  bool has_hbm = true;
+  std::uint32_t input_queue_cap = 64;
+  std::uint32_t txn_pool_size = 256;
+  /// DRAM-cache line size in 64 B blocks (1 => fine-grained; 2/4 model the
+  /// Fig. 2(b) 128 B / 256 B granularity study).
+  std::uint32_t line_blocks = 1;
+};
+
+/// Abstract controller the System drives.
+class MemController {
+ public:
+  virtual ~MemController() = default;
+
+  virtual const char* name() const = 0;
+  virtual bool CanAcceptRead() const = 0;
+  virtual bool CanAcceptWriteback() const = 0;
+  virtual void SubmitRead(Addr addr, std::uint64_t tag, Cycle now) = 0;
+  virtual void SubmitWriteback(Addr addr, Cycle now) = 0;
+  virtual void Tick(Cycle now) = 0;
+  virtual std::vector<ReadCompletion>& read_completions() = 0;
+  virtual Cycle NextEventHint(Cycle now) const = 0;
+  virtual void ExportStats(StatSet& stats) const = 0;
+  /// True when no transaction is in flight anywhere below the L3.
+  virtual bool Idle() const = 0;
+};
+
+/// Shared machinery. Subclasses implement StartTxn / OnDeviceComplete.
+class ControllerBase : public MemController, protected ColumnCommandObserver {
+ public:
+  explicit ControllerBase(const MemControllerConfig& cfg);
+
+  bool CanAcceptRead() const override {
+    return input_.size() < cfg_.input_queue_cap;
+  }
+  bool CanAcceptWriteback() const override {
+    return input_.size() < cfg_.input_queue_cap;
+  }
+  void SubmitRead(Addr addr, std::uint64_t tag, Cycle now) override;
+  void SubmitWriteback(Addr addr, Cycle now) override;
+  void Tick(Cycle now) override;
+  std::vector<ReadCompletion>& read_completions() override {
+    return read_completions_;
+  }
+  Cycle NextEventHint(Cycle now) const override;
+  void ExportStats(StatSet& stats) const override;
+  bool Idle() const override;
+
+  const DramSystem* hbm() const { return hbm_.get(); }
+  const DramSystem* mainmem() const { return mm_.get(); }
+  const MemControllerConfig& config() const { return cfg_; }
+
+ protected:
+  struct Txn {
+    Addr addr = 0;            ///< demand block address
+    std::uint64_t tag = 0;    ///< CPU-side tag (reads only)
+    bool is_writeback = false;
+    int state = 0;            ///< policy-defined
+    Addr aux_addr = 0;        ///< policy scratch (victim address etc.)
+    std::uint32_t aux = 0;
+    bool active = false;
+  };
+
+  static constexpr std::uint32_t kPostedOp = ~std::uint32_t{0};
+
+  /// Queue a device operation; issued to the device as channels free up.
+  /// `txn` routes the completion back (kPostedOp = fire and forget).
+  void SendHbm(std::uint32_t txn, Addr addr, bool is_write, Cycle now,
+               std::uint32_t bursts = 1);
+  void SendMm(std::uint32_t txn, Addr addr, bool is_write, Cycle now,
+              std::uint32_t bursts = 1);
+
+  /// Deliver the demand data to the CPU and release nothing (caller decides
+  /// when the txn itself is finished via FreeTxn).
+  void CompleteRead(Txn& txn, Cycle done);
+  void FreeTxn(Txn& txn);
+
+  std::uint32_t TxnIndex(const Txn& txn) const {
+    return static_cast<std::uint32_t>(&txn - txns_.data());
+  }
+
+  // --- policy hooks -------------------------------------------------------
+  /// Begin a new transaction (input already admitted).
+  virtual void StartTxn(Txn& txn, Cycle now) = 0;
+  /// A device operation belonging to `txn` completed.
+  virtual void OnDeviceComplete(Txn& txn, bool from_hbm,
+                                const DramCompletion& c, Cycle now) = 0;
+  /// Per-tick policy work (RCU drain etc.). Default: nothing.
+  virtual void PolicyTick(Cycle /*now*/) {}
+  /// Extra counters under "ctrl.".
+  virtual void ExportOwnStats(StatSet& /*stats*/) const {}
+  /// Column-command observation (RedCache RCU). Default: ignore.
+  void OnColumnCommand(const IssuedColumnCommand& /*cmd*/) override {}
+
+  MemControllerConfig cfg_;
+  std::unique_ptr<DramSystem> hbm_;  ///< null when has_hbm == false
+  std::unique_ptr<DramSystem> mm_;
+
+  // Base-level counters every policy shares.
+  std::uint64_t reads_seen_ = 0;
+  std::uint64_t writebacks_seen_ = 0;
+
+ private:
+  struct Input {
+    Addr addr;
+    std::uint64_t tag;
+    bool is_writeback;
+  };
+  struct DevOp {
+    Addr addr;
+    bool is_write;
+    std::uint32_t bursts;
+    std::uint32_t txn;
+    std::uint32_t channel;  ///< cached mapping (avoids re-decoding per tick)
+  };
+
+  bool HasFreeTxn() const { return !free_txns_.empty(); }
+  Txn& AllocTxn(const Input& in);
+  void PumpDeferred(Cycle now);
+  void RouteCompletions(DramSystem& dev, bool from_hbm, Cycle now);
+
+  std::deque<Input> input_;
+  std::vector<Txn> txns_;
+  std::vector<std::uint32_t> free_txns_;
+  std::deque<DevOp> deferred_hbm_;
+  std::deque<DevOp> deferred_mm_;
+  std::vector<ReadCompletion> read_completions_;
+  std::uint64_t active_txns_ = 0;
+};
+
+}  // namespace redcache

@@ -1,0 +1,76 @@
+#include "dramcache/factory.hpp"
+
+#include <stdexcept>
+
+#include "dramcache/alloy.hpp"
+#include "dramcache/bear.hpp"
+#include "dramcache/ideal.hpp"
+#include "dramcache/no_hbm.hpp"
+#include "dramcache/redcache.hpp"
+
+namespace redcache {
+
+const char* ToString(Arch arch) {
+  switch (arch) {
+    case Arch::kNoHbm: return "No-HBM";
+    case Arch::kIdeal: return "IDEAL";
+    case Arch::kAlloy: return "Alloy";
+    case Arch::kBear: return "Bear";
+    case Arch::kRedAlpha: return "Red-Alpha";
+    case Arch::kRedGamma: return "Red-Gamma";
+    case Arch::kRedBasic: return "Red-Basic";
+    case Arch::kRedInSitu: return "Red-InSitu";
+    case Arch::kRedCache: return "RedCache";
+  }
+  return "?";
+}
+
+Arch ArchFromString(const std::string& name) {
+  for (Arch a : {Arch::kNoHbm, Arch::kIdeal, Arch::kAlloy, Arch::kBear,
+                 Arch::kRedAlpha, Arch::kRedGamma, Arch::kRedBasic,
+                 Arch::kRedInSitu, Arch::kRedCache}) {
+    if (name == ToString(a)) return a;
+  }
+  throw std::invalid_argument("unknown architecture: " + name);
+}
+
+const std::vector<Arch>& EvaluationArchs() {
+  static const std::vector<Arch> kArchs = {
+      Arch::kAlloy,    Arch::kBear,      Arch::kRedAlpha,
+      Arch::kRedGamma, Arch::kRedBasic,  Arch::kRedInSitu,
+      Arch::kRedCache,
+  };
+  return kArchs;
+}
+
+std::unique_ptr<MemController> MakeController(Arch arch,
+                                              const MemControllerConfig& cfg) {
+  switch (arch) {
+    case Arch::kNoHbm:
+      return std::make_unique<NoHbmController>(cfg);
+    case Arch::kIdeal:
+      return std::make_unique<IdealController>(cfg);
+    case Arch::kAlloy:
+      return std::make_unique<AlloyController>(cfg);
+    case Arch::kBear:
+      return std::make_unique<BearController>(cfg);
+    case Arch::kRedAlpha:
+      return std::make_unique<RedCacheController>(
+          cfg, RedCacheOptions::AlphaOnly(), "red-alpha");
+    case Arch::kRedGamma:
+      return std::make_unique<RedCacheController>(
+          cfg, RedCacheOptions::GammaOnly(), "red-gamma");
+    case Arch::kRedBasic:
+      return std::make_unique<RedCacheController>(
+          cfg, RedCacheOptions::Basic(), "red-basic");
+    case Arch::kRedInSitu:
+      return std::make_unique<RedCacheController>(
+          cfg, RedCacheOptions::InSitu(), "red-insitu");
+    case Arch::kRedCache:
+      return std::make_unique<RedCacheController>(
+          cfg, RedCacheOptions::Full(), "redcache");
+  }
+  throw std::invalid_argument("unhandled architecture");
+}
+
+}  // namespace redcache

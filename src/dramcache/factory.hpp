@@ -1,0 +1,34 @@
+// Architecture registry: every system the paper evaluates, by name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dramcache/controller.hpp"
+
+namespace redcache {
+
+/// The memory architectures evaluated in the paper (Figs. 2 and 9-11).
+enum class Arch {
+  kNoHbm,      ///< Fig. 1(a): off-chip DDR4 only
+  kIdeal,      ///< Fig. 1(b): perfect HBM cache, 100% hit rate
+  kAlloy,      ///< baseline: MICRO'12 Alloy cache
+  kBear,       ///< baseline: ISCA'15 BEAR cache
+  kRedAlpha,   ///< direct-mapped cache + alpha counting only
+  kRedGamma,   ///< Alloy + in-DRAM gamma counting only
+  kRedBasic,   ///< alpha + gamma, immediate r-count updates (no RCU)
+  kRedInSitu,  ///< alpha + gamma, free in-DRAM updates (upper bound)
+  kRedCache,   ///< the full proposal: alpha + gamma + RCU + refresh bypass
+};
+
+const char* ToString(Arch arch);
+Arch ArchFromString(const std::string& name);
+
+/// All architectures of the Fig. 9-11 comparison, in the paper's order.
+const std::vector<Arch>& EvaluationArchs();
+
+std::unique_ptr<MemController> MakeController(Arch arch,
+                                              const MemControllerConfig& cfg);
+
+}  // namespace redcache

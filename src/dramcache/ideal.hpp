@@ -1,0 +1,25 @@
+// IDEAL HBM cache (Fig. 1b): a perfect cache with a 100% hit rate. All data
+// magically resides in HBM; the cache still pays for tag checks — every
+// read moves one TAD burst, and every writeback needs the tag-check read
+// followed by the data write (one bus reversal), exactly the costs the
+// paper attributes to IDEAL ("consumes additional bandwidth and storage for
+// tag checks").
+#pragma once
+
+#include "dramcache/controller.hpp"
+
+namespace redcache {
+
+class IdealController : public ControllerBase {
+ public:
+  explicit IdealController(MemControllerConfig cfg);
+
+  const char* name() const override { return "ideal"; }
+
+ protected:
+  void StartTxn(Txn& txn, Cycle now) override;
+  void OnDeviceComplete(Txn& txn, bool from_hbm, const DramCompletion& c,
+                        Cycle now) override;
+};
+
+}  // namespace redcache

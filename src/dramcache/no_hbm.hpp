@@ -1,0 +1,20 @@
+// No-HBM baseline (Fig. 1a): every request is served by off-chip DDR4.
+#pragma once
+
+#include "dramcache/controller.hpp"
+
+namespace redcache {
+
+class NoHbmController : public ControllerBase {
+ public:
+  explicit NoHbmController(MemControllerConfig cfg);
+
+  const char* name() const override { return "no-hbm"; }
+
+ protected:
+  void StartTxn(Txn& txn, Cycle now) override;
+  void OnDeviceComplete(Txn& txn, bool from_hbm, const DramCompletion& c,
+                        Cycle now) override;
+};
+
+}  // namespace redcache

@@ -1,0 +1,332 @@
+#include "dramcache/redcache.hpp"
+
+#include <cassert>
+
+namespace redcache {
+
+namespace {
+enum State {
+  kProbe = 0,    ///< waiting for the TAD probe read
+  kMissFetch,    ///< waiting for main memory after a probe miss
+  kDirectFetch,  ///< bypassed read served by main memory
+};
+
+/// Latency of a read served out of the RCU data RAM (SRAM on the
+/// controller die; a handful of CPU cycles).
+constexpr Cycle kRcuServeLatency = 6;
+}  // namespace
+
+RedCacheController::RedCacheController(MemControllerConfig cfg,
+                                       RedCacheOptions options,
+                                       const char* display_name)
+    : ControllerBase((cfg.has_hbm = true, cfg)),
+      opt_(options),
+      display_name_(display_name),
+      tags_(cfg.hbm.geometry.capacity_bytes, /*line_blocks=*/1),
+      alpha_(options.alpha),
+      gamma_(options.gamma),
+      rcu_(options.rcu_entries),
+      recent_invalidations_(16384, ~Addr{0}) {
+  assert(cfg.line_blocks == 1 && "RedCache is a fine-grained (64 B) cache");
+}
+
+void RedCacheController::NoteGammaInvalidation(Addr block) {
+  recent_invalidations_[BlockIndex(block) % recent_invalidations_.size()] =
+      block;
+}
+
+void RedCacheController::CheckPrematureInvalidation(Addr block) {
+  Addr& slot =
+      recent_invalidations_[BlockIndex(block) % recent_invalidations_.size()];
+  if (slot == block) {
+    slot = ~Addr{0};
+    gamma_.OnPrematureInvalidation();
+  }
+}
+
+void RedCacheController::InvalidateBlock(std::uint64_t set,
+                                         bool lifetime_sample) {
+  DirectMappedTags::Line& line = tags_.line(set);
+  if (!line.write_filled) {
+    // Alpha's feedback judges demand admissions only; trailing write fills
+    // would otherwise dominate the dead-fill statistic and push alpha up.
+    epoch_departures_++;
+    if (line.r_count == 0) epoch_dead_departures_++;
+  }
+  if (lifetime_sample && opt_.gamma_enabled && line.r_count > 0) {
+    gamma_.OnLifetimeSample(line.r_count);
+  }
+  line.valid = false;
+  line.dirty = false;
+}
+
+void RedCacheController::Fill(Addr addr, bool dirty, Cycle now) {
+  const std::uint64_t set = tags_.SetOf(addr);
+  DirectMappedTags::Line& line = tags_.line(set);
+  if (line.valid) {
+    rcu_.Remove(tags_.VictimAddr(set));
+    if (line.dirty) {
+      // Victim data came back with the probe read; push it off-package.
+      SendMm(kPostedOp, tags_.VictimAddr(set), /*is_write=*/true, now);
+      victim_writebacks_++;
+    }
+    InvalidateBlock(set, /*lifetime_sample=*/true);
+  }
+  line.valid = true;
+  line.dirty = dirty;
+  line.write_filled = dirty;  // fills carrying store data arrive dirty
+  line.tag = tags_.TagOf(addr);
+  line.r_count = 0;
+  SendHbm(kPostedOp, tags_.HbmAddr(set, addr), /*is_write=*/true, now);
+  fills_++;
+}
+
+void RedCacheController::RouteToMainMemory(Txn& txn, Cycle now) {
+  if (txn.is_writeback) {
+    SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
+    FreeTxn(txn);
+    return;
+  }
+  txn.state = kDirectFetch;
+  SendMm(TxnIndex(txn), txn.addr, /*is_write=*/false, now);
+}
+
+void RedCacheController::StartTxn(Txn& txn, Cycle now) {
+  epoch_request_count_++;
+  MaybeRetune();
+
+  // --- Alpha counting: cold pages never touch the HBM cache. -------------
+  if (opt_.alpha_enabled && !alpha_.OnRequest(txn.addr)) {
+    alpha_bypasses_++;
+    RouteToMainMemory(txn, now);
+    return;
+  }
+
+  const std::uint64_t set = tags_.SetOf(txn.addr);
+
+  // --- RCU block cache: recently read blocks are still on the die. -------
+  if (opt_.update_mode == RedCacheOptions::UpdateMode::kRcu &&
+      !txn.is_writeback && rcu_.Contains(txn.addr)) {
+    rcu_served_reads_++;
+    hits_++;
+    read_hits_++;
+    const std::uint32_t r = tags_.BumpRcount(set);
+    if (opt_.gamma_enabled) gamma_.OnHit(r);
+    rcu_.Insert(txn.addr, hbm_->mapper().Map(tags_.HbmAddr(set, txn.addr)));
+    CompleteRead(txn, now + kRcuServeLatency);
+    FreeTxn(txn);
+    return;
+  }
+
+  // --- Bypass-on-refresh: don't queue behind a refreshing rank (only
+  // worthwhile while the off-chip channel has headroom). ------------------
+  if (opt_.bypass_on_refresh &&
+      hbm_->Refreshing(tags_.HbmAddr(set, txn.addr), now) &&
+      mm_->ChannelCanAccept(mm_->ChannelOf(txn.addr))) {
+    const DirectMappedTags::Line& line = tags_.line(set);
+    const bool present = line.valid && line.tag == tags_.TagOf(txn.addr);
+    if (txn.is_writeback) {
+      // Main memory receives the newest data; any cached copy is stale now.
+      if (present) {
+        rcu_.Remove(txn.addr);
+        InvalidateBlock(set, /*lifetime_sample=*/false);
+      }
+      refresh_bypasses_++;
+      SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
+      FreeTxn(txn);
+      return;
+    }
+    if (!present || !line.dirty) {
+      // Clean or absent: the main-memory copy is current.
+      refresh_bypasses_++;
+      txn.state = kDirectFetch;
+      SendMm(TxnIndex(txn), txn.addr, /*is_write=*/false, now);
+      return;
+    }
+    // Dirty read hit: only the HBM copy is valid — fall through and wait.
+  }
+
+  txn.state = kProbe;
+  SendHbm(TxnIndex(txn), tags_.HbmAddr(set, txn.addr), /*is_write=*/false,
+          now);
+}
+
+void RedCacheController::RecordReadHitUpdate(Addr block, std::uint64_t set,
+                                             Cycle now) {
+  switch (opt_.update_mode) {
+    case RedCacheOptions::UpdateMode::kInSitu:
+      insitu_updates_++;
+      return;
+    case RedCacheOptions::UpdateMode::kImmediate:
+      immediate_updates_++;
+      SendHbm(kPostedOp, tags_.HbmAddr(set, block), /*is_write=*/true, now);
+      return;
+    case RedCacheOptions::UpdateMode::kRcu: {
+      const auto evicted = rcu_.Insert(
+          block, hbm_->mapper().Map(tags_.HbmAddr(set, block)));
+      FlushRcuEntries(evicted, now);
+      return;
+    }
+  }
+}
+
+void RedCacheController::FlushRcuEntries(
+    const std::vector<RcuManager::Entry>& entries, Cycle now) {
+  for (const RcuManager::Entry& e : entries) {
+    const std::uint64_t set = tags_.SetOf(e.block);
+    SendHbm(kPostedOp, tags_.HbmAddr(set, e.block), /*is_write=*/true, now);
+  }
+}
+
+void RedCacheController::HandleProbeResult(Txn& txn, const DramCompletion& c,
+                                           Cycle now) {
+  const std::uint64_t set = tags_.SetOf(txn.addr);
+  DirectMappedTags::Line& line = tags_.line(set);
+  const bool hit = tags_.Hit(txn.addr);
+
+  if (hit) {
+    hits_++;
+    const std::uint32_t r = tags_.BumpRcount(set);
+    if (opt_.gamma_enabled) gamma_.OnHit(r);
+
+    if (txn.is_writeback) {
+      write_hits_++;
+      if (opt_.gamma_enabled && gamma_.IsLastWrite(r)) {
+        // Last write: invalidate and route the data off-package directly,
+        // saving the HBM write, the future victim writeback and a bus
+        // turnaround.
+        gamma_invalidations_++;
+        rcu_.Remove(txn.addr);
+        InvalidateBlock(set, /*lifetime_sample=*/false);
+        NoteGammaInvalidation(txn.addr);
+        SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
+      } else {
+        line.dirty = true;
+        // The refreshed r-count rides inside the data write's tag/ECC bits.
+        SendHbm(kPostedOp, tags_.HbmAddr(set, txn.addr), /*is_write=*/true,
+                now);
+      }
+      FreeTxn(txn);
+      return;
+    }
+
+    read_hits_++;
+    CompleteRead(txn, c.done);
+    RecordReadHitUpdate(txn.addr, set, now);
+    FreeTxn(txn);
+    return;
+  }
+
+  misses_++;
+  if (opt_.gamma_enabled) CheckPrematureInvalidation(txn.addr);
+  if (txn.is_writeback) {
+    if (line.valid && line.dirty) {
+      // Fig. 7: miss with a dirty resident — send the write to main memory
+      // directly; no fill, no victim round trip.
+      dirty_miss_bypasses_++;
+      write_miss_bypasses_++;
+      SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
+    } else {
+      Fill(txn.addr, /*dirty=*/true, now);
+    }
+    FreeTxn(txn);
+    return;
+  }
+  txn.state = kMissFetch;
+  SendMm(TxnIndex(txn), txn.addr, /*is_write=*/false, now);
+}
+
+void RedCacheController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
+                                          const DramCompletion& c, Cycle now) {
+  switch (txn.state) {
+    case kProbe:
+      HandleProbeResult(txn, c, now);
+      return;
+    case kMissFetch:
+      CompleteRead(txn, c.done);
+      Fill(txn.addr, /*dirty=*/false, now);
+      FreeTxn(txn);
+      return;
+    case kDirectFetch:
+      CompleteRead(txn, c.done);
+      FreeTxn(txn);
+      return;
+  }
+}
+
+void RedCacheController::OnColumnCommand(const IssuedColumnCommand& cmd) {
+  if (opt_.update_mode != RedCacheOptions::UpdateMode::kRcu || !cmd.is_write) {
+    return;
+  }
+  // Condition 1: a data write to this (channel, rank, bank, row) just
+  // issued; parked updates for the same row can piggyback at tCCD cost.
+  auto matches = rcu_.MatchIndex(cmd.loc);
+  pending_rcu_flushes_.insert(pending_rcu_flushes_.end(), matches.begin(),
+                              matches.end());
+}
+
+void RedCacheController::PolicyTick(Cycle now) {
+  if (opt_.update_mode != RedCacheOptions::UpdateMode::kRcu) return;
+  if (!pending_rcu_flushes_.empty()) {
+    FlushRcuEntries(pending_rcu_flushes_, now);
+    pending_rcu_flushes_.clear();
+  }
+  // Condition 2: drain parked updates into idle channels.
+  if (rcu_.size() != 0) {
+    for (std::uint32_t ch = 0; ch < hbm_->num_channels(); ++ch) {
+      if (hbm_->ChannelTransactionQueueEmpty(ch)) {
+        FlushRcuEntries(rcu_.PopChannel(ch), now);
+      }
+    }
+  }
+}
+
+void RedCacheController::MaybeRetune() {
+  if (epoch_request_count_ < opt_.epoch_requests) return;
+  epoch_request_count_ = 0;
+  alpha_.AdvanceEpoch();
+  if (opt_.alpha_enabled && epoch_departures_ > 0) {
+    const double dead_fraction =
+        static_cast<double>(epoch_dead_departures_) /
+        static_cast<double>(epoch_departures_);
+    alpha_.Retune(dead_fraction);
+  }
+  epoch_departures_ = 0;
+  epoch_dead_departures_ = 0;
+}
+
+void RedCacheController::ExportOwnStats(StatSet& stats) const {
+  stats.Counter("ctrl.cache_hits") = hits_;
+  stats.Counter("ctrl.cache_misses") = misses_;
+  stats.Counter("ctrl.read_hits") = read_hits_;
+  stats.Counter("ctrl.write_hits") = write_hits_;
+  stats.Counter("ctrl.fills") = fills_;
+  stats.Counter("ctrl.victim_writebacks") = victim_writebacks_;
+  stats.Counter("ctrl.alpha_bypasses") = alpha_bypasses_;
+  stats.Counter("ctrl.refresh_bypasses") = refresh_bypasses_;
+  stats.Counter("ctrl.gamma_invalidations") = gamma_invalidations_;
+  stats.Counter("ctrl.dirty_miss_bypasses") = dirty_miss_bypasses_;
+  stats.Counter("ctrl.write_miss_bypasses") = write_miss_bypasses_;
+  stats.Counter("ctrl.rcu_served_reads") = rcu_served_reads_;
+  stats.Counter("ctrl.immediate_updates") = immediate_updates_;
+  stats.Counter("ctrl.insitu_updates") = insitu_updates_;
+  stats.Counter("ctrl.alpha_lookups") = alpha_.lookups();
+  stats.Counter("ctrl.alpha_buffer_misses") = alpha_.buffer_misses();
+  stats.Counter("ctrl.alpha_value") = alpha_.alpha();
+  stats.Counter("ctrl.alpha_pages_hot") = alpha_.pages_hot();
+  stats.Counter("ctrl.alpha_pages_tracked") = alpha_.pages_tracked();
+  stats.Counter("ctrl.gamma_value") = gamma_.gamma();
+  stats.Counter("ctrl.gamma_updates") = gamma_.updates();
+  stats.Counter("ctrl.gamma_premature") = gamma_.premature_invalidations();
+  stats.Counter("ctrl.rcu_inserts") = rcu_.inserts();
+  stats.Counter("ctrl.rcu_searches") = rcu_.searches();
+  stats.Counter("ctrl.rcu_block_hits") = rcu_.block_hits();
+  stats.Counter("ctrl.rcu_merged_flushes") = rcu_.merged_flushes();
+  stats.Counter("ctrl.rcu_idle_flushes") = rcu_.idle_flushes();
+  stats.Counter("ctrl.rcu_capacity_flushes") = rcu_.capacity_flushes();
+  stats.Counter("ctrl.rcu_data_accesses") =
+      rcu_.inserts() + rcu_.block_hits() + rcu_.merged_flushes() +
+      rcu_.idle_flushes() + rcu_.capacity_flushes();
+}
+
+}  // namespace redcache

@@ -1,0 +1,82 @@
+// Direct-mapped DRAM-cache metadata.
+//
+// Alloy-style caches keep tags *inside* the DRAM rows (TAD); the controller
+// cannot consult them without a DRAM read. This class is the simulator-side
+// mirror of that in-DRAM state: policies update it when the corresponding
+// DRAM traffic is issued, and every timing/bandwidth cost of reaching the
+// real tags is charged through the DRAM model (the probe reads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace redcache {
+
+class DirectMappedTags {
+ public:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint8_t r_count = 0;  ///< reuse count (saturating, tag/ECC byte)
+    bool valid = false;
+    bool dirty = false;
+    /// Installed by a writeback rather than a demand fetch. Such fills are
+    /// often trailing stores of finished blocks; the alpha feedback loop
+    /// excludes them from its dead-fill statistics.
+    bool write_filled = false;
+  };
+
+  /// `capacity_bytes` of data, organized as `line_blocks` 64 B blocks per
+  /// line (1 for the fine-grained caches; 2/4 for the granularity study).
+  DirectMappedTags(std::uint64_t capacity_bytes, std::uint32_t line_blocks)
+      : line_blocks_(line_blocks),
+        line_bytes_(std::uint64_t{line_blocks} * kBlockBytes),
+        num_sets_(capacity_bytes / line_bytes_),
+        lines_(num_sets_) {}
+
+  std::uint64_t num_sets() const { return num_sets_; }
+  std::uint32_t line_blocks() const { return line_blocks_; }
+  std::uint64_t line_bytes() const { return line_bytes_; }
+
+  std::uint64_t SetOf(Addr addr) const {
+    return (addr / line_bytes_) % num_sets_;
+  }
+  std::uint64_t TagOf(Addr addr) const { return addr / line_bytes_ / num_sets_; }
+
+  Line& line(std::uint64_t set) { return lines_[set]; }
+  const Line& line(std::uint64_t set) const { return lines_[set]; }
+
+  bool Hit(Addr addr) const {
+    const Line& l = lines_[SetOf(addr)];
+    return l.valid && l.tag == TagOf(addr);
+  }
+
+  /// Main-memory address of the line currently stored in `set`.
+  Addr VictimAddr(std::uint64_t set) const {
+    return (lines_[set].tag * num_sets_ + set) * line_bytes_;
+  }
+
+  /// Address *within the HBM device* used for timing: the set's physical
+  /// location, plus the block offset the request targets within the line.
+  Addr HbmAddr(std::uint64_t set, Addr demand_addr) const {
+    const Addr offset = demand_addr % line_bytes_;
+    return set * line_bytes_ + BlockAlign(offset);
+  }
+
+  /// Increment a line's saturating r-count and return the new value.
+  std::uint32_t BumpRcount(std::uint64_t set) {
+    Line& l = lines_[set];
+    if (l.r_count != 0xff) ++l.r_count;
+    return l.r_count;
+  }
+
+ private:
+  std::uint32_t line_blocks_;
+  std::uint64_t line_bytes_;
+  std::uint64_t num_sets_;
+  std::vector<Line> lines_;
+};
+
+}  // namespace redcache

@@ -1,0 +1,82 @@
+#include "energy/model.hpp"
+
+namespace redcache {
+
+namespace {
+constexpr double kCpuHz = 3.2e9;
+
+double DramDynamicNj(const DramEnergyParams& p, const StatSet& s,
+                     const std::string& prefix) {
+  const double acts = static_cast<double>(s.GetCounter(prefix + "activates"));
+  const double rd = static_cast<double>(s.GetCounter(prefix + "read_bursts"));
+  const double wr = static_cast<double>(s.GetCounter(prefix + "write_bursts"));
+  const double ref = static_cast<double>(s.GetCounter(prefix + "refreshes"));
+  return acts * p.act_pre_nj + rd * p.read_burst_nj + wr * p.write_burst_nj +
+         ref * p.refresh_nj;
+}
+
+double BackgroundNj(double watts_per_channel, std::uint32_t channels,
+                    Cycle cycles) {
+  const double seconds = static_cast<double>(cycles) / kCpuHz;
+  return watts_per_channel * channels * seconds * 1e9;
+}
+}  // namespace
+
+DramEnergyParams HbmEnergyParams() {
+  DramEnergyParams p;
+  p.act_pre_nj = 0.9;      // small in-package rows
+  p.read_burst_nj = 2.0;   // ~4 pJ/bit * 576 bits (64 B + tag sideband)
+  p.write_burst_nj = 2.1;
+  p.refresh_nj = 25.0;
+  p.background_w = 0.08;
+  return p;
+}
+
+DramEnergyParams Ddr4EnergyParams() {
+  DramEnergyParams p;
+  p.act_pre_nj = 2.4;       // 2 KB external rows
+  p.read_burst_nj = 10.0;   // ~20 pJ/bit * 512 bits incl. termination
+  p.write_burst_nj = 10.5;
+  p.refresh_nj = 60.0;
+  p.background_w = 0.15;
+  return p;
+}
+
+EnergyBreakdown EnergyModel::Compute(const StatSet& s, Cycle exec_cycles,
+                                     std::uint32_t num_cores,
+                                     std::uint32_t hbm_channels,
+                                     std::uint32_t ddr_channels) const {
+  EnergyBreakdown out;
+
+  out.hbm_dynamic_nj = DramDynamicNj(hbm_, s, "hbm.");
+  out.hbm_background_nj =
+      BackgroundNj(hbm_.background_w, hbm_channels, exec_cycles);
+  out.mainmem_dynamic_nj = DramDynamicNj(ddr4_, s, "ddr4.");
+  out.mainmem_background_nj =
+      BackgroundNj(ddr4_.background_w, ddr_channels, exec_cycles);
+
+  out.controller_nj =
+      static_cast<double>(s.GetCounter("ctrl.alpha_lookups")) *
+          soc_.alpha_buffer_nj +
+      static_cast<double>(s.GetCounter("ctrl.rcu_searches")) * soc_.rcu_cam_nj +
+      static_cast<double>(s.GetCounter("ctrl.rcu_data_accesses")) *
+          soc_.rcu_ram_nj +
+      static_cast<double>(s.GetCounter("ctrl.presence_checks")) *
+          soc_.presence_filter_nj +
+      static_cast<double>(s.GetCounter("ctrl.insitu_updates")) *
+          soc_.insitu_update_nj;
+
+  const double l1 = static_cast<double>(s.GetCounter("core.l1_accesses"));
+  const double l2 = static_cast<double>(s.GetCounter("core.l2_accesses"));
+  const double l3 = static_cast<double>(s.GetCounter("core.l3_accesses"));
+  out.sram_nj = l1 * soc_.l1_access_nj + l2 * soc_.l2_access_nj +
+                l3 * soc_.l3_access_nj;
+
+  const double refs = static_cast<double>(s.GetCounter("core.refs"));
+  const double seconds = static_cast<double>(exec_cycles) / kCpuHz;
+  out.cpu_nj = refs * soc_.core_ref_nj +
+               soc_.core_static_w * num_cores * seconds * 1e9;
+  return out;
+}
+
+}  // namespace redcache

@@ -1,0 +1,92 @@
+// Energy accounting.
+//
+// Replaces the paper's tool stack (McPAT for the processor die, CACTI 7.0
+// for controller tables, the Micron power calculator for off-chip DRAM and
+// the FGDRAM numbers for in-package HBM) with constant-parameter models.
+// Values are taken from public literature: HBM data movement ~= 4 pJ/bit
+// end to end (O'Connor et al., MICRO'17), commodity DDR4 ~= 20 pJ/bit
+// including termination, plus per-row activation and refresh energies.
+// Absolute joules are approximate; the evaluation compares architectures
+// under identical parameters, so relative energy is meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace redcache {
+
+/// Per-event energies for one DRAM device class, in nanojoules, plus
+/// background power in watts (charged over wall-clock execution time).
+struct DramEnergyParams {
+  double act_pre_nj = 1.0;      ///< one activate + eventual precharge
+  double read_burst_nj = 1.6;   ///< one 64 B read burst (array + I/O)
+  double write_burst_nj = 1.6;
+  double refresh_nj = 30.0;     ///< one all-bank refresh
+  double background_w = 0.08;   ///< per channel
+};
+
+/// In-package WideIO HBM: ~4 pJ/bit => ~2 nJ per 72 B TAD burst.
+DramEnergyParams HbmEnergyParams();
+/// Off-chip DDR4: ~20 pJ/bit incl. termination => ~10 nJ per 64 B burst.
+DramEnergyParams Ddr4EnergyParams();
+
+/// Controller-side SRAM/CAM structures (CACTI-7-class per-access energies,
+/// nJ) and the processor-die proxy (McPAT-class).
+struct SocEnergyParams {
+  double alpha_buffer_nj = 0.005;   ///< TLB-side alpha-count buffer access
+  double rcu_cam_nj = 0.012;        ///< 32-entry CAM search
+  double rcu_ram_nj = 0.008;        ///< 32-entry data RAM access
+  double presence_filter_nj = 0.003;  ///< Bear's DCP counting Bloom filter
+  double l1_access_nj = 0.02;
+  double l2_access_nj = 0.05;
+  double l3_access_nj = 0.5;
+  double core_ref_nj = 0.15;        ///< dynamic energy per retired data ref
+  double core_static_w = 0.45;      ///< per-core leakage+clock power
+  double insitu_update_nj = 0.004;  ///< Red-InSitu in-DRAM r-count update
+};
+
+/// Energy totals for one simulation, in nanojoules.
+struct EnergyBreakdown {
+  double hbm_dynamic_nj = 0;
+  double hbm_background_nj = 0;
+  double mainmem_dynamic_nj = 0;
+  double mainmem_background_nj = 0;
+  double controller_nj = 0;  ///< alpha/RCU/presence-filter structures
+  double sram_nj = 0;        ///< on-die L1/L2/L3 accesses
+  double cpu_nj = 0;         ///< core dynamic + static
+
+  double HbmCacheNj() const {
+    // The Fig. 10 metric: in-package DRAM plus the cache-management logic.
+    return hbm_dynamic_nj + hbm_background_nj + controller_nj;
+  }
+  double SystemNj() const {
+    return hbm_dynamic_nj + hbm_background_nj + mainmem_dynamic_nj +
+           mainmem_background_nj + controller_nj + sram_nj + cpu_nj;
+  }
+};
+
+/// Computes the breakdown from a finished run's stat counters. The stat
+/// names are the ones System/controllers export ("hbm.activates",
+/// "ddr4.read_bursts", "ctrl.alpha_lookups", "core.refs", ...).
+class EnergyModel {
+ public:
+  EnergyModel() : hbm_(HbmEnergyParams()), ddr4_(Ddr4EnergyParams()) {}
+  EnergyModel(const DramEnergyParams& hbm, const DramEnergyParams& ddr4,
+              const SocEnergyParams& soc)
+      : hbm_(hbm), ddr4_(ddr4), soc_(soc) {}
+
+  EnergyBreakdown Compute(const StatSet& stats, Cycle exec_cycles,
+                          std::uint32_t num_cores, std::uint32_t hbm_channels,
+                          std::uint32_t ddr_channels) const;
+
+  const SocEnergyParams& soc() const { return soc_; }
+
+ private:
+  DramEnergyParams hbm_;
+  DramEnergyParams ddr4_;
+  SocEnergyParams soc_;
+};
+
+}  // namespace redcache

@@ -1,0 +1,38 @@
+#include "sim/presets.hpp"
+
+namespace redcache {
+
+SimPreset EvalPreset() {
+  SimPreset p;
+  p.name = "eval";
+  p.hierarchy.num_cores = 16;
+  p.hierarchy.l1 = {.name = "l1", .size_bytes = 32_KiB, .ways = 4,
+                    .latency = 4};
+  p.hierarchy.l2 = {.name = "l2", .size_bytes = 64_KiB, .ways = 8,
+                    .latency = 12};
+  p.hierarchy.l3 = {.name = "l3", .size_bytes = 1_MiB, .ways = 8,
+                    .latency = 38};
+  p.mem.hbm = HbmCacheConfig(4_MiB);
+  p.mem.mainmem = MainMemoryConfig(256_MiB);
+  // Data-intensive parallel kernels expose little instruction-level slack
+  // around their misses; roughly half the L3 misses gate further progress.
+  p.core.dependent_fraction = 0.45;
+  return p;
+}
+
+SimPreset PaperPreset() {
+  SimPreset p;
+  p.name = "paper";
+  p.hierarchy.num_cores = 16;
+  p.hierarchy.l1 = {.name = "l1", .size_bytes = 64_KiB, .ways = 4,
+                    .latency = 4};
+  p.hierarchy.l2 = {.name = "l2", .size_bytes = 128_KiB, .ways = 8,
+                    .latency = 12};
+  p.hierarchy.l3 = {.name = "l3", .size_bytes = 8_MiB, .ways = 8,
+                    .latency = 38};
+  p.mem.hbm = HbmCacheConfig(2_GiB);
+  p.mem.mainmem = MainMemoryConfig(32_GiB);
+  return p;
+}
+
+}  // namespace redcache

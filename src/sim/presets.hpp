@@ -1,0 +1,31 @@
+// Evaluation presets.
+//
+// `PaperPreset` reproduces Table I verbatim (2 GB HBM cache, 32 GB main
+// memory, 8 MB L3). `EvalPreset` is the scaled configuration the benches
+// use by default: capacities shrink together so each simulation finishes
+// in seconds while preserving the regime the paper studies —
+// footprint > HBM cache > L3, with direct-mapped conflict pressure.
+// All timing parameters are identical between the two presets.
+#pragma once
+
+#include "cpu/core.hpp"
+#include "dramcache/controller.hpp"
+#include "sram/hierarchy.hpp"
+
+namespace redcache {
+
+struct SimPreset {
+  const char* name = "eval";
+  HierarchyConfig hierarchy;
+  CoreParams core;
+  MemControllerConfig mem;
+};
+
+/// Scaled evaluation preset (default): 8 MiB HBM cache, 256 MiB DDR4,
+/// 1 MiB shared L3, 16 cores. Workload footprints are 16-48 MiB.
+SimPreset EvalPreset();
+
+/// Table I verbatim: 2 GiB HBM cache, 32 GiB DDR4, 8 MiB L3, 16 cores.
+SimPreset PaperPreset();
+
+}  // namespace redcache

@@ -1,0 +1,30 @@
+#include "sim/runner.hpp"
+
+#include <cstdlib>
+
+namespace redcache {
+
+double EffectiveScale(double scale) {
+  if (const char* env = std::getenv("REDCACHE_REFS_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return scale * s;
+  }
+  return scale;
+}
+
+std::unique_ptr<System> BuildSystem(const RunSpec& spec) {
+  WorkloadBuildParams wp;
+  wp.num_cores = spec.preset.hierarchy.num_cores;
+  wp.scale = EffectiveScale(spec.scale);
+  auto trace = MakeWorkload(spec.workload, wp);
+  auto controller = MakeController(spec.arch, spec.preset.mem);
+  return std::make_unique<System>(spec.preset.hierarchy, spec.preset.core,
+                                  std::move(controller), std::move(trace),
+                                  spec.seed);
+}
+
+RunResult RunOne(const RunSpec& spec) {
+  return BuildSystem(spec)->Run(spec.max_cycles);
+}
+
+}  // namespace redcache

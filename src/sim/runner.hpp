@@ -1,0 +1,34 @@
+// Convenience layer used by benches, examples and integration tests:
+// build a System for (architecture, workload, preset) and run it.
+#pragma once
+
+#include <string>
+
+#include "dramcache/factory.hpp"
+#include "sim/presets.hpp"
+#include "sim/system.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace redcache {
+
+struct RunSpec {
+  Arch arch = Arch::kAlloy;
+  std::string workload = "LU";
+  SimPreset preset = EvalPreset();
+  /// Workload size multiplier. Benches also honor the REDCACHE_REFS_SCALE
+  /// environment variable (see EffectiveScale).
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  Cycle max_cycles = ~Cycle{0};
+};
+
+/// `scale` combined with the REDCACHE_REFS_SCALE environment variable.
+double EffectiveScale(double scale);
+
+/// Build and run one simulation.
+RunResult RunOne(const RunSpec& spec);
+
+/// Build the System without running it (integration tests / custom loops).
+std::unique_ptr<System> BuildSystem(const RunSpec& spec);
+
+}  // namespace redcache

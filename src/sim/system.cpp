@@ -1,0 +1,138 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace redcache {
+
+System::System(const HierarchyConfig& hierarchy_cfg,
+               const CoreParams& core_params,
+               std::unique_ptr<MemController> controller,
+               std::unique_ptr<TraceSource> trace, std::uint64_t seed)
+    : hierarchy_(hierarchy_cfg),
+      controller_(std::move(controller)),
+      trace_(std::move(trace)) {
+  const std::uint32_t n = std::min(hierarchy_cfg.num_cores,
+                                   trace_->num_cores());
+  for (std::uint32_t c = 0; c < n; ++c) {
+    // The private-base upcast must happen here, inside the class scope.
+    MemoryPort* port = this;
+    cores_.push_back(std::make_unique<Core>(c, core_params, trace_.get(),
+                                            &hierarchy_, port, seed));
+  }
+}
+
+bool System::TrySubmitRead(Addr addr, std::uint64_t tag, Cycle now) {
+  if (wb_queue_.size() > kWbThrottle) return false;
+  if (!controller_->CanAcceptRead()) return false;
+  controller_->SubmitRead(addr, tag, now);
+  if (observer_) observer_(addr, /*is_writeback=*/false);
+  return true;
+}
+
+void System::SubmitWriteback(Addr addr, Cycle now) {
+  (void)now;
+  wb_queue_.push_back(addr);
+  if (observer_) observer_(addr, /*is_writeback=*/true);
+}
+
+RunResult System::Run(Cycle max_cycles) {
+  RunResult result;
+  Cycle now = 0;
+  std::vector<Cycle> hints(cores_.size(), 0);
+  // A core is re-polled when its hint comes due or a completion arrived.
+  std::vector<char> poll(cores_.size(), 1);
+
+  while (now <= max_cycles) {
+    // Drain buffered L3 writebacks into the controller.
+    while (!wb_queue_.empty() && controller_->CanAcceptWriteback()) {
+      controller_->SubmitWriteback(wb_queue_.front(), now);
+      wb_queue_.pop_front();
+    }
+
+    controller_->Tick(now);
+
+    auto& completions = controller_->read_completions();
+    for (const ReadCompletion& c : completions) {
+      const auto core = static_cast<std::uint32_t>(c.tag >> 48);
+      assert(core < cores_.size());
+      cores_[core]->OnMemComplete(c.tag, std::max(now, c.done));
+      poll[core] = 1;
+    }
+    completions.clear();
+
+    bool all_done = true;
+    Cycle next = Core::kWaiting;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      if (cores_[i]->Finished()) continue;
+      all_done = false;
+      if (poll[i] == 0 && hints[i] > now) {
+        next = std::min(next, hints[i]);
+        continue;
+      }
+      hints[i] = cores_[i]->Progress(now);
+      poll[i] = 0;
+      next = std::min(next, hints[i]);
+    }
+
+    if (all_done && wb_queue_.empty() && controller_->Idle()) {
+      result.completed = true;
+      break;
+    }
+
+    Cycle ctrl_next = controller_->NextEventHint(now);
+    if (!wb_queue_.empty()) ctrl_next = std::min(ctrl_next, now + 1);
+    next = std::min(next, ctrl_next);
+    if (next == Core::kWaiting) {
+      throw std::logic_error(
+          "simulation deadlock: nothing can make progress");
+    }
+    now = std::max(now + 1, next);
+  }
+
+  Cycle finish = now;
+  for (const auto& c : cores_) {
+    finish = std::max(finish, c->finish_time());
+  }
+  result.exec_cycles = finish;
+
+  controller_->ExportStats(result.stats);
+  ExportCoreStats(result.stats);
+  result.stats.Counter("sys.exec_cycles") = finish;
+
+  const EnergyModel energy_model;
+  std::uint32_t hbm_channels = 0;
+  if (const DramSystem* hbm =
+          dynamic_cast<const ControllerBase&>(*controller_).hbm()) {
+    hbm_channels = hbm->num_channels();
+  }
+  const std::uint32_t ddr_channels =
+      dynamic_cast<const ControllerBase&>(*controller_).mainmem()
+          ->num_channels();
+  result.energy = energy_model.Compute(
+      result.stats, finish, static_cast<std::uint32_t>(cores_.size()),
+      hbm_channels, ddr_channels);
+  return result;
+}
+
+void System::ExportCoreStats(StatSet& stats) const {
+  std::uint64_t refs = 0, l1h = 0, l2h = 0, l3h = 0, misses = 0;
+  for (const auto& c : cores_) {
+    refs += c->refs_processed();
+    l1h += c->l1_hits();
+    l2h += c->l2_hits();
+    l3h += c->l3_hits();
+    misses += c->misses_issued();
+  }
+  stats.Counter("core.refs") = refs;
+  stats.Counter("core.l1_hits") = l1h;
+  stats.Counter("core.l2_hits") = l2h;
+  stats.Counter("core.l3_hits") = l3h;
+  stats.Counter("core.misses") = misses;
+  stats.Counter("core.l1_accesses") = refs;
+  stats.Counter("core.l2_accesses") = refs - l1h;
+  stats.Counter("core.l3_accesses") = refs - l1h - l2h;
+}
+
+}  // namespace redcache

@@ -1,0 +1,74 @@
+// Full-system simulator: cores -> L1/L2/L3 -> memory controller -> DRAM.
+//
+// Event-paced: the run loop advances time to the earliest cycle at which a
+// core or the memory system can make progress, so idle stretches are
+// skipped while busy periods are simulated at DRAM-command resolution.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "cpu/core.hpp"
+#include "dramcache/controller.hpp"
+#include "energy/model.hpp"
+#include "sram/hierarchy.hpp"
+#include "workloads/trace.hpp"
+
+namespace redcache {
+
+/// Outcome of one simulation.
+struct RunResult {
+  bool completed = false;
+  Cycle exec_cycles = 0;
+  StatSet stats;              ///< devices + controller + core counters
+  EnergyBreakdown energy;
+
+  // Convenience accessors over `stats`.
+  std::uint64_t HbmBytes() const { return stats.GetCounter("hbm.bytes_transferred"); }
+  std::uint64_t MmBytes() const { return stats.GetCounter("ddr4.bytes_transferred"); }
+  std::uint64_t TotalBytes() const { return HbmBytes() + MmBytes(); }
+  /// Aggregate consumed bandwidth over both interfaces, bytes per CPU cycle.
+  double AggregateBandwidth() const {
+    return exec_cycles == 0
+               ? 0.0
+               : static_cast<double>(TotalBytes()) /
+                     static_cast<double>(exec_cycles);
+  }
+};
+
+class System : private MemoryPort {
+ public:
+  System(const HierarchyConfig& hierarchy_cfg, const CoreParams& core_params,
+         std::unique_ptr<MemController> controller,
+         std::unique_ptr<TraceSource> trace, std::uint64_t seed = 1);
+
+  /// Observe every request entering the memory system (Fig. 3 profiling).
+  using RequestObserver = std::function<void(Addr addr, bool is_writeback)>;
+  void SetRequestObserver(RequestObserver obs) { observer_ = std::move(obs); }
+
+  /// Run to completion (or `max_cycles`). May be called once.
+  RunResult Run(Cycle max_cycles = ~Cycle{0});
+
+  const MemController& controller() const { return *controller_; }
+  const CacheHierarchy& hierarchy() const { return hierarchy_; }
+
+ private:
+  bool TrySubmitRead(Addr addr, std::uint64_t tag, Cycle now) override;
+  void SubmitWriteback(Addr addr, Cycle now) override;
+
+  void ExportCoreStats(StatSet& stats) const;
+
+  CacheHierarchy hierarchy_;
+  std::unique_ptr<MemController> controller_;
+  std::unique_ptr<TraceSource> trace_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::deque<Addr> wb_queue_;
+  RequestObserver observer_;
+  /// Writeback backlog beyond which cores are throttled.
+  static constexpr std::size_t kWbThrottle = 256;
+};
+
+}  // namespace redcache

@@ -1,0 +1,103 @@
+#include "sram/cache.hpp"
+
+#include <cassert>
+
+#include "common/bitops.hpp"
+
+namespace redcache {
+
+SramCache::SramCache(const SramCacheConfig& cfg) : cfg_(cfg) {
+  const std::uint64_t lines = cfg_.size_bytes / kBlockBytes;
+  assert(cfg_.ways > 0 && lines >= cfg_.ways);
+  sets_ = lines / cfg_.ways;
+  assert(IsPow2(sets_));
+  lines_.resize(sets_ * cfg_.ways);
+}
+
+SramCache::Line* SramCache::Find(Addr addr) {
+  const std::uint64_t set = SetOf(addr);
+  const Addr tag = TagOf(addr);
+  Line* base = &lines_[set * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const SramCache::Line* SramCache::Find(Addr addr) const {
+  return const_cast<SramCache*>(this)->Find(addr);
+}
+
+SramCache::Line& SramCache::Victim(Addr addr) {
+  const std::uint64_t set = SetOf(addr);
+  Line* base = &lines_[set * cfg_.ways];
+  Line* victim = &base[0];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) return base[w];
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  return *victim;
+}
+
+SramCache::AccessResult SramCache::Access(Addr addr, bool is_write) {
+  ++tick_;
+  AccessResult result;
+  if (Line* line = Find(addr)) {
+    line->lru = tick_;
+    line->dirty |= is_write;
+    hits_++;
+    result.hit = true;
+    return result;
+  }
+  misses_++;
+  Line& victim = Victim(addr);
+  if (victim.valid) {
+    evictions_++;
+    if (victim.dirty) {
+      dirty_evictions_++;
+      result.dirty_victim = victim.tag << kBlockShift;
+    }
+  }
+  victim.valid = true;
+  victim.tag = TagOf(addr);
+  victim.lru = tick_;
+  victim.dirty = is_write;
+  return result;
+}
+
+bool SramCache::Probe(Addr addr) const { return Find(addr) != nullptr; }
+
+std::optional<Addr> SramCache::Insert(Addr addr, bool dirty) {
+  ++tick_;
+  if (Line* line = Find(addr)) {
+    line->lru = tick_;
+    line->dirty |= dirty;
+    return std::nullopt;
+  }
+  Line& victim = Victim(addr);
+  std::optional<Addr> wb;
+  if (victim.valid) {
+    evictions_++;
+    if (victim.dirty) {
+      dirty_evictions_++;
+      wb = victim.tag << kBlockShift;
+    }
+  }
+  victim.valid = true;
+  victim.tag = TagOf(addr);
+  victim.lru = tick_;
+  victim.dirty = dirty;
+  return wb;
+}
+
+bool SramCache::Invalidate(Addr addr) {
+  if (Line* line = Find(addr)) {
+    const bool was_dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    return was_dirty;
+  }
+  return false;
+}
+
+}  // namespace redcache

@@ -1,0 +1,61 @@
+#include "sram/hierarchy.hpp"
+
+namespace redcache {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& cfg) : cfg_(cfg) {
+  for (std::uint32_t c = 0; c < cfg_.num_cores; ++c) {
+    l1_.push_back(std::make_unique<SramCache>(cfg_.l1));
+    l2_.push_back(std::make_unique<SramCache>(cfg_.l2));
+  }
+  l3_ = std::make_unique<SramCache>(cfg_.l3);
+}
+
+HierarchyResult CacheHierarchy::Access(std::uint32_t core, Addr addr,
+                                       bool is_write) {
+  addr = BlockAlign(addr);
+  HierarchyResult out;
+
+  // A dirty line displaced from a private level is inserted one level down;
+  // dirty L3 victims leave the die as writeback traffic.
+  auto push_down_from_l2 = [&](Addr victim) {
+    if (auto l3_victim = l3_->Insert(victim, /*dirty=*/true)) {
+      out.writebacks.push_back(*l3_victim);
+    }
+  };
+  auto push_down_from_l1 = [&](Addr victim) {
+    if (auto l2_victim = l2_[core]->Insert(victim, /*dirty=*/true)) {
+      push_down_from_l2(*l2_victim);
+    }
+  };
+
+  out.latency += cfg_.l1.latency;
+  const auto r1 = l1_[core]->Access(addr, is_write);
+  if (r1.dirty_victim) push_down_from_l1(*r1.dirty_victim);
+  if (r1.hit) {
+    out.hit_level = 1;
+    return out;
+  }
+
+  out.latency += cfg_.l2.latency;
+  // The L2 sees a fill-allocate for the missing block; stores dirty the L1
+  // copy, not the L2 one.
+  const auto r2 = l2_[core]->Access(addr, /*is_write=*/false);
+  if (r2.dirty_victim) push_down_from_l2(*r2.dirty_victim);
+  if (r2.hit) {
+    out.hit_level = 2;
+    return out;
+  }
+
+  out.latency += cfg_.l3.latency;
+  const auto r3 = l3_->Access(addr, /*is_write=*/false);
+  if (r3.dirty_victim) out.writebacks.push_back(*r3.dirty_victim);
+  if (r3.hit) {
+    out.hit_level = 3;
+    return out;
+  }
+
+  out.hit_level = 0;  // memory access required
+  return out;
+}
+
+}  // namespace redcache

@@ -1,0 +1,332 @@
+#include "workloads/benchmarks.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace redcache {
+
+namespace {
+
+/// Per-core private address span; core c's private data lives at
+/// [c * kCoreSpan, (c+1) * kCoreSpan). Shared regions live above all cores.
+/// Deliberately NOT a power of two: a span equal to the DRAM-cache capacity
+/// would alias every core's region onto the same direct-mapped sets, a
+/// pathology real physical-page placement does not exhibit.
+constexpr Addr kCoreSpan = 8_MiB + 320_KiB;
+
+std::uint64_t ScaleBytes(double scale, std::uint64_t bytes) {
+  auto v = static_cast<std::uint64_t>(static_cast<double>(bytes) * scale);
+  v = (v / kBlockBytes) * kBlockBytes;
+  return v < kBlockBytes ? kBlockBytes : v;
+}
+
+std::uint64_t ScaleRefs(double scale, std::uint64_t refs) {
+  auto v = static_cast<std::uint64_t>(static_cast<double>(refs) * scale);
+  return v == 0 ? 1 : v;
+}
+
+/// Builder collecting one core's kernel program with scaled parameters.
+class ProgramBuilder {
+ public:
+  ProgramBuilder(std::uint32_t core, double scale, Addr shared_base)
+      : base_(core * kCoreSpan), shared_base_(shared_base), scale_(scale) {}
+
+  /// `offset` is relative to the core's private span (or to the shared
+  /// region when shared=true).
+  ProgramBuilder& Sweep(Addr offset, std::uint64_t size, std::uint32_t passes,
+                        double wf, std::uint32_t gap,
+                        std::uint32_t stride = kBlockBytes,
+                        bool shared = false) {
+    Kernel k;
+    k.kind = Kernel::Kind::kSweep;
+    k.base = (shared ? shared_base_ : base_) + offset;
+    k.size = ScaleBytes(scale_, size);
+    k.stride = stride;
+    k.passes = passes;
+    k.write_frac = wf;
+    k.gap_mean = gap;
+    program_.push_back(k);
+    return *this;
+  }
+
+  ProgramBuilder& Tiled(Addr offset, std::uint64_t size,
+                        std::uint64_t tile_bytes, std::uint32_t tile_passes,
+                        double wf, std::uint32_t gap) {
+    Kernel k;
+    k.kind = Kernel::Kind::kTiled;
+    k.base = base_ + offset;
+    k.size = ScaleBytes(scale_, size);
+    k.tile_bytes = tile_bytes;  // tile stays fixed; scaling varies tile count
+    k.tile_passes = tile_passes;
+    k.write_frac = wf;
+    k.gap_mean = gap;
+    program_.push_back(k);
+    return *this;
+  }
+
+  ProgramBuilder& Hot(Addr offset, std::uint64_t size, std::uint64_t refs,
+                      double zipf, double wf, std::uint32_t gap,
+                      bool shared = false) {
+    Kernel k;
+    k.kind = Kernel::Kind::kHot;
+    k.base = (shared ? shared_base_ : base_) + offset;
+    k.size = ScaleBytes(scale_, size);
+    k.refs = ScaleRefs(scale_, refs);
+    k.zipf_s = zipf;
+    k.write_frac = wf;
+    k.gap_mean = gap;
+    program_.push_back(k);
+    return *this;
+  }
+
+  ProgramBuilder& Scatter(Addr offset, std::uint64_t size, std::uint64_t refs,
+                          double wf, std::uint32_t gap) {
+    Kernel k;
+    k.kind = Kernel::Kind::kScatter;
+    k.base = base_ + offset;
+    k.size = ScaleBytes(scale_, size);
+    k.refs = ScaleRefs(scale_, refs);
+    k.write_frac = wf;
+    k.gap_mean = gap;
+    program_.push_back(k);
+    return *this;
+  }
+
+  /// Scatter over a private main region with `p_hot` of refs going to a
+  /// (possibly shared) hot region.
+  ProgramBuilder& ScatterHot(Addr offset, std::uint64_t size, Addr hot_offset,
+                             std::uint64_t hot_size, double p_hot,
+                             std::uint64_t refs, double wf, std::uint32_t gap,
+                             bool hot_shared = false) {
+    Kernel k;
+    k.kind = Kernel::Kind::kScatterHot;
+    k.base = base_ + offset;
+    k.size = ScaleBytes(scale_, size);
+    k.hot_base = (hot_shared ? shared_base_ : base_) + hot_offset;
+    k.hot_size = ScaleBytes(scale_, hot_size);
+    k.p_hot = p_hot;
+    k.refs = ScaleRefs(scale_, refs);
+    k.write_frac = wf;
+    k.gap_mean = gap;
+    program_.push_back(k);
+    return *this;
+  }
+
+  /// Single-pass cold sweep interleaved with a small wrapping hot sweep:
+  /// every hot block collects the same reuse count, forming one of the
+  /// paper's homo-reuse groups. `hot_wf` < 0 inherits `wf`.
+  ProgramBuilder& DualSweep(Addr offset, std::uint64_t size,
+                            std::uint32_t passes, Addr hot_offset,
+                            std::uint64_t hot_size, double p_hot, double wf,
+                            std::uint32_t gap, double hot_wf = -1.0) {
+    Kernel k;
+    k.kind = Kernel::Kind::kDualSweep;
+    k.base = base_ + offset;
+    k.size = ScaleBytes(scale_, size);
+    k.passes = passes;
+    k.hot_base = base_ + hot_offset;
+    k.hot_size = ScaleBytes(scale_, hot_size);
+    k.p_hot = p_hot;
+    k.write_frac = wf;
+    k.hot_write_frac = hot_wf;
+    k.gap_mean = gap;
+    program_.push_back(k);
+    return *this;
+  }
+
+  /// Cold sequential sweep interleaved with hot-set references — the
+  /// bandwidth-hungry-vs-cold contention the paper's classification targets.
+  ProgramBuilder& SweepHot(Addr offset, std::uint64_t size,
+                           std::uint32_t passes, Addr hot_offset,
+                           std::uint64_t hot_size, double p_hot, double zipf,
+                           double wf, std::uint32_t gap,
+                           bool hot_shared = false) {
+    Kernel k;
+    k.kind = Kernel::Kind::kSweepHot;
+    k.base = base_ + offset;
+    k.size = ScaleBytes(scale_, size);
+    k.passes = passes;
+    k.hot_base = (hot_shared ? shared_base_ : base_) + hot_offset;
+    k.hot_size = ScaleBytes(scale_, hot_size);
+    k.p_hot = p_hot;
+    k.zipf_s = zipf;
+    k.write_frac = wf;
+    k.gap_mean = gap;
+    program_.push_back(k);
+    return *this;
+  }
+
+  std::vector<Kernel> Take() { return std::move(program_); }
+
+ private:
+  Addr base_;
+  Addr shared_base_;
+  double scale_;
+  std::vector<Kernel> program_;
+};
+
+using BuildFn = void (*)(ProgramBuilder&);
+
+// ---------------------------------------------------------------------------
+// The eleven Table II applications. Comments give the modeled behaviour.
+// ---------------------------------------------------------------------------
+
+// Every workload mixes a *bandwidth-hungry* component (the H blocks of the
+// paper's Fig. 4: tiles or hot sets small enough to live in the HBM cache
+// once cold traffic is excluded) with a *cold* component (L blocks:
+// streaming sweeps/scatter with 1-2 total uses). Under Alloy the cold fills
+// continuously evict the hot blocks; alpha keeps them out, gamma retires
+// finished tiles early. Region offsets inside a core's span: cold data at
+// 0, secondary structures at 3 MiB, hot sets at 6 MiB.
+
+// Hot-set sizing: per-core hot regions are kept at or below 160 KiB so the
+// aggregate bandwidth-hungry set (16 cores x 160 KiB = 2.5 MiB) fits in the
+// 4 MiB scaled HBM cache once cold traffic is excluded, and below the
+// 320 KiB core-span stagger so hot regions of different cores never alias
+// onto the same direct-mapped sets.
+
+// NAS FT (3-D FFT, Class A): streaming transpose passes contending with a
+// hot butterfly working set (homo-reuse ~13).
+void BuildFT(ProgramBuilder& b) {
+  b.DualSweep(0, 2_MiB, /*passes=*/1, /*hot=*/6_MiB, 160_KiB,
+              /*p_hot=*/0.50, /*wf=*/0.30, /*gap=*/4);
+}
+
+// NAS IS (integer sort, Class A): streaming key reads with hot bucket
+// counters, then a permutation write pass (cold writes).
+void BuildIS(ProgramBuilder& b) {
+  b.SweepHot(0, 1536_KiB, 1, /*hot=*/6_MiB, 96_KiB, 0.45, 0.80, 0.45, 3)
+      .Sweep(0, 1536_KiB, 1, 0.70, 3);
+}
+
+// NAS MG (multi-grid, Class A): coarse-grid streaming against a hot fine
+// grid, plus mid-grid passes — several homo-reuse clusters.
+void BuildMG(ProgramBuilder& b) {
+  b.DualSweep(0, 2_MiB, 1, /*hot=*/6_MiB, 128_KiB, 0.45, 0.40, 4)
+      .Sweep(3_MiB, 96_KiB, 4, 0.40, 4);
+}
+
+// SPLASH-2 Cholesky (tk29.O): long-lived supernodal tiles (they die when
+// factored — gamma's target) against sparse cold streaming.
+void BuildCH(ProgramBuilder& b) {
+  b.Tiled(0, 160_KiB, 80_KiB, /*tile_passes=*/14, 0.30, 5)
+      .SweepHot(3_MiB, 1536_KiB, 1, /*hot=*/0, 160_KiB, 0.35, 0.50, 0.20, 5);
+}
+
+// SPLASH-2 Radix (2M integers): key passes (a narrow homo-reuse spike —
+// Fig. 3) interleaved with cold scattered bucket writes.
+void BuildRDX(ProgramBuilder& b) {
+  b.DualSweep(0, 2_MiB, 1, /*hot=*/6_MiB, 160_KiB, 0.50, /*wf=*/0.70, 3,
+              /*hot_wf=*/0.45);
+}
+
+// SPLASH-2 Ocean (514x514): stencil time-stepping over per-core grids
+// (high homo-reuse ~22) against cold I/O-like passes between time steps.
+void BuildOCN(ProgramBuilder& b) {
+  b.DualSweep(0, 1536_KiB, 1, /*hot=*/6_MiB, 160_KiB, 0.70, /*wf=*/0.25, 3,
+              /*hot_wf=*/0.45);
+}
+
+// SPLASH-2 FFT (1M points): butterfly passes over a per-core partition plus
+// a cold bit-reversal reordering phase.
+void BuildFFT(ProgramBuilder& b) {
+  b.Sweep(6_MiB, 160_KiB, 3, 0.30, 4, /*stride=*/512)
+      .DualSweep(0, 2_MiB, 1, /*hot=*/6_MiB, 160_KiB, 0.55, 0.30, 4);
+}
+
+// SPLASH-2 LU (blocked dense factorization): trailing-submatrix streaming
+// against hot pivot tiles (homo-reuse ~24, the paper's high-reuse band),
+// plus a blocked update stage.
+void BuildLU(ProgramBuilder& b) {
+  b.DualSweep(0, 2560_KiB, 1, /*hot=*/6_MiB, 160_KiB, 0.60, 0.35, 4)
+      .Sweep(3_MiB, 96_KiB, /*passes=*/12, 0.35, 4);
+}
+
+// SPLASH-2 Barnes (16K particles): a shared Zipf tree walked by all cores
+// while per-core particle arrays stream past it.
+void BuildBRN(ProgramBuilder& b) {
+  b.Hot(0, 2_MiB, /*refs=*/40000, /*zipf=*/0.90, 0.10, 5, /*shared=*/true)
+      .SweepHot(0, 1536_KiB, 1, /*hot=*/0, 2_MiB, 0.35, 0.90, 0.30, 4,
+                /*hot_shared=*/true);
+}
+
+// Phoenix Histogram (100 MB file): near-streaming file reads (the dominant
+// low-reuse bandwidth spike of Fig. 3) plus hot shared bins.
+void BuildHIST(ProgramBuilder& b) {
+  b.SweepHot(0, 2560_KiB, 2, /*hot=*/0, 128_KiB, 0.25, 1.20, 0.25, 3,
+             /*hot_shared=*/true);
+}
+
+// Phoenix Linear Regression (50 MB key file): read-mostly full passes with
+// tiny hot accumulators.
+void BuildLREG(ProgramBuilder& b) {
+  b.SweepHot(0, 2_MiB, 3, /*hot=*/0, 64_KiB, 0.15, 0.80, 0.08, 3,
+             /*hot_shared=*/true);
+}
+
+struct Entry {
+  const char* label;
+  const char* description;
+  BuildFn build;
+};
+
+constexpr Entry kEntries[] = {
+    {"FT", "NAS FT: array passes + strided transposes + blocked butterflies",
+     &BuildFT},
+    {"IS", "NAS IS: key sweeps + scattered counting with hot count region",
+     &BuildIS},
+    {"MG", "NAS MG: V-cycle sweeps over shrinking grids (reuse clusters)",
+     &BuildMG},
+    {"CH", "SPLASH-2 Cholesky: blocked supernodal tiles + sparse scatter",
+     &BuildCH},
+    {"RDX", "SPLASH-2 Radix: fixed key passes + scattered bucket writes",
+     &BuildRDX},
+    {"OCN", "SPLASH-2 Ocean: stencil time-stepping, write-heavy", &BuildOCN},
+    {"FFT", "SPLASH-2 FFT: passes + strided butterflies + blocked stage",
+     &BuildFFT},
+    {"LU", "SPLASH-2 LU: init pass + long-lived high-reuse tiles", &BuildLU},
+    {"BRN", "SPLASH-2 Barnes: shared Zipf tree + particle sweeps", &BuildBRN},
+    {"HIST", "Phoenix Histogram: streaming file reads + hot shared bins",
+     &BuildHIST},
+    {"LREG", "Phoenix Linear Regression: read-mostly full passes", &BuildLREG},
+};
+
+const Entry* FindEntry(const std::string& label) {
+  for (const Entry& e : kEntries) {
+    if (label == e.label) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string WorkloadDescription(const std::string& label) {
+  const Entry* e = FindEntry(label);
+  return e == nullptr ? "unknown" : e->description;
+}
+
+std::unique_ptr<TraceSource> MakeWorkload(const std::string& label,
+                                          const WorkloadBuildParams& params) {
+  const Entry* e = FindEntry(label);
+  if (e == nullptr) {
+    throw std::invalid_argument("unknown workload label: " + label);
+  }
+  const Addr shared_base = Addr{params.num_cores} * kCoreSpan;
+  std::vector<std::vector<Kernel>> programs;
+  programs.reserve(params.num_cores);
+  for (std::uint32_t c = 0; c < params.num_cores; ++c) {
+    ProgramBuilder b(c, params.scale, shared_base);
+    e->build(b);
+    programs.push_back(b.Take());
+  }
+  const std::uint64_t seed = Mix64(Mix64(label.size() * 0x1234567 +
+                                         static_cast<std::uint64_t>(
+                                             label[0]) * 131 +
+                                         static_cast<std::uint64_t>(
+                                             label[label.size() - 1])) +
+                                   params.seed_salt);
+  return std::make_unique<KernelTrace>(label, std::move(programs), seed);
+}
+
+}  // namespace redcache

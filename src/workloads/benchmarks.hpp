@@ -1,0 +1,46 @@
+// The paper's Table II workload suite, reconstructed as synthetic kernels.
+//
+// We do not have ESESC nor the NAS / SPLASH-2 / Phoenix binaries, so each
+// application is modeled as a per-core kernel program (see kernel_trace.hpp)
+// whose DRAM-level reuse distribution, read/write mix and phase structure
+// follow the application's well-known access pattern and the shapes the
+// paper's Figure 3 reports. Capacities are scaled down together with the
+// simulated HBM/L3 sizes (see DESIGN.md, "Substitutions"): the scaled
+// footprints keep footprint > HBM > L3 so the caching regime is preserved,
+// and homo-reuse peaks appear at proportionally smaller reuse counts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/kernel_trace.hpp"
+#include "workloads/trace.hpp"
+
+namespace redcache {
+
+/// Identifiers matching the paper's Table II labels.
+inline const std::vector<std::string>& WorkloadLabels() {
+  static const std::vector<std::string> kLabels = {
+      "FT", "IS", "MG", "CH", "RDX", "OCN", "FFT", "LU", "BRN", "HIST",
+      "LREG"};
+  return kLabels;
+}
+
+struct WorkloadBuildParams {
+  std::uint32_t num_cores = 16;
+  /// Multiplies region sizes and reference counts; 1.0 is the default
+  /// scaled-down evaluation size.
+  double scale = 1.0;
+  std::uint64_t seed_salt = 0;  ///< extra entropy for sensitivity studies
+};
+
+/// Short description of each workload's modeled behaviour (Table II bench).
+std::string WorkloadDescription(const std::string& label);
+
+/// Build the trace source for one of the Table II labels. Throws
+/// std::invalid_argument for unknown labels.
+std::unique_ptr<TraceSource> MakeWorkload(const std::string& label,
+                                          const WorkloadBuildParams& params);
+
+}  // namespace redcache

@@ -1,0 +1,49 @@
+#include "workloads/profiler.hpp"
+
+#include <cmath>
+
+namespace redcache {
+
+BlockProfiler::PageUniformity BlockProfiler::PageReuseUniformity() const {
+  // Group blocks by page; compute each page's mean and standard deviation
+  // of per-block reuse, then bin every block by |reuse - mean| / sigma.
+  struct PageAcc {
+    std::vector<std::uint32_t> reuses;
+  };
+  std::unordered_map<std::uint64_t, PageAcc> pages;
+  for (const auto& [block, st] : blocks_) {
+    pages[block / kBlocksPerPage].reuses.push_back(st.accesses - 1);
+  }
+  std::uint64_t within_one = 0, within_two = 0, total = 0;
+  for (const auto& [page, acc] : pages) {
+    const std::size_t n = acc.reuses.size();
+    double mean = 0;
+    for (const auto r : acc.reuses) mean += r;
+    mean /= static_cast<double>(n);
+    double var = 0;
+    for (const auto r : acc.reuses) {
+      var += (r - mean) * (r - mean);
+    }
+    var /= static_cast<double>(n);
+    const double sigma = std::sqrt(var);
+    for (const auto r : acc.reuses) {
+      total++;
+      const double dev = sigma == 0.0 ? 0.0 : std::abs(r - mean) / sigma;
+      if (dev < 1.0) {
+        within_one++;
+      } else if (dev < 2.0) {
+        within_two++;
+      }
+    }
+  }
+  PageUniformity out;
+  if (total != 0) {
+    out.within_one = static_cast<double>(within_one) /
+                     static_cast<double>(total);
+    out.within_two = static_cast<double>(within_two) /
+                     static_cast<double>(total);
+  }
+  return out;
+}
+
+}  // namespace redcache

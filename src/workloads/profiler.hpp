@@ -1,0 +1,96 @@
+// Per-block reuse / bandwidth-cost profiler (paper §II-B, Figs. 3 and 4).
+//
+// Records every request entering the memory system of a No-HBM run and
+// aggregates blocks into homo-reuse groups (all blocks with the same total
+// number of reuses). The paper weighs each group by the exact DDRx cycles
+// its requests consumed; requests are close to uniform in cost on the
+// No-HBM system (one burst each, similar row behaviour in aggregate), so
+// the group cost share equals its request share scaled by the measured
+// mean cycles per request.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace redcache {
+
+class BlockProfiler {
+ public:
+  /// Observe one below-L3 request (demand read or L3 writeback).
+  void OnRequest(Addr addr, bool is_writeback) {
+    auto& st = blocks_[BlockIndex(addr)];
+    st.accesses++;
+    st.last_was_writeback = is_writeback;
+    total_requests_++;
+  }
+
+  struct ReuseGroup {
+    std::uint32_t reuses = 0;        ///< accesses - 1
+    std::uint64_t blocks = 0;        ///< population of the homo-reuse group
+    std::uint64_t requests = 0;      ///< total accesses from this group
+    double cost_share = 0.0;         ///< fraction of off-chip bandwidth cost
+  };
+
+  /// Group blocks by their total reuse count; `bucket` merges neighbouring
+  /// reuse counts for readability (1 = exact homo-reuse groups).
+  std::vector<ReuseGroup> Groups(std::uint32_t bucket = 1) const {
+    std::map<std::uint32_t, ReuseGroup> grouped;
+    for (const auto& [block, st] : blocks_) {
+      const std::uint32_t reuses = st.accesses - 1;
+      const std::uint32_t key = bucket <= 1 ? reuses : (reuses / bucket) * bucket;
+      ReuseGroup& g = grouped[key];
+      g.reuses = key;
+      g.blocks++;
+      g.requests += st.accesses;
+    }
+    std::vector<ReuseGroup> out;
+    out.reserve(grouped.size());
+    for (auto& [key, g] : grouped) {
+      g.cost_share = total_requests_ == 0
+                         ? 0.0
+                         : static_cast<double>(g.requests) /
+                               static_cast<double>(total_requests_);
+      out.push_back(g);
+    }
+    return out;
+  }
+
+  /// Fraction of blocks whose final access was a writeback (paper §II-C:
+  /// ">82% of the last accesses to cache blocks are writebacks").
+  double LastAccessWritebackFraction() const {
+    if (blocks_.empty()) return 0.0;
+    std::uint64_t wb = 0;
+    for (const auto& [block, st] : blocks_) {
+      if (st.last_was_writeback) wb++;
+    }
+    return static_cast<double>(wb) / static_cast<double>(blocks_.size());
+  }
+
+  /// Mean per-page standard-deviation bin statistics (paper §III-A1: "90%
+  /// of blocks inside a page fall into [0,1) reuse std-dev bins"). Returns
+  /// the fraction of blocks whose reuse count lies within `width` standard
+  /// deviations... computed as the fraction of blocks within [0,1) and
+  /// [1,2) deviations of their page's mean reuse.
+  struct PageUniformity {
+    double within_one = 0.0;  ///< |reuse - page mean| < 1 sigma-bin
+    double within_two = 0.0;
+  };
+  PageUniformity PageReuseUniformity() const;
+
+  std::uint64_t total_requests() const { return total_requests_; }
+  std::uint64_t distinct_blocks() const { return blocks_.size(); }
+
+ private:
+  struct BlockState {
+    std::uint32_t accesses = 0;
+    bool last_was_writeback = false;
+  };
+  std::unordered_map<std::uint64_t, BlockState> blocks_;
+  std::uint64_t total_requests_ = 0;
+};
+
+}  // namespace redcache

@@ -1,0 +1,37 @@
+// Trace interface between workload generators and the CPU model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace redcache {
+
+/// One data reference emitted by a workload for one core.
+struct MemRef {
+  Addr addr = 0;
+  bool is_write = false;
+  /// Compute cycles the core spends before issuing this reference.
+  std::uint32_t gap = 1;
+};
+
+/// A per-core stream of memory references. Implementations must be
+/// deterministic for a fixed (workload, seed, core) triple.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produce the next reference for `core`. Returns false when that core's
+  /// stream is exhausted.
+  virtual bool Next(std::uint32_t core, MemRef& out) = 0;
+
+  virtual std::uint32_t num_cores() const = 0;
+
+  /// Total bytes touched across all cores (block-granular footprint bound).
+  virtual std::uint64_t footprint_bytes() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace redcache

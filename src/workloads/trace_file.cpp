@@ -1,0 +1,118 @@
+#include "workloads/trace_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace redcache {
+
+namespace {
+constexpr char kMagic[4] = {'R', 'C', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Record {
+  std::uint8_t core;
+  std::uint8_t flags;
+  std::uint16_t gap;
+  std::uint64_t addr;
+};
+
+void WriteU32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t ReadU32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+}  // namespace
+
+struct TraceFileWriter::Impl {
+  std::ofstream out;
+};
+
+TraceFileWriter::TraceFileWriter(const std::string& path,
+                                 std::uint32_t num_cores)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) {
+    throw std::runtime_error("cannot create trace file: " + path);
+  }
+  impl_->out.write(kMagic, sizeof(kMagic));
+  WriteU32(impl_->out, kVersion);
+  WriteU32(impl_->out, num_cores);
+}
+
+TraceFileWriter::~TraceFileWriter() = default;
+
+void TraceFileWriter::Append(std::uint32_t core, const MemRef& ref) {
+  Record r;
+  r.core = static_cast<std::uint8_t>(core);
+  r.flags = ref.is_write ? 1 : 0;
+  r.gap = static_cast<std::uint16_t>(std::min<std::uint32_t>(ref.gap, 0xffff));
+  r.addr = ref.addr;
+  impl_->out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+  records_++;
+}
+
+void TraceFileWriter::CaptureAll(TraceSource& source) {
+  bool progressed = true;
+  MemRef ref;
+  while (progressed) {
+    progressed = false;
+    for (std::uint32_t c = 0; c < source.num_cores(); ++c) {
+      if (source.Next(c, ref)) {
+        Append(c, ref);
+        progressed = true;
+      }
+    }
+  }
+}
+
+void TraceFileWriter::Flush() { impl_->out.flush(); }
+
+FileTraceSource::FileTraceSource(const std::string& path) : name_(path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a RedCache trace file: " + path);
+  }
+  const std::uint32_t version = ReadU32(in);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported trace version in " + path);
+  }
+  num_cores_ = ReadU32(in);
+  if (num_cores_ == 0 || num_cores_ > 256) {
+    throw std::runtime_error("implausible core count in " + path);
+  }
+  per_core_.resize(num_cores_);
+
+  Addr lo = ~Addr{0}, hi = 0;
+  Record r;
+  while (in.read(reinterpret_cast<char*>(&r), sizeof(r))) {
+    if (r.core >= num_cores_) {
+      throw std::runtime_error("record with out-of-range core in " + path);
+    }
+    MemRef ref;
+    ref.addr = r.addr;
+    ref.is_write = (r.flags & 1) != 0;
+    ref.gap = std::max<std::uint16_t>(1, r.gap);
+    per_core_[r.core].push_back(ref);
+    total_records_++;
+    lo = std::min(lo, r.addr);
+    hi = std::max(hi, r.addr + kBlockBytes);
+  }
+  footprint_ = total_records_ == 0 ? 0 : hi - lo;
+}
+
+bool FileTraceSource::Next(std::uint32_t core, MemRef& out) {
+  if (core >= num_cores_ || per_core_[core].empty()) return false;
+  out = per_core_[core].front();
+  per_core_[core].pop_front();
+  return true;
+}
+
+}  // namespace redcache

@@ -1,0 +1,68 @@
+// Trace capture and replay.
+//
+// Lets users run the simulator on real application traces (e.g. captured
+// with a PIN/DynamoRIO tool) instead of the synthetic Table II suite, and
+// lets the synthetic generators be snapshotted for exact cross-machine
+// reproduction.
+//
+// File format (little-endian, versioned):
+//   header:  magic "RCTR" | u32 version | u32 num_cores
+//   records: u8 core | u8 flags(bit0=write) | u16 gap | u64 addr
+// Records may interleave cores arbitrarily; replay demultiplexes them into
+// per-core queues.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/trace.hpp"
+
+namespace redcache {
+
+/// Writes a trace file from any TraceSource (or record-by-record).
+class TraceFileWriter {
+ public:
+  /// Throws std::runtime_error if the file cannot be created.
+  TraceFileWriter(const std::string& path, std::uint32_t num_cores);
+  ~TraceFileWriter();
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  void Append(std::uint32_t core, const MemRef& ref);
+  /// Drain `source` completely into the file (round-robin across cores).
+  void CaptureAll(TraceSource& source);
+  void Flush();
+
+  std::uint64_t records_written() const { return records_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t records_ = 0;
+};
+
+/// Replays a trace file as a TraceSource.
+class FileTraceSource : public TraceSource {
+ public:
+  /// Loads the whole file; throws std::runtime_error on format errors.
+  explicit FileTraceSource(const std::string& path);
+
+  bool Next(std::uint32_t core, MemRef& out) override;
+  std::uint32_t num_cores() const override { return num_cores_; }
+  std::uint64_t footprint_bytes() const override { return footprint_; }
+  std::string name() const override { return name_; }
+
+  std::uint64_t total_records() const { return total_records_; }
+
+ private:
+  std::string name_;
+  std::uint32_t num_cores_ = 0;
+  std::uint64_t footprint_ = 0;
+  std::uint64_t total_records_ = 0;
+  std::vector<std::deque<MemRef>> per_core_;
+};
+
+}  // namespace redcache

@@ -1,0 +1,35 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(BitOps, IsPow2) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(64));
+  EXPECT_FALSE(IsPow2(65));
+  EXPECT_TRUE(IsPow2(std::uint64_t{1} << 63));
+}
+
+TEST(BitOps, Log2Floors) {
+  EXPECT_EQ(Log2(1), 0u);
+  EXPECT_EQ(Log2(2), 1u);
+  EXPECT_EQ(Log2(3), 1u);
+  EXPECT_EQ(Log2(1024), 10u);
+}
+
+TEST(BitOps, BitsExtracts) {
+  EXPECT_EQ(Bits(0b110100, 2, 3), 0b101u);
+  EXPECT_EQ(Bits(~std::uint64_t{0}, 60, 4), 0xfu);
+}
+
+TEST(BitOps, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+  EXPECT_EQ(CeilDiv(11, 5), 3u);
+  EXPECT_EQ(CeilDiv(1, 64), 1u);
+}
+
+}  // namespace
+}  // namespace redcache

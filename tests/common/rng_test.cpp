@@ -1,0 +1,102 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace redcache {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values occur
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.Chance(0.25)) hits++;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, GeometricMeanApproximatesTarget) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.Geometric(8.0));
+  EXPECT_NEAR(sum / n, 8.0, 0.5);
+}
+
+TEST(Rng, GeometricDegenerateMeanIsOne) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.Geometric(0.5), 1u);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng r(23);
+  const std::uint64_t n = 1000;
+  std::uint64_t low = 0, total = 20000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (r.Zipf(n, 1.0) < n / 10) low++;
+  }
+  // With skew, far more than 10% of draws land in the lowest 10% of ranks.
+  EXPECT_GT(static_cast<double>(low) / static_cast<double>(total), 0.25);
+}
+
+TEST(Rng, ZipfBoundsRespected) {
+  Rng r(29);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Zipf(57, 0.8), 57u);
+  }
+  EXPECT_EQ(r.Zipf(1, 0.8), 0u);
+}
+
+TEST(Rng, Mix64IsStationary) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,36 @@
+#include "common/saturating.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(SaturatingCounter, IncrementsToMaxAndHolds) {
+  SaturatingCounter c(3);
+  for (int i = 0; i < 10; ++i) c.Increment();
+  EXPECT_EQ(c.value(), 3u);
+  EXPECT_TRUE(c.Saturated());
+}
+
+TEST(SaturatingCounter, DecrementsToZeroAndHolds) {
+  SaturatingCounter c(3, 1);
+  c.Decrement();
+  c.Decrement();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SaturatingCounter, ResetClampsToMax) {
+  SaturatingCounter c(5);
+  c.Reset(100);
+  EXPECT_EQ(c.value(), 5u);
+  c.Reset(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(SaturatingCounter, InitialValueClamped) {
+  SaturatingCounter c(4, 9);
+  EXPECT_EQ(c.value(), 4u);
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,96 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(/*bucket_width=*/10, /*num_buckets=*/4);
+  h.Add(0);
+  h.Add(9);
+  h.Add(10);
+  h.Add(39);
+  h.Add(40);   // overflow
+  h.Add(400);  // overflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total_samples(), 6u);
+}
+
+TEST(Histogram, WeightedMean) {
+  Histogram h(1, 16);
+  h.Add(2, 3);  // weight 3
+  h.Add(8, 1);
+  EXPECT_DOUBLE_EQ(h.Mean(), (2.0 * 3 + 8.0) / 4.0);
+}
+
+TEST(Histogram, QuantileFindsMedianBucket) {
+  Histogram h(1, 100);
+  for (std::uint64_t v = 0; v < 100; ++v) h.Add(v);
+  const auto median = h.Quantile(0.5);
+  EXPECT_GE(median, 45u);
+  EXPECT_LE(median, 55u);
+}
+
+TEST(Histogram, ClearResetsEverything) {
+  Histogram h(1, 4);
+  h.Add(1);
+  h.Add(100);
+  h.Clear();
+  EXPECT_EQ(h.total_samples(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bucket(1), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(StatSet, CounterRoundTrip) {
+  StatSet s;
+  s.Counter("a.b") += 3;
+  s.Counter("a.b") += 4;
+  EXPECT_EQ(s.GetCounter("a.b"), 7u);
+  EXPECT_EQ(s.GetCounter("missing"), 0u);
+  EXPECT_TRUE(s.HasCounter("a.b"));
+  EXPECT_FALSE(s.HasCounter("missing"));
+}
+
+TEST(StatSet, DiffSubtracts) {
+  StatSet before, after;
+  before.Counter("x") = 10;
+  after.Counter("x") = 25;
+  after.Counter("y") = 5;
+  const StatSet d = after.Diff(before);
+  EXPECT_EQ(d.GetCounter("x"), 15u);
+  EXPECT_EQ(d.GetCounter("y"), 5u);
+}
+
+TEST(StatSet, AbsorbPrefixesAndAdds) {
+  StatSet a, b;
+  a.Counter("hits") = 1;
+  b.Counter("hits") = 2;
+  a.Absorb(b, "sub.");
+  EXPECT_EQ(a.GetCounter("hits"), 1u);
+  EXPECT_EQ(a.GetCounter("sub.hits"), 2u);
+}
+
+TEST(StatSet, HistReusesInstance) {
+  StatSet s;
+  s.Hist("h", 2, 8).Add(3);
+  s.Hist("h").Add(5);
+  EXPECT_EQ(s.FindHist("h")->total_samples(), 2u);
+  EXPECT_EQ(s.FindHist("nope"), nullptr);
+}
+
+TEST(StatSet, ToStringListsCounters) {
+  StatSet s;
+  s.Counter("z") = 1;
+  s.Counter("a") = 2;
+  const std::string out = s.ToString();
+  EXPECT_NE(out.find("a = 2"), std::string::npos);
+  EXPECT_NE(out.find("z = 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,44 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"gamma", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NO_THROW(t.Render());
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+}
+
+TEST(TextTable, PctFormatsPercent) {
+  EXPECT_EQ(TextTable::Pct(0.315, 1), "31.5%");
+  EXPECT_EQ(TextTable::Pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"x", "yyyyy"});
+  t.AddRow({"longervalue", "1"});
+  const std::string out = t.Render();
+  // Header row must be at least as wide as the longest cell.
+  const auto first_newline = out.find('\n');
+  EXPECT_GE(first_newline, std::string{"longervalue  yyyyy"}.size());
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,46 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(Types, BlockAlignMasksLowBits) {
+  EXPECT_EQ(BlockAlign(0), 0u);
+  EXPECT_EQ(BlockAlign(63), 0u);
+  EXPECT_EQ(BlockAlign(64), 64u);
+  EXPECT_EQ(BlockAlign(130), 128u);
+}
+
+TEST(Types, BlockIndexMatchesAlignment) {
+  EXPECT_EQ(BlockIndex(0), 0u);
+  EXPECT_EQ(BlockIndex(64), 1u);
+  EXPECT_EQ(BlockIndex(64 * 1000 + 63), 1000u);
+}
+
+TEST(Types, PageIndexAndBlocksPerPage) {
+  EXPECT_EQ(PageIndex(4095), 0u);
+  EXPECT_EQ(PageIndex(4096), 1u);
+  EXPECT_EQ(kBlocksPerPage, 64u);
+}
+
+TEST(Types, SizeLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+}
+
+TEST(Types, IsWriteCoversBothStoreKinds) {
+  EXPECT_FALSE(IsWrite(AccessType::kRead));
+  EXPECT_TRUE(IsWrite(AccessType::kWrite));
+  EXPECT_TRUE(IsWrite(AccessType::kWriteback));
+}
+
+TEST(Types, ToStringNames) {
+  EXPECT_STREQ(ToString(AccessType::kRead), "read");
+  EXPECT_STREQ(ToString(AccessType::kWrite), "write");
+  EXPECT_STREQ(ToString(AccessType::kWriteback), "writeback");
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,81 @@
+// Decay behaviour of the alpha table: access *intensity*, not lifetime
+// totals, is what qualifies a page.
+#include <gtest/gtest.h>
+
+#include "core/alpha_table.hpp"
+
+namespace redcache {
+namespace {
+
+AlphaTable::Params DecayParams(std::uint32_t alpha,
+                               std::uint32_t epochs_per_decay = 2) {
+  AlphaTable::Params p;
+  p.initial_alpha = alpha;
+  p.adaptive = false;
+  p.decay_shift = 1;
+  p.epochs_per_decay = epochs_per_decay;
+  return p;
+}
+
+TEST(AlphaDecay, ContinuousTrafficQualifies) {
+  AlphaTable t(DecayParams(2));  // threshold 128 accesses
+  bool hot = false;
+  for (int i = 0; i < 128 && !hot; ++i) {
+    hot = t.OnRequest(0);
+  }
+  EXPECT_TRUE(hot);
+}
+
+TEST(AlphaDecay, BurstsSeparatedByIdleEpochsFadeOut) {
+  AlphaTable t(DecayParams(2));
+  // 64-access bursts with 6 idle epochs in between (>>3 decay): progress
+  // resets to ~8 each time -> never reaches 128.
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_FALSE(t.OnRequest(0)) << "burst " << burst << " access " << i;
+    }
+    for (int e = 0; e < 6; ++e) t.AdvanceEpoch();
+  }
+}
+
+TEST(AlphaDecay, BurstsWithinEpochAccumulate) {
+  AlphaTable t(DecayParams(2));
+  // Two 64-access bursts in the same epoch: 128 accesses -> hot.
+  for (int i = 0; i < 63; ++i) (void)t.OnRequest(0);
+  bool hot = false;
+  for (int i = 0; i < 65 && !hot; ++i) hot = t.OnRequest(0);
+  EXPECT_TRUE(hot);
+}
+
+TEST(AlphaDecay, SingleEpochGapDoesNotDecay) {
+  AlphaTable t(DecayParams(2, /*epochs_per_decay=*/2));
+  for (int i = 0; i < 64; ++i) (void)t.OnRequest(0);
+  t.AdvanceEpoch();  // one epoch elapsed < epochs_per_decay
+  bool hot = false;
+  for (int i = 0; i < 64 && !hot; ++i) hot = t.OnRequest(0);
+  EXPECT_TRUE(hot) << "progress should survive a single epoch gap";
+}
+
+TEST(AlphaDecay, HotPagesStayHotThroughIdle) {
+  AlphaTable t(DecayParams(1));
+  for (int i = 0; i < 64; ++i) (void)t.OnRequest(0);
+  ASSERT_TRUE(t.IsHot(0));
+  for (int e = 0; e < 50; ++e) t.AdvanceEpoch();
+  EXPECT_TRUE(t.OnRequest(0)) << "hot status is latched, not decayed";
+}
+
+TEST(AlphaDecay, DisabledDecayAccumulatesForever) {
+  AlphaTable::Params p = DecayParams(2);
+  p.decay_shift = 0;
+  AlphaTable t(p);
+  for (int burst = 0; burst < 2; ++burst) {
+    for (int i = 0; i < 60; ++i) (void)t.OnRequest(0);
+    for (int e = 0; e < 10; ++e) t.AdvanceEpoch();
+  }
+  bool hot = false;
+  for (int i = 0; i < 10 && !hot; ++i) hot = t.OnRequest(0);
+  EXPECT_TRUE(hot);  // 130 accesses total, nothing decayed
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,115 @@
+#include "core/alpha_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+AlphaTable::Params Fixed(std::uint32_t alpha) {
+  AlphaTable::Params p;
+  p.initial_alpha = alpha;
+  p.adaptive = false;
+  return p;
+}
+
+TEST(AlphaTable, PageQualifiesAfterAlphaTimesBlocksAccesses) {
+  AlphaTable t(Fixed(1));
+  // alpha = 1 average reuse => 64 accesses to the page before qualifying.
+  for (std::uint32_t i = 0; i + 1 < kBlocksPerPage; ++i) {
+    EXPECT_FALSE(t.OnRequest(i * kBlockBytes)) << "access " << i;
+  }
+  EXPECT_TRUE(t.OnRequest(0));  // the 64th access qualifies
+  EXPECT_TRUE(t.OnRequest(64));  // and stays hot
+  EXPECT_EQ(t.pages_hot(), 1u);
+}
+
+TEST(AlphaTable, PagesIndependent) {
+  AlphaTable t(Fixed(1));
+  for (std::uint32_t i = 0; i < kBlocksPerPage; ++i) {
+    (void)t.OnRequest(0);
+  }
+  EXPECT_TRUE(t.IsHot(0));
+  EXPECT_FALSE(t.IsHot(kPageBytes));  // untouched page stays cold
+  EXPECT_EQ(t.pages_tracked(), 1u);
+}
+
+TEST(AlphaTable, HigherAlphaNeedsMoreAccesses) {
+  AlphaTable t(Fixed(2));
+  for (std::uint32_t i = 0; i < kBlocksPerPage; ++i) {
+    EXPECT_FALSE(t.OnRequest(0));
+  }
+  for (std::uint32_t i = 0; i + 1 < kBlocksPerPage; ++i) {
+    EXPECT_FALSE(t.OnRequest(0));
+  }
+  EXPECT_TRUE(t.OnRequest(0));
+}
+
+TEST(AlphaTable, LoweringAlphaTakesEffectOnTrackedPages) {
+  AlphaTable t(Fixed(4));
+  (void)t.OnRequest(0);  // page tracked with count ~ 4*64
+  t.SetAlpha(1);
+  // Lazy clamp: the next accesses count against alpha=1 (64 total).
+  bool hot = false;
+  for (std::uint32_t i = 0; i < kBlocksPerPage && !hot; ++i) {
+    hot = t.OnRequest(0);
+  }
+  EXPECT_TRUE(hot);
+}
+
+TEST(AlphaTable, RetuneMovesAlphaWithinBounds) {
+  AlphaTable::Params p;
+  p.initial_alpha = 2;
+  p.min_alpha = 1;
+  p.max_alpha = 4;
+  p.adaptive = true;
+  AlphaTable t(p);
+  t.Retune(/*dead_fill_fraction=*/0.9);  // wasted fills -> alpha up
+  EXPECT_EQ(t.alpha(), 3u);
+  t.Retune(0.9);
+  t.Retune(0.9);
+  t.Retune(0.9);
+  EXPECT_EQ(t.alpha(), 4u);  // clamped at max
+  t.Retune(/*dead_fill_fraction=*/0.0);  // fills pay off -> alpha down
+  EXPECT_EQ(t.alpha(), 3u);
+  // Only moves that changed alpha count (2->3, 3->4; clamped calls do not).
+  EXPECT_EQ(t.retunes_up(), 2u);
+  EXPECT_EQ(t.retunes_down(), 1u);
+}
+
+TEST(AlphaTable, RetuneIgnoredWhenNotAdaptive) {
+  AlphaTable t(Fixed(2));
+  t.Retune(0.9);
+  EXPECT_EQ(t.alpha(), 2u);
+}
+
+TEST(AlphaTable, MidWasteLeavesAlphaAlone) {
+  AlphaTable::Params p;
+  p.adaptive = true;
+  p.initial_alpha = 2;
+  AlphaTable t(p);
+  t.Retune(0.5);  // inside the target band
+  EXPECT_EQ(t.alpha(), 2u);
+}
+
+TEST(AlphaTable, BufferMissesCounted) {
+  AlphaTable::Params p = Fixed(1);
+  p.buffer_entries = 16;
+  AlphaTable t(p);
+  // Touch far more pages than buffer entries: misses must accumulate.
+  for (Addr page = 0; page < 64; ++page) {
+    (void)t.OnRequest(page * kPageBytes);
+  }
+  EXPECT_GT(t.buffer_misses(), 16u);
+  EXPECT_EQ(t.lookups(), 64u);
+}
+
+TEST(AlphaTable, AlphaZeroIsImmediatelyHot) {
+  AlphaTable::Params p = Fixed(1);
+  p.min_alpha = 0;
+  p.initial_alpha = 0;
+  AlphaTable t(p);
+  EXPECT_TRUE(t.OnRequest(0x123000));
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,116 @@
+#include "core/gamma.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(Gamma, HitsAboveGammaStepUpImmediately) {
+  GammaController g({.initial_gamma = 8});
+  g.OnHit(20);
+  EXPECT_EQ(g.gamma(), 9u);
+  g.OnHit(20);
+  EXPECT_EQ(g.gamma(), 10u);
+}
+
+TEST(Gamma, HitsBelowGammaDoNotMoveIt) {
+  GammaController g({.initial_gamma = 8});
+  for (int i = 0; i < 100; ++i) g.OnHit(1);
+  EXPECT_EQ(g.gamma(), 8u);  // young blocks say nothing about lifetimes
+}
+
+TEST(Gamma, LifetimeSamplesStepDownDamped) {
+  GammaController g({.initial_gamma = 8, .down_damping = 4});
+  g.OnLifetimeSample(3);
+  g.OnLifetimeSample(3);
+  g.OnLifetimeSample(3);
+  EXPECT_EQ(g.gamma(), 8u);  // three low lifetimes: no movement yet
+  g.OnLifetimeSample(3);
+  EXPECT_EQ(g.gamma(), 7u);  // fourth steps down
+}
+
+TEST(Gamma, LongLifetimeResetsDownVotes) {
+  GammaController g({.initial_gamma = 8, .down_damping = 2});
+  g.OnLifetimeSample(3);   // one down-vote
+  g.OnLifetimeSample(20);  // long lifetime: votes reset
+  g.OnLifetimeSample(3);   // fresh count: one vote, no step
+  EXPECT_EQ(g.gamma(), 8u);
+}
+
+TEST(Gamma, ClampsAtBounds) {
+  GammaController g({.initial_gamma = 3, .min_gamma = 2, .max_gamma = 5,
+                     .down_damping = 1});
+  for (int i = 0; i < 10; ++i) g.OnLifetimeSample(1);
+  EXPECT_EQ(g.gamma(), 2u);
+  for (int i = 0; i < 10; ++i) g.OnHit(100);
+  EXPECT_EQ(g.gamma(), 5u);
+}
+
+TEST(Gamma, LastWriteThresholdInclusive) {
+  GammaController g({.initial_gamma = 4});
+  EXPECT_FALSE(g.IsLastWrite(3));
+  EXPECT_TRUE(g.IsLastWrite(4));
+  EXPECT_TRUE(g.IsLastWrite(200));
+}
+
+TEST(Gamma, ConvergesDownToStablePhase) {
+  GammaController g({.initial_gamma = 100, .down_damping = 4});
+  for (int i = 0; i < 600; ++i) g.OnLifetimeSample(12);
+  EXPECT_EQ(g.gamma(), 12u);  // samples >= gamma stop pushing down
+}
+
+TEST(Gamma, TracksPhaseChangeUpward) {
+  GammaController g({.initial_gamma = 4});
+  for (int i = 0; i < 50; ++i) g.OnHit(30);
+  EXPECT_EQ(g.gamma(), 30u);  // adapted upward to the new lifetime
+  EXPECT_EQ(g.updates(), 50u);
+}
+
+TEST(Gamma, PrematureInvalidationBoosts) {
+  GammaController g({.initial_gamma = 5, .premature_boost = 2});
+  g.OnPrematureInvalidation();
+  EXPECT_EQ(g.gamma(), 7u);
+  EXPECT_EQ(g.premature_invalidations(), 1u);
+}
+
+TEST(Gamma, PrematureBoostClampsAtMax) {
+  GammaController g({.initial_gamma = 9, .max_gamma = 10,
+                     .premature_boost = 4});
+  g.OnPrematureInvalidation();
+  EXPECT_EQ(g.gamma(), 10u);
+}
+
+TEST(Gamma, NoCollapseUnderInvalidationFeedback) {
+  // Simulate the death spiral: gamma kills blocks early, so natural
+  // evictions disappear and hits show only truncated counts. Gamma must
+  // not collapse while premature-refetch signals arrive.
+  GammaController g({.initial_gamma = 8, .down_damping = 4});
+  constexpr std::uint32_t kTrueLifetime = 16;
+  for (int round = 0; round < 300; ++round) {
+    const std::uint32_t observed = std::min(kTrueLifetime, g.gamma());
+    for (std::uint32_t r = 1; r <= observed; ++r) g.OnHit(r);
+    if (observed < kTrueLifetime) {
+      g.OnPrematureInvalidation();  // killed block came back
+    } else {
+      g.OnLifetimeSample(kTrueLifetime);
+    }
+  }
+  EXPECT_GE(g.gamma(), kTrueLifetime - 2);
+}
+
+TEST(Gamma, MixedLifetimesSettleInUpperRange) {
+  // Lifetimes alternate 4 and 20; gamma should settle between, biased by
+  // the damping toward the upper values rather than the mean.
+  GammaController g({.initial_gamma = 8, .down_damping = 4});
+  for (int i = 0; i < 500; ++i) {
+    g.OnLifetimeSample(4);
+    g.OnHit(20);
+    g.OnLifetimeSample(20);
+  }
+  EXPECT_GE(g.gamma(), 12u);
+  EXPECT_LE(g.gamma(), 21u);
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,89 @@
+#include "core/rcu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+DramAddress Loc(std::uint32_t ch, std::uint32_t bank, std::uint64_t row) {
+  return {.channel = ch, .rank = 0, .bank = bank, .row = row, .column = 0};
+}
+
+TEST(Rcu, InsertAndContains) {
+  RcuManager rcu(4);
+  EXPECT_TRUE(rcu.Insert(0x1000, Loc(0, 0, 1)).empty());
+  EXPECT_TRUE(rcu.Contains(0x1000));
+  EXPECT_FALSE(rcu.Contains(0x2000));
+  EXPECT_EQ(rcu.block_hits(), 1u);
+  EXPECT_EQ(rcu.searches(), 2u);
+}
+
+TEST(Rcu, DuplicateInsertUpdatesInPlace) {
+  RcuManager rcu(4);
+  (void)rcu.Insert(0x1000, Loc(0, 0, 1));
+  EXPECT_TRUE(rcu.Insert(0x1000, Loc(0, 0, 1)).empty());
+  EXPECT_EQ(rcu.size(), 1u);
+  EXPECT_EQ(rcu.updates_in_place(), 1u);
+}
+
+TEST(Rcu, CapacityEvictsOldest) {
+  RcuManager rcu(2);
+  (void)rcu.Insert(0xa, Loc(0, 0, 1));
+  (void)rcu.Insert(0xb, Loc(0, 0, 2));
+  const auto evicted = rcu.Insert(0xc, Loc(0, 0, 3));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].block, 0xau);
+  EXPECT_EQ(rcu.capacity_flushes(), 1u);
+  EXPECT_EQ(rcu.size(), 2u);
+}
+
+TEST(Rcu, MatchIndexPopsSameRowOnly) {
+  RcuManager rcu(8);
+  (void)rcu.Insert(0x1, Loc(0, 1, 7));
+  (void)rcu.Insert(0x2, Loc(0, 1, 7));
+  (void)rcu.Insert(0x3, Loc(0, 1, 8));   // other row
+  (void)rcu.Insert(0x4, Loc(1, 1, 7));   // other channel
+  const auto matched = rcu.MatchIndex(Loc(0, 1, 7));
+  EXPECT_EQ(matched.size(), 2u);
+  EXPECT_EQ(rcu.size(), 2u);
+  EXPECT_EQ(rcu.merged_flushes(), 2u);
+}
+
+TEST(Rcu, PopChannelDrainsOnlyThatChannel) {
+  RcuManager rcu(8);
+  (void)rcu.Insert(0x1, Loc(0, 0, 1));
+  (void)rcu.Insert(0x2, Loc(1, 0, 1));
+  (void)rcu.Insert(0x3, Loc(0, 2, 9));
+  const auto popped = rcu.PopChannel(0);
+  EXPECT_EQ(popped.size(), 2u);
+  EXPECT_EQ(rcu.size(), 1u);
+  EXPECT_TRUE(rcu.Contains(0x2));
+  EXPECT_EQ(rcu.idle_flushes(), 2u);
+}
+
+TEST(Rcu, RemoveDropsEntry) {
+  RcuManager rcu(4);
+  (void)rcu.Insert(0x5, Loc(0, 0, 1));
+  rcu.Remove(0x5);
+  EXPECT_FALSE(rcu.Contains(0x5));
+  rcu.Remove(0x5);  // idempotent
+  EXPECT_EQ(rcu.size(), 0u);
+}
+
+TEST(Rcu, PopAllEmptiesQueue) {
+  RcuManager rcu(8);
+  for (Addr a = 0; a < 5; ++a) (void)rcu.Insert(a * 64, Loc(0, 0, a));
+  EXPECT_EQ(rcu.PopAll().size(), 5u);
+  EXPECT_EQ(rcu.size(), 0u);
+}
+
+TEST(Rcu, FullFlag) {
+  RcuManager rcu(2);
+  EXPECT_FALSE(rcu.full());
+  (void)rcu.Insert(0x1, Loc(0, 0, 1));
+  (void)rcu.Insert(0x2, Loc(0, 0, 2));
+  EXPECT_TRUE(rcu.full());
+}
+
+}  // namespace
+}  // namespace redcache

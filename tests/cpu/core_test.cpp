@@ -1,0 +1,213 @@
+#include "cpu/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/kernel_trace.hpp"
+
+namespace redcache {
+namespace {
+
+/// Memory port that completes reads after a fixed latency.
+class FakePort : public MemoryPort {
+ public:
+  explicit FakePort(Cycle latency = 100, bool accept = true)
+      : latency_(latency), accept_(accept) {}
+
+  bool TrySubmitRead(Addr addr, std::uint64_t tag, Cycle now) override {
+    if (!accept_) return false;
+    reads.push_back({addr, tag, now});
+    pending.push_back({tag, now + latency_});
+    return true;
+  }
+  void SubmitWriteback(Addr addr, Cycle /*now*/) override {
+    writebacks.push_back(addr);
+  }
+
+  /// Deliver completions due at `now` to `core`.
+  void Deliver(Core& core, Cycle now) {
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].second <= now) {
+        core.OnMemComplete(pending[i].first, now);
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  struct Read {
+    Addr addr;
+    std::uint64_t tag;
+    Cycle at;
+  };
+  std::vector<Read> reads;
+  std::vector<Addr> writebacks;
+  std::vector<std::pair<std::uint64_t, Cycle>> pending;
+  Cycle latency_;
+  bool accept_;
+};
+
+HierarchyConfig TinyHierarchy() {
+  HierarchyConfig cfg;
+  cfg.num_cores = 1;
+  cfg.l1 = {.name = "l1", .size_bytes = 1_KiB, .ways = 2, .latency = 4};
+  cfg.l2 = {.name = "l2", .size_bytes = 2_KiB, .ways = 4, .latency = 12};
+  cfg.l3 = {.name = "l3", .size_bytes = 4_KiB, .ways = 8, .latency = 38};
+  return cfg;
+}
+
+std::unique_ptr<KernelTrace> SweepTrace(std::uint64_t bytes,
+                                        std::uint32_t passes,
+                                        double wf = 0.0) {
+  Kernel k;
+  k.kind = Kernel::Kind::kSweep;
+  k.base = 0;
+  k.size = bytes;
+  k.passes = passes;
+  k.write_frac = wf;
+  k.gap_mean = 2;
+  return std::make_unique<KernelTrace>("sweep",
+                                       std::vector<std::vector<Kernel>>{{k}},
+                                       1);
+}
+
+/// Drive the core until finished; returns the finish time.
+Cycle RunToCompletion(Core& core, FakePort& port, Cycle limit = 10000000) {
+  Cycle now = 0;
+  while (!core.Finished() && now < limit) {
+    port.Deliver(core, now);
+    const Cycle next = core.Progress(now);
+    if (core.Finished()) break;
+    if (next == Core::kWaiting) {
+      // Jump to the earliest pending completion.
+      Cycle soonest = limit;
+      for (const auto& [tag, at] : port.pending) {
+        soonest = std::min(soonest, at);
+      }
+      now = soonest;
+    } else {
+      now = std::max(now + 1, next);
+    }
+  }
+  return now;
+}
+
+TEST(Core, ProcessesWholeTraceAndFinishes) {
+  CacheHierarchy h(TinyHierarchy());
+  FakePort port;
+  auto trace = SweepTrace(64 * 256, 1);
+  Core core(0, CoreParams{}, trace.get(), &h, &port, 42);
+  RunToCompletion(core, port);
+  EXPECT_TRUE(core.Finished());
+  EXPECT_EQ(core.refs_processed(), 256u);
+  EXPECT_EQ(core.misses_issued(), port.reads.size());
+  EXPECT_GT(core.misses_issued(), 0u);
+}
+
+TEST(Core, HitsStayOnDie) {
+  CacheHierarchy h(TinyHierarchy());
+  FakePort port;
+  // 1 KiB region fits in L1: one miss per block, rest hits.
+  auto trace = SweepTrace(1_KiB, 10);
+  Core core(0, CoreParams{}, trace.get(), &h, &port, 42);
+  RunToCompletion(core, port);
+  EXPECT_EQ(core.misses_issued(), 16u);
+  EXPECT_EQ(core.l1_hits(), 9u * 16);
+}
+
+TEST(Core, OutstandingWindowBoundsMlp) {
+  CacheHierarchy h(TinyHierarchy());
+  FakePort port(100000);  // completions far in the future
+  CoreParams params;
+  params.max_outstanding = 4;
+  params.dependent_fraction = 0.0;
+  auto trace = SweepTrace(64 * 64, 1);
+  Core core(0, params, trace.get(), &h, &port, 42);
+  (void)core.Progress(1000000);
+  EXPECT_EQ(port.reads.size(), 4u);  // window full, no more issues
+  EXPECT_FALSE(core.Finished());
+}
+
+TEST(Core, CompletionOpensWindow) {
+  CacheHierarchy h(TinyHierarchy());
+  FakePort port(100000);
+  CoreParams params;
+  params.max_outstanding = 2;
+  params.dependent_fraction = 0.0;
+  auto trace = SweepTrace(64 * 16, 1);
+  Core core(0, params, trace.get(), &h, &port, 42);
+  (void)core.Progress(1000);
+  ASSERT_EQ(port.reads.size(), 2u);
+  core.OnMemComplete(port.reads[0].tag, 2000);
+  (void)core.Progress(2000);
+  EXPECT_EQ(port.reads.size(), 3u);
+}
+
+TEST(Core, BackpressureRetries) {
+  CacheHierarchy h(TinyHierarchy());
+  FakePort port(10, /*accept=*/false);
+  auto trace = SweepTrace(64 * 8, 1);
+  Core core(0, CoreParams{}, trace.get(), &h, &port, 42);
+  const Cycle next = core.Progress(100);
+  EXPECT_NE(next, Core::kWaiting);  // asks to retry
+  EXPECT_GT(next, 100u);
+  EXPECT_TRUE(port.reads.empty());
+  port.accept_ = true;
+  (void)core.Progress(next);
+  EXPECT_GT(port.reads.size(), 0u);  // retry succeeded
+}
+
+TEST(Core, DependentMissStallsUntilData) {
+  CacheHierarchy h(TinyHierarchy());
+  FakePort port(500);
+  CoreParams params;
+  params.dependent_fraction = 1.0;  // every miss blocks
+  auto trace = SweepTrace(64 * 4, 1);
+  Core core(0, params, trace.get(), &h, &port, 42);
+  // Give the core headroom past its first compute gap.
+  EXPECT_EQ(core.Progress(1000), Core::kWaiting);
+  EXPECT_EQ(port.reads.size(), 1u);
+  // Without the completion, no further progress.
+  EXPECT_EQ(core.Progress(10000), Core::kWaiting);
+  EXPECT_EQ(port.reads.size(), 1u);
+  core.OnMemComplete(port.reads[0].tag, 10500);
+  (void)core.Progress(11000);
+  EXPECT_GE(port.reads.size(), 2u);
+}
+
+TEST(Core, WritebacksForwardedToPort) {
+  CacheHierarchy h(TinyHierarchy());
+  FakePort port(50);
+  // Write-heavy sweep larger than the hierarchy forces dirty evictions.
+  auto trace = SweepTrace(64 * 1024, 2, /*wf=*/1.0);
+  Core core(0, CoreParams{}, trace.get(), &h, &port, 42);
+  RunToCompletion(core, port);
+  EXPECT_GT(port.writebacks.size(), 100u);
+}
+
+TEST(Core, FinishTimeMonotoneWithLatency) {
+  const auto run_with_latency = [](Cycle lat) {
+    CacheHierarchy h(TinyHierarchy());
+    FakePort port(lat);
+    auto trace = SweepTrace(64 * 512, 1);
+    CoreParams params;
+    params.dependent_fraction = 0.5;
+    Core core(0, params, trace.get(), &h, &port, 42);
+    RunToCompletion(core, port);
+    return core.finish_time();
+  };
+  EXPECT_LT(run_with_latency(50), run_with_latency(2000));
+}
+
+TEST(Core, TagsEncodeCoreId) {
+  CacheHierarchy h(TinyHierarchy());
+  FakePort port(100000);
+  auto trace = SweepTrace(64 * 8, 1);
+  Core core(5 % 1, CoreParams{}, trace.get(), &h, &port, 42);
+  (void)core.Progress(1000);
+  ASSERT_FALSE(port.reads.empty());
+  EXPECT_EQ(port.reads[0].tag >> 48, 0u);
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,84 @@
+#include "dram/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace redcache {
+namespace {
+
+DramGeometry SmallGeo() {
+  DramGeometry g;
+  g.channels = 4;
+  g.ranks_per_channel = 2;
+  g.banks_per_rank = 4;
+  g.row_bytes = 1024;
+  g.capacity_bytes = 4_MiB;
+  return g;
+}
+
+TEST(AddressMapper, ConsecutiveBlocksInterleaveChannels) {
+  AddressMapper m(SmallGeo());
+  for (Addr block = 0; block < 16; ++block) {
+    EXPECT_EQ(m.Map(block * kBlockBytes).channel, block % 4);
+  }
+}
+
+TEST(AddressMapper, SameBlockSameCoordinates) {
+  AddressMapper m(SmallGeo());
+  const DramAddress a = m.Map(12345 * kBlockBytes);
+  const DramAddress b = m.Map(12345 * kBlockBytes + 63);  // same block
+  EXPECT_TRUE(a.SameRowAs(b));
+  EXPECT_EQ(a.column, b.column);
+}
+
+TEST(AddressMapper, CoordinatesWithinGeometry) {
+  const DramGeometry g = SmallGeo();
+  AddressMapper m(g);
+  for (Addr a = 0; a < 2_MiB; a += 4096 + 64) {
+    const DramAddress d = m.Map(a);
+    EXPECT_LT(d.channel, g.channels);
+    EXPECT_LT(d.rank, g.ranks_per_channel);
+    EXPECT_LT(d.bank, g.banks_per_rank);
+    EXPECT_LT(d.row, g.RowsPerBank());
+    EXPECT_LT(d.column, g.BlocksPerRow());
+  }
+}
+
+TEST(AddressMapper, RowSpansManyBlocksOnOneChannel) {
+  AddressMapper m(SmallGeo());
+  // Blocks on the same channel, consecutive after interleaving, share a row
+  // until the row is exhausted (row 1024 B = 16 blocks per row).
+  const DramAddress first = m.Map(0);
+  const DramAddress second = m.Map(4 * kBlockBytes);  // next on channel 0
+  EXPECT_TRUE(first.SameRowAs(second));
+  EXPECT_NE(first.column, second.column);
+}
+
+TEST(AddressMapper, DistinctRowsEventuallyAppear) {
+  AddressMapper m(SmallGeo());
+  std::set<std::uint64_t> rows;
+  for (Addr a = 0; a < 1_MiB; a += kBlockBytes) {
+    rows.insert(m.Map(a).row);
+  }
+  EXPECT_GT(rows.size(), 1u);
+}
+
+TEST(AddressMapper, CapacityWrapsRows) {
+  const DramGeometry g = SmallGeo();
+  AddressMapper m(g);
+  const DramAddress low = m.Map(64);
+  const DramAddress wrapped = m.Map(64 + g.capacity_bytes);
+  EXPECT_TRUE(low.SameRowAs(wrapped));
+}
+
+TEST(DramAddressHelpers, SameBankIgnoresRow) {
+  DramAddress a{.channel = 1, .rank = 0, .bank = 2, .row = 5, .column = 0};
+  DramAddress b = a;
+  b.row = 9;
+  EXPECT_TRUE(a.SameBankAs(b));
+  EXPECT_FALSE(a.SameRowAs(b));
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,157 @@
+// Focused DRAM timing-constraint checks: tFAW activate pacing, tRAS/tRP
+// row cycling, refresh periodicity and the write-drain watermark.
+#include <gtest/gtest.h>
+
+#include "dram/channel.hpp"
+#include "dram/dram_system.hpp"
+
+namespace redcache {
+namespace {
+
+DramConfig OneChannel() {
+  DramConfig cfg = HbmCacheConfig(8_MiB);
+  cfg.geometry.channels = 1;
+  return cfg;
+}
+
+struct Harness {
+  Harness() : cfg(OneChannel()), mapper(cfg.geometry), ch(cfg, 0) {}
+
+  void Enqueue(Addr addr, bool write, Cycle now) {
+    DramRequest r;
+    r.id = ++next_id;
+    r.addr = BlockAlign(addr);
+    r.loc = mapper.Map(addr);
+    r.is_write = write;
+    r.bursts = 1;
+    r.arrival = now;
+    ch.Enqueue(r);
+  }
+
+  std::vector<DramCompletion> Run(std::size_t n, Cycle limit = 1000000) {
+    std::vector<DramCompletion> done;
+    for (Cycle t = 0; t <= limit && done.size() < n; ++t) ch.Tick(t, done);
+    return done;
+  }
+
+  DramConfig cfg;
+  AddressMapper mapper;
+  DramChannel ch;
+  RequestId next_id = 0;
+};
+
+TEST(TimingConstraints, FawLimitsActivateBursts) {
+  Harness h;
+  const auto& geo = h.cfg.geometry;
+  // Six different banks of rank 0: six activates needed. The 5th and 6th
+  // must wait for the tFAW window.
+  const Addr bank_stride = geo.row_bytes * geo.channels;
+  for (int b = 0; b < 6; ++b) {
+    h.Enqueue(b * bank_stride, false, 0);
+  }
+  const auto done = h.Run(6);
+  ASSERT_EQ(done.size(), 6u);
+  EXPECT_EQ(h.ch.counters().activates, 6u);
+  // With tRRD=16 the first four activates issue by cycle ~48; the fifth
+  // cannot issue before tFAW(181) after the first.
+  const auto& t = h.cfg.timing;
+  const Cycle fifth_data = done[4].done;
+  EXPECT_GE(fifth_data, t.tFAW + t.tRCD + t.tCAS + t.tBL);
+}
+
+TEST(TimingConstraints, SameBankRowCycleRespectsTrc) {
+  Harness h;
+  const auto& geo = h.cfg.geometry;
+  const Addr row_stride = geo.row_bytes * geo.banks_per_rank *
+                          geo.ranks_per_channel * geo.channels;
+  h.Enqueue(0, false, 0);
+  h.Enqueue(row_stride, false, 0);
+  h.Enqueue(2 * row_stride, false, 0);
+  const auto done = h.Run(3);
+  ASSERT_EQ(done.size(), 3u);
+  const auto& t = h.cfg.timing;
+  // Three activates to the same bank: each pair spaced >= tRC.
+  EXPECT_GE(done[2].done - done[1].done, t.tRC - 2 * kCpuCyclesPerDramCycle);
+  EXPECT_GE(done[1].done - done[0].done, t.tRC - 2 * kCpuCyclesPerDramCycle);
+}
+
+TEST(TimingConstraints, RefreshCadenceMatchesTrefi) {
+  Harness h;
+  std::vector<DramCompletion> done;
+  const Cycle horizon = 10 * h.cfg.timing.tREFI;
+  for (Cycle t = 0; t < horizon; ++t) h.ch.Tick(t, done);
+  // Two ranks, ~10 windows each, staggered start: close to 20 refreshes.
+  const auto refreshes = h.ch.counters().refreshes;
+  EXPECT_GE(refreshes, 16u);
+  EXPECT_LE(refreshes, 22u);
+}
+
+TEST(TimingConstraints, WriteDrainServesWritesFirstAboveWatermark) {
+  Harness h;
+  // More writes than half the queue: drain mode serves them even though a
+  // read is waiting (and tWTR keeps extending the read's earliest issue).
+  for (int i = 0; i < 20; ++i) {
+    h.Enqueue(i * 64, true, 0);
+  }
+  h.Enqueue(21 * 64, false, 0);
+  const auto done = h.Run(21);
+  ASSERT_EQ(done.size(), 21u);
+  std::size_t read_pos = 0;
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    if (!done[i].is_write) read_pos = i;
+  }
+  EXPECT_GT(read_pos, 0u);  // the read did not starve the write drain
+}
+
+TEST(TimingConstraints, ReadsPreemptBelowWatermark) {
+  Harness h;
+  // A handful of writes (below the watermark) and a read: the read wins.
+  for (int i = 0; i < 5; ++i) {
+    h.Enqueue(i * 64, true, 0);
+  }
+  h.Enqueue(21 * 64, false, 0);
+  const auto done = h.Run(6);
+  ASSERT_EQ(done.size(), 6u);
+  EXPECT_FALSE(done[0].is_write);
+}
+
+TEST(TimingConstraints, ColumnStreamingWithinOneTransaction) {
+  // A 4-burst transaction must finish much faster than four separate
+  // transactions on a tCCD-limited device.
+  DramConfig cfg = MainMemoryConfig(64_MiB);
+  cfg.geometry.channels = 1;
+  AddressMapper mapper(cfg.geometry);
+  const auto run = [&](bool single_txn) {
+    DramChannel ch(cfg, 0);
+    std::vector<DramCompletion> done;
+    if (single_txn) {
+      DramRequest r;
+      r.id = 1;
+      r.addr = 0;
+      r.loc = mapper.Map(0);
+      r.is_write = false;
+      r.bursts = 4;
+      r.arrival = 0;
+      ch.Enqueue(r);
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        DramRequest r;
+        r.id = 1 + i;
+        r.addr = i * 64;
+        r.loc = mapper.Map(0);  // same row for fairness
+        r.is_write = false;
+        r.bursts = 1;
+        r.arrival = 0;
+        ch.Enqueue(r);
+      }
+    }
+    const std::size_t want = single_txn ? 1 : 4;
+    Cycle t = 0;
+    while (done.size() < want && t < 100000) ch.Tick(t++, done);
+    return done.back().done;
+  };
+  EXPECT_LT(run(true) + cfg.timing.tCCD, run(false));
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,66 @@
+#include "dram/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(Timing, HbmPresetMatchesTableOne) {
+  const DramConfig cfg = HbmCacheConfig();
+  EXPECT_EQ(cfg.timing.tRCD, 44u);
+  EXPECT_EQ(cfg.timing.tCAS, 44u);
+  EXPECT_EQ(cfg.timing.tCCD, 16u);
+  EXPECT_EQ(cfg.timing.tWTR, 31u);
+  EXPECT_EQ(cfg.timing.tWR, 4u);
+  EXPECT_EQ(cfg.timing.tRTP, 46u);
+  EXPECT_EQ(cfg.timing.tBL, 10u);
+  EXPECT_EQ(cfg.timing.tCWD, 61u);
+  EXPECT_EQ(cfg.timing.tRP, 44u);
+  EXPECT_EQ(cfg.timing.tRRD, 16u);
+  EXPECT_EQ(cfg.timing.tRAS, 112u);
+  EXPECT_EQ(cfg.timing.tRC, 271u);
+  EXPECT_EQ(cfg.timing.tFAW, 181u);
+  EXPECT_EQ(cfg.geometry.channels, 4u);
+  EXPECT_EQ(cfg.geometry.bus_bits, 128u);
+  EXPECT_EQ(cfg.geometry.sideband_bytes, kTagEccBytes);
+}
+
+TEST(Timing, MainMemoryPresetMatchesTableOne) {
+  const DramConfig cfg = MainMemoryConfig();
+  EXPECT_EQ(cfg.timing.tCCD, 61u);  // the main-memory column differs here
+  EXPECT_EQ(cfg.timing.tCWD, 44u);
+  EXPECT_EQ(cfg.geometry.channels, 2u);
+  EXPECT_EQ(cfg.geometry.ranks_per_channel, 2u);
+  EXPECT_EQ(cfg.geometry.banks_per_rank, 8u);
+  EXPECT_EQ(cfg.geometry.bus_bits, 64u);
+  EXPECT_EQ(cfg.geometry.sideband_bytes, 0u);
+}
+
+TEST(Timing, RcuLatencyReductionFactorFromPaper) {
+  // Paper III-C: tCCD / (tBurst + tCWD + tWTR) = 6.375 with the Table I
+  // values — sanity-check our presets give exactly the paper's arithmetic.
+  const DramTimingParams t = HbmCacheConfig().timing;
+  const double factor = static_cast<double>(t.tBL + t.tCWD + t.tWTR) /
+                        static_cast<double>(t.tCCD);
+  EXPECT_DOUBLE_EQ(factor, 6.375);
+}
+
+TEST(Timing, GeometryDerivations) {
+  DramGeometry g;
+  g.channels = 4;
+  g.ranks_per_channel = 2;
+  g.banks_per_rank = 16;
+  g.row_bytes = 2048;
+  g.capacity_bytes = 32_MiB;
+  EXPECT_EQ(g.RowsPerBank(), 32_MiB / (4 * 2 * 16 * 2048));
+  EXPECT_EQ(g.BlocksPerRow(), 32u);
+}
+
+TEST(Timing, CapacityScalesRows) {
+  const DramConfig small = HbmCacheConfig(8_MiB);
+  const DramConfig big = HbmCacheConfig(32_MiB);
+  EXPECT_EQ(big.geometry.RowsPerBank(), 4 * small.geometry.RowsPerBank());
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,129 @@
+#include "dramcache/alloy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller_harness.hpp"
+
+namespace redcache {
+namespace {
+
+std::unique_ptr<AlloyController> MakeAlloy(std::uint32_t line_blocks = 1) {
+  MemControllerConfig cfg = SmallMemConfig();
+  cfg.line_blocks = line_blocks;
+  return std::make_unique<AlloyController>(cfg);
+}
+
+TEST(Alloy, ColdReadMissesThenHits) {
+  ControllerHarness h(MakeAlloy());
+  h.Read(0x4000);
+  h.RunToIdle();
+  h.Read(0x4000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.cache_misses"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.cache_hits"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.fills"), 1u);
+  EXPECT_EQ(h.completions.size(), 2u);
+}
+
+TEST(Alloy, MissPathTouchesBothDevices) {
+  ControllerHarness h(MakeAlloy());
+  h.Read(0x4000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("hbm.read_bursts"), 1u);   // probe
+  EXPECT_EQ(s.GetCounter("ddr4.read_bursts"), 1u);  // fetch
+  EXPECT_EQ(s.GetCounter("hbm.write_bursts"), 1u);  // fill
+}
+
+TEST(Alloy, HitPathIsHbmOnly) {
+  ControllerHarness h(MakeAlloy());
+  h.Read(0x4000);
+  h.RunToIdle();
+  const auto ddr_before = h.Stats().GetCounter("ddr4.read_bursts");
+  h.Read(0x4000);
+  h.RunToIdle();
+  EXPECT_EQ(h.Stats().GetCounter("ddr4.read_bursts"), ddr_before);
+}
+
+TEST(Alloy, ConflictEvictsDirectMapped) {
+  ControllerHarness h(MakeAlloy());
+  const Addr a = 0x4000;
+  const Addr b = a + 1_MiB;  // same set in the 1 MiB direct-mapped cache
+  h.Read(a);
+  h.RunToIdle();
+  h.Read(b);
+  h.RunToIdle();
+  h.Read(a);  // conflict: must miss again
+  h.RunToIdle();
+  EXPECT_EQ(h.Stats().GetCounter("ctrl.cache_misses"), 3u);
+}
+
+TEST(Alloy, DirtyVictimWrittenBack) {
+  ControllerHarness h(MakeAlloy());
+  const Addr a = 0x4000;
+  const Addr b = a + 1_MiB;
+  h.Read(a);
+  h.RunToIdle();
+  h.Writeback(a);  // dirty the cached copy
+  h.RunToIdle();
+  h.Read(b);  // evicts dirty a
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.victim_writebacks"), 1u);
+  EXPECT_GE(s.GetCounter("ddr4.write_bursts"), 1u);
+}
+
+TEST(Alloy, WriteHitUpdatesInPlace) {
+  ControllerHarness h(MakeAlloy());
+  h.Read(0x4000);
+  h.RunToIdle();
+  h.Writeback(0x4000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.write_hits"), 1u);
+  // probe read + write, no main-memory traffic for the hit.
+  EXPECT_EQ(s.GetCounter("ddr4.write_bursts"), 0u);
+}
+
+TEST(Alloy, WriteMissAllocates) {
+  ControllerHarness h(MakeAlloy());
+  h.Writeback(0x9000);
+  h.RunToIdle();
+  h.Read(0x9000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.cache_hits"), 1u);  // read found it cached
+  EXPECT_EQ(s.GetCounter("ctrl.fills"), 1u);
+}
+
+TEST(Alloy, CoarseLinesFillMoreBursts) {
+  ControllerHarness h(MakeAlloy(/*line_blocks=*/4));  // 256 B lines
+  h.Read(0x4000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ddr4.read_bursts"), 4u);  // whole line fetched
+  EXPECT_EQ(s.GetCounter("hbm.write_bursts"), 4u);  // whole line filled
+}
+
+TEST(Alloy, CoarseLinesGiveSpatialHits) {
+  ControllerHarness h(MakeAlloy(/*line_blocks=*/4));
+  h.Read(0x4000);
+  h.RunToIdle();
+  h.Read(0x4040);  // neighbour block, same 256 B line
+  h.RunToIdle();
+  EXPECT_EQ(h.Stats().GetCounter("ctrl.cache_hits"), 1u);
+}
+
+TEST(Alloy, HitRateAccessorMatchesCounters) {
+  ControllerHarness h(MakeAlloy());
+  auto* alloy = dynamic_cast<AlloyController*>(&h.ctrl());
+  h.Read(0x100);
+  h.RunToIdle();
+  h.Read(0x100);
+  h.RunToIdle();
+  EXPECT_DOUBLE_EQ(alloy->HitRate(), 0.5);
+}
+
+}  // namespace
+}  // namespace redcache

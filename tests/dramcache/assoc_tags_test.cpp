@@ -1,0 +1,68 @@
+#include "dramcache/assoc_tags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(AssocTags, GeometryDerivation) {
+  AssocTags t(1_MiB, 4);
+  EXPECT_EQ(t.num_sets(), 1_MiB / 64 / 4);
+  EXPECT_EQ(t.ways(), 4u);
+}
+
+TEST(AssocTags, FindWayLocatesInstalledBlock) {
+  AssocTags t(1_MiB, 2);
+  const Addr a = 0x4000;
+  EXPECT_EQ(t.FindWay(a), 2u);  // absent
+  auto& line = t.line(t.SetOf(a), 1);
+  line.valid = true;
+  line.tag = t.TagOf(a);
+  EXPECT_EQ(t.FindWay(a), 1u);
+  EXPECT_TRUE(t.Hit(a));
+}
+
+TEST(AssocTags, VictimPrefersInvalidWays) {
+  AssocTags t(1_MiB, 4);
+  auto& l0 = t.line(7, 0);
+  l0.valid = true;
+  t.Touch(7, 0);
+  EXPECT_NE(t.VictimWay(7), 0u);  // some invalid way wins
+}
+
+TEST(AssocTags, VictimIsLeastRecentlyTouched) {
+  AssocTags t(1_MiB, 3);
+  for (std::uint32_t w = 0; w < 3; ++w) {
+    t.line(9, w).valid = true;
+    t.Touch(9, w);
+  }
+  t.Touch(9, 0);  // refresh way 0: way 1 is now LRU
+  EXPECT_EQ(t.VictimWay(9), 1u);
+}
+
+TEST(AssocTags, VictimAddrRoundTrips) {
+  AssocTags t(1_MiB, 2);
+  const Addr a = BlockAlign(0x123480);
+  const std::uint64_t set = t.SetOf(a);
+  auto& line = t.line(set, 1);
+  line.valid = true;
+  line.tag = t.TagOf(a);
+  EXPECT_EQ(t.VictimAddr(set, 1), a);
+}
+
+TEST(AssocTags, HbmAddrDistinctPerWayAndWithinDevice) {
+  AssocTags t(1_MiB, 4);
+  EXPECT_NE(t.HbmAddr(5, 0), t.HbmAddr(5, 1));
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    EXPECT_LT(t.HbmAddr(t.num_sets() - 1, w), 1_MiB);
+  }
+}
+
+TEST(AssocTags, RcountSaturates) {
+  AssocTags t(1_MiB, 2);
+  for (int i = 0; i < 300; ++i) (void)t.BumpRcount(3, 1);
+  EXPECT_EQ(t.line(3, 1).r_count, 255);
+}
+
+}  // namespace
+}  // namespace redcache

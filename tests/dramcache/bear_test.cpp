@@ -1,0 +1,106 @@
+#include "dramcache/bear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller_harness.hpp"
+
+namespace redcache {
+namespace {
+
+TEST(PresenceFilter, AddThenMayContain) {
+  PresenceFilter f(1024);
+  EXPECT_FALSE(f.MayContain(42));
+  f.Add(42);
+  EXPECT_TRUE(f.MayContain(42));
+}
+
+TEST(PresenceFilter, RemoveRestoresAbsence) {
+  PresenceFilter f(1024);
+  f.Add(7);
+  f.Remove(7);
+  EXPECT_FALSE(f.MayContain(7));
+}
+
+TEST(PresenceFilter, CountingToleratesDuplicates) {
+  PresenceFilter f(1024);
+  f.Add(9);
+  f.Add(9);
+  f.Remove(9);
+  EXPECT_TRUE(f.MayContain(9));  // one copy still counted
+  f.Remove(9);
+  EXPECT_FALSE(f.MayContain(9));
+}
+
+TEST(PresenceFilter, LowFalsePositiveRateWhenSized) {
+  PresenceFilter f(8192);
+  for (Addr a = 0; a < 512; ++a) f.Add(a);
+  std::uint64_t fp = 0;
+  for (Addr a = 100000; a < 102000; ++a) {
+    if (f.MayContain(a)) fp++;
+  }
+  EXPECT_LT(fp, 200u);  // < 10%
+}
+
+TEST(Bear, ColdReadSkipsProbe) {
+  ControllerHarness h(std::make_unique<BearController>(SmallMemConfig()));
+  h.Read(0x4000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.probe_skips"), 1u);
+  EXPECT_EQ(s.GetCounter("ddr4.read_bursts"), 1u);
+}
+
+TEST(Bear, MostFillsAreBypassed) {
+  ControllerHarness h(std::make_unique<BearController>(SmallMemConfig()));
+  for (Addr a = 0; a < 4096; ++a) {
+    h.Read(a * 64 + 7_MiB);
+  }
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  const double bypass_frac =
+      static_cast<double>(s.GetCounter("ctrl.fill_bypasses")) /
+      static_cast<double>(s.GetCounter("ctrl.fill_bypasses") +
+                          s.GetCounter("ctrl.fills"));
+  EXPECT_GT(bypass_frac, 0.80);
+  EXPECT_LT(bypass_frac, 0.97);
+}
+
+TEST(Bear, WriteMissBypassesToMainMemory) {
+  ControllerHarness h(std::make_unique<BearController>(SmallMemConfig()));
+  h.Writeback(0x5000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.write_miss_bypasses"), 1u);
+  EXPECT_EQ(s.GetCounter("ddr4.write_bursts"), 1u);
+  EXPECT_EQ(s.GetCounter("hbm.write_bursts"), 0u);
+}
+
+TEST(Bear, FilledBlockHitsLater) {
+  ControllerHarness h(std::make_unique<BearController>(SmallMemConfig()));
+  // Sampled sets (set % 32 == 0) always fill. Set 0 => address with
+  // line index multiple of num_sets... simply use address 0.
+  h.Read(0);
+  h.RunToIdle();
+  ASSERT_EQ(h.Stats().GetCounter("ctrl.fills"), 1u);
+  h.Read(0);
+  h.RunToIdle();
+  EXPECT_EQ(h.Stats().GetCounter("ctrl.cache_hits"), 1u);
+}
+
+TEST(Bear, UsesLessHbmTrafficThanAlloyOnStreaming) {
+  auto run = [](std::unique_ptr<MemController> ctrl) {
+    ControllerHarness h(std::move(ctrl));
+    for (Addr a = 0; a < 2048; ++a) {
+      h.Read(a * 64 + 3_MiB);
+    }
+    h.RunToIdle();
+    const StatSet s = h.Stats();
+    return s.GetCounter("hbm.read_bursts") + s.GetCounter("hbm.write_bursts");
+  };
+  const auto bear = run(std::make_unique<BearController>(SmallMemConfig()));
+  const auto alloy = run(std::make_unique<AlloyController>(SmallMemConfig()));
+  EXPECT_LT(bear, alloy / 2);  // streaming: Bear avoids probes and fills
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,99 @@
+// Shared helpers for driving a MemController directly in unit tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dramcache/controller.hpp"
+#include "sim/presets.hpp"
+
+namespace redcache {
+
+/// A small configuration so set conflicts are easy to construct: 1 MiB HBM
+/// cache (16384 sets at 64 B), 64 MiB main memory.
+inline MemControllerConfig SmallMemConfig() {
+  MemControllerConfig cfg;
+  cfg.hbm = HbmCacheConfig(1_MiB);
+  cfg.mainmem = MainMemoryConfig(64_MiB);
+  return cfg;
+}
+
+class ControllerHarness {
+ public:
+  explicit ControllerHarness(std::unique_ptr<MemController> ctrl)
+      : ctrl_(std::move(ctrl)) {}
+
+  /// Submit a demand read (ticking through backpressure); returns the tag.
+  std::uint64_t Read(Addr addr) {
+    WaitFor([&] { return ctrl_->CanAcceptRead(); });
+    const std::uint64_t tag = next_tag_++;
+    EXPECT_TRUE(ctrl_->CanAcceptRead());
+    ctrl_->SubmitRead(addr, tag, now_);
+    return tag;
+  }
+
+  void Writeback(Addr addr) {
+    WaitFor([&] { return ctrl_->CanAcceptWriteback(); });
+    EXPECT_TRUE(ctrl_->CanAcceptWriteback());
+    ctrl_->SubmitWriteback(addr, now_);
+  }
+
+  /// Tick until `cond()` holds (bounded).
+  template <typename Cond>
+  void WaitFor(Cond cond, Cycle limit = 5000000) {
+    const Cycle end = now_ + limit;
+    while (!cond() && now_ < end) {
+      ctrl_->Tick(now_);
+      auto& c = ctrl_->read_completions();
+      completions.insert(completions.end(), c.begin(), c.end());
+      c.clear();
+      now_ = std::max(now_ + 1, ctrl_->NextEventHint(now_));
+    }
+  }
+
+  /// Tick until the controller is fully idle; collects read completions.
+  void RunToIdle(Cycle limit = 5000000) {
+    const Cycle end = now_ + limit;
+    while (!ctrl_->Idle() && now_ < end) {
+      ctrl_->Tick(now_);
+      auto& c = ctrl_->read_completions();
+      completions.insert(completions.end(), c.begin(), c.end());
+      c.clear();
+      now_ = std::max(now_ + 1, ctrl_->NextEventHint(now_));
+    }
+    ASSERT_TRUE(ctrl_->Idle()) << "controller failed to drain";
+  }
+
+  /// Blocks until at least `n` read completions arrived.
+  void RunUntilCompletions(std::size_t n, Cycle limit = 5000000) {
+    const Cycle end = now_ + limit;
+    while (completions.size() < n && now_ < end) {
+      ctrl_->Tick(now_);
+      auto& c = ctrl_->read_completions();
+      completions.insert(completions.end(), c.begin(), c.end());
+      c.clear();
+      now_ = std::max(now_ + 1, ctrl_->NextEventHint(now_));
+    }
+    ASSERT_GE(completions.size(), n);
+  }
+
+  StatSet Stats() const {
+    StatSet s;
+    ctrl_->ExportStats(s);
+    return s;
+  }
+
+  MemController& ctrl() { return *ctrl_; }
+  Cycle now() const { return now_; }
+
+  std::vector<ReadCompletion> completions;
+
+ private:
+  std::unique_ptr<MemController> ctrl_;
+  Cycle now_ = 0;
+  std::uint64_t next_tag_ = 1;
+};
+
+}  // namespace redcache

@@ -1,0 +1,48 @@
+#include "dramcache/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller_harness.hpp"
+
+namespace redcache {
+namespace {
+
+TEST(Factory, AllArchesConstruct) {
+  for (Arch a : {Arch::kNoHbm, Arch::kIdeal, Arch::kAlloy, Arch::kBear,
+                 Arch::kRedAlpha, Arch::kRedGamma, Arch::kRedBasic,
+                 Arch::kRedInSitu, Arch::kRedCache}) {
+    auto ctrl = MakeController(a, SmallMemConfig());
+    ASSERT_NE(ctrl, nullptr) << ToString(a);
+    EXPECT_STRNE(ctrl->name(), "");
+  }
+}
+
+TEST(Factory, NamesRoundTrip) {
+  for (Arch a : {Arch::kNoHbm, Arch::kIdeal, Arch::kAlloy, Arch::kBear,
+                 Arch::kRedAlpha, Arch::kRedGamma, Arch::kRedBasic,
+                 Arch::kRedInSitu, Arch::kRedCache}) {
+    EXPECT_EQ(ArchFromString(ToString(a)), a);
+  }
+  EXPECT_THROW(ArchFromString("bogus"), std::invalid_argument);
+}
+
+TEST(Factory, EvaluationListMatchesPaperFigures) {
+  const auto& archs = EvaluationArchs();
+  ASSERT_EQ(archs.size(), 7u);
+  EXPECT_EQ(archs.front(), Arch::kAlloy);  // normalization baseline
+  EXPECT_EQ(archs.back(), Arch::kRedCache);
+}
+
+TEST(Factory, EveryArchServesTrivialTraffic) {
+  for (Arch a : EvaluationArchs()) {
+    ControllerHarness h(MakeController(a, SmallMemConfig()));
+    h.Read(0x1000);
+    h.Writeback(0x2000);
+    h.Read(0x1000);
+    h.RunToIdle();
+    EXPECT_EQ(h.completions.size(), 2u) << ToString(a);
+  }
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "controller_harness.hpp"
+#include "dramcache/ideal.hpp"
+#include "dramcache/no_hbm.hpp"
+
+namespace redcache {
+namespace {
+
+TEST(NoHbm, ReadServedByMainMemoryOnly) {
+  ControllerHarness h(std::make_unique<NoHbmController>(SmallMemConfig()));
+  const auto tag = h.Read(0x4000);
+  h.RunToIdle();
+  ASSERT_EQ(h.completions.size(), 1u);
+  EXPECT_EQ(h.completions[0].tag, tag);
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ddr4.read_bursts"), 1u);
+  EXPECT_EQ(s.GetCounter("hbm.read_bursts"), 0u);  // device absent
+}
+
+TEST(NoHbm, WritebackIsPostedWrite) {
+  ControllerHarness h(std::make_unique<NoHbmController>(SmallMemConfig()));
+  h.Writeback(0x8000);
+  h.RunToIdle();
+  EXPECT_TRUE(h.completions.empty());
+  EXPECT_EQ(h.Stats().GetCounter("ddr4.write_bursts"), 1u);
+}
+
+TEST(NoHbm, ManyRequestsAllComplete) {
+  ControllerHarness h(std::make_unique<NoHbmController>(SmallMemConfig()));
+  std::size_t reads = 0;
+  for (Addr a = 0; a < 200; ++a) {
+    if (h.ctrl().CanAcceptRead()) {
+      h.Read(a * 64);
+      reads++;
+    }
+    if (a % 3 == 0 && h.ctrl().CanAcceptWriteback()) h.Writeback(a * 64 + 1_MiB);
+  }
+  h.RunToIdle();
+  EXPECT_EQ(h.completions.size(), reads);
+}
+
+TEST(Ideal, EveryReadIsOneHbmBurst) {
+  ControllerHarness h(std::make_unique<IdealController>(SmallMemConfig()));
+  h.Read(0x1000);
+  h.Read(0x2000);
+  h.RunToIdle();
+  EXPECT_EQ(h.completions.size(), 2u);
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("hbm.read_bursts"), 2u);
+  EXPECT_EQ(s.GetCounter("ddr4.read_bursts"), 0u);
+  EXPECT_EQ(s.GetCounter("ddr4.write_bursts"), 0u);
+}
+
+TEST(Ideal, WritebackCostsTagReadPlusDataWrite) {
+  ControllerHarness h(std::make_unique<IdealController>(SmallMemConfig()));
+  h.Writeback(0x3000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("hbm.read_bursts"), 1u);   // tag check
+  EXPECT_EQ(s.GetCounter("hbm.write_bursts"), 1u);  // data update
+}
+
+TEST(Ideal, TransfersMoreBytesThanNoHbmPerRead) {
+  // The Fig. 2(a) effect: IDEAL moves tag sideband bytes on every access.
+  ControllerHarness ideal(std::make_unique<IdealController>(SmallMemConfig()));
+  ControllerHarness nohbm(std::make_unique<NoHbmController>(SmallMemConfig()));
+  for (Addr a = 0; a < 32; ++a) {
+    ideal.Read(a * 64);
+    nohbm.Read(a * 64);
+  }
+  ideal.RunToIdle();
+  nohbm.RunToIdle();
+  EXPECT_GT(ideal.Stats().GetCounter("hbm.bytes_transferred"),
+            nohbm.Stats().GetCounter("ddr4.bytes_transferred"));
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,77 @@
+#include "dramcache/tag_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(DirectMappedTags, GeometryDerivation) {
+  DirectMappedTags t(1_MiB, 1);
+  EXPECT_EQ(t.num_sets(), 1_MiB / 64);
+  EXPECT_EQ(t.line_bytes(), 64u);
+  DirectMappedTags wide(1_MiB, 4);
+  EXPECT_EQ(wide.num_sets(), 1_MiB / 256);
+  EXPECT_EQ(wide.line_bytes(), 256u);
+}
+
+TEST(DirectMappedTags, SetWrapsAtCapacity) {
+  DirectMappedTags t(1_MiB, 1);
+  EXPECT_EQ(t.SetOf(0x40), t.SetOf(0x40 + 1_MiB));
+  EXPECT_NE(t.TagOf(0x40), t.TagOf(0x40 + 1_MiB));
+}
+
+TEST(DirectMappedTags, HitRequiresValidAndMatchingTag) {
+  DirectMappedTags t(1_MiB, 1);
+  const Addr a = 0x12340;
+  EXPECT_FALSE(t.Hit(a));
+  auto& line = t.line(t.SetOf(a));
+  line.valid = true;
+  line.tag = t.TagOf(a);
+  EXPECT_TRUE(t.Hit(a));
+  EXPECT_FALSE(t.Hit(a + 1_MiB));  // same set, different tag
+}
+
+TEST(DirectMappedTags, VictimAddrRoundTrips) {
+  DirectMappedTags t(1_MiB, 1);
+  const Addr a = BlockAlign(0x735ac0);
+  auto& line = t.line(t.SetOf(a));
+  line.valid = true;
+  line.tag = t.TagOf(a);
+  EXPECT_EQ(t.VictimAddr(t.SetOf(a)), a);
+}
+
+TEST(DirectMappedTags, VictimAddrRoundTripsForWideLines) {
+  DirectMappedTags t(1_MiB, 4);
+  const Addr a = (0x735ac0 / 256) * 256;  // line aligned
+  auto& line = t.line(t.SetOf(a));
+  line.valid = true;
+  line.tag = t.TagOf(a);
+  EXPECT_EQ(t.VictimAddr(t.SetOf(a)), a);
+}
+
+TEST(DirectMappedTags, HbmAddrStaysInsideDevice) {
+  DirectMappedTags t(1_MiB, 4);
+  for (Addr a = 0; a < 8_MiB; a += 4096 + 192) {
+    EXPECT_LT(t.HbmAddr(t.SetOf(a), a), 1_MiB);
+  }
+}
+
+TEST(DirectMappedTags, HbmAddrSelectsRequestedBlockWithinLine) {
+  DirectMappedTags t(1_MiB, 4);
+  const Addr line_base = 0x100;  // not line aligned -> block 1 of its line
+  const Addr hbm0 = t.HbmAddr(t.SetOf(line_base), line_base & ~Addr{255});
+  const Addr hbm1 = t.HbmAddr(t.SetOf(line_base), line_base);
+  EXPECT_EQ(hbm1 - hbm0, 0x100u & 0xffu);
+}
+
+TEST(DirectMappedTags, BumpRcountSaturates) {
+  DirectMappedTags t(64_KiB, 1);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint32_t v = t.BumpRcount(3);
+    EXPECT_LE(v, 255u);
+  }
+  EXPECT_EQ(t.line(3).r_count, 255);
+}
+
+}  // namespace
+}  // namespace redcache

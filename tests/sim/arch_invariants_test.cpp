@@ -1,0 +1,82 @@
+// Cross-architecture invariants: for every controller, on several
+// workloads, a run must complete, answer every demand read exactly once,
+// keep its internal accounting consistent, and stay deterministic.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/runner.hpp"
+
+namespace redcache {
+namespace {
+
+using Param = std::tuple<Arch, std::string>;
+
+class ArchInvariants : public ::testing::TestWithParam<Param> {};
+
+RunSpec SmallSpec(Arch arch, const std::string& wl) {
+  RunSpec spec;
+  spec.arch = arch;
+  spec.workload = wl;
+  spec.scale = 0.05;
+  spec.preset = EvalPreset();
+  spec.preset.hierarchy.num_cores = 4;
+  return spec;
+}
+
+TEST_P(ArchInvariants, CompletesAndConserves) {
+  const auto [arch, wl] = GetParam();
+  const RunResult r = RunOne(SmallSpec(arch, wl));
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.exec_cycles, 0u);
+
+  // Every L3 miss became exactly one controller read.
+  EXPECT_EQ(r.stats.GetCounter("core.misses"), r.stats.GetCounter("ctrl.reads"));
+
+  // Refs were fully consumed and the hit counters partition them.
+  const auto refs = r.stats.GetCounter("core.refs");
+  EXPECT_EQ(refs, r.stats.GetCounter("core.l1_hits") +
+                      r.stats.GetCounter("core.l2_hits") +
+                      r.stats.GetCounter("core.l3_hits") +
+                      r.stats.GetCounter("core.misses"));
+
+  // Off-chip devices only move whole bursts.
+  if (arch != Arch::kIdeal) {
+    EXPECT_GT(r.stats.GetCounter("ddr4.transactions"), 0u) << "below-L3 "
+        "traffic must reach main memory for non-ideal systems";
+  }
+  EXPECT_GT(r.energy.SystemNj(), 0.0);
+}
+
+TEST_P(ArchInvariants, Deterministic) {
+  const auto [arch, wl] = GetParam();
+  const RunResult a = RunOne(SmallSpec(arch, wl));
+  const RunResult b = RunOne(SmallSpec(arch, wl));
+  EXPECT_EQ(a.exec_cycles, b.exec_cycles);
+  EXPECT_EQ(a.stats.GetCounter("hbm.bytes_transferred"),
+            b.stats.GetCounter("hbm.bytes_transferred"));
+  EXPECT_EQ(a.stats.GetCounter("ddr4.bytes_transferred"),
+            b.stats.GetCounter("ddr4.bytes_transferred"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ArchInvariants,
+    ::testing::Combine(::testing::Values(Arch::kNoHbm, Arch::kIdeal,
+                                         Arch::kAlloy, Arch::kBear,
+                                         Arch::kRedAlpha, Arch::kRedGamma,
+                                         Arch::kRedBasic, Arch::kRedInSitu,
+                                         Arch::kRedCache),
+                       ::testing::Values(std::string("LREG"),
+                                         std::string("RDX"),
+                                         std::string("BRN"))),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::string(ToString(std::get<0>(info.param))) +
+                         "_" + std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,72 @@
+#include "energy/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(Energy, ZeroStatsZeroDynamicEnergy) {
+  EnergyModel m;
+  StatSet s;
+  const EnergyBreakdown e = m.Compute(s, 0, 16, 4, 2);
+  EXPECT_DOUBLE_EQ(e.hbm_dynamic_nj, 0.0);
+  EXPECT_DOUBLE_EQ(e.mainmem_dynamic_nj, 0.0);
+  EXPECT_DOUBLE_EQ(e.SystemNj(), 0.0);
+}
+
+TEST(Energy, DynamicEnergyScalesWithBursts) {
+  EnergyModel m;
+  StatSet s;
+  s.Counter("hbm.read_bursts") = 1000;
+  const double e1 = m.Compute(s, 0, 16, 4, 2).hbm_dynamic_nj;
+  s.Counter("hbm.read_bursts") = 2000;
+  const double e2 = m.Compute(s, 0, 16, 4, 2).hbm_dynamic_nj;
+  EXPECT_DOUBLE_EQ(e2, 2 * e1);
+  EXPECT_GT(e1, 0.0);
+}
+
+TEST(Energy, BackgroundScalesWithTime) {
+  EnergyModel m;
+  StatSet s;
+  const double e1 = m.Compute(s, 1000000, 16, 4, 2).hbm_background_nj;
+  const double e2 = m.Compute(s, 2000000, 16, 4, 2).hbm_background_nj;
+  EXPECT_NEAR(e2, 2 * e1, 1e-9);
+}
+
+TEST(Energy, OffChipBurstCostsMoreThanHbm) {
+  // The premise of in-package caching: HBM bits are cheaper to move.
+  EXPECT_LT(HbmEnergyParams().read_burst_nj, Ddr4EnergyParams().read_burst_nj);
+}
+
+TEST(Energy, HbmCacheMetricExcludesMainMemory) {
+  EnergyModel m;
+  StatSet s;
+  s.Counter("ddr4.read_bursts") = 100000;
+  const EnergyBreakdown e = m.Compute(s, 0, 16, 4, 2);
+  EXPECT_DOUBLE_EQ(e.HbmCacheNj(), 0.0);
+  EXPECT_GT(e.SystemNj(), 0.0);
+}
+
+TEST(Energy, ControllerStructuresCharged) {
+  EnergyModel m;
+  StatSet s;
+  s.Counter("ctrl.alpha_lookups") = 1000;
+  s.Counter("ctrl.rcu_searches") = 500;
+  const EnergyBreakdown e = m.Compute(s, 0, 16, 4, 2);
+  EXPECT_GT(e.controller_nj, 0.0);
+  EXPECT_DOUBLE_EQ(e.controller_nj,
+                   1000 * m.soc().alpha_buffer_nj + 500 * m.soc().rcu_cam_nj);
+}
+
+TEST(Energy, CpuEnergyHasStaticAndDynamicParts) {
+  EnergyModel m;
+  StatSet s;
+  s.Counter("core.refs") = 1000;
+  const double dynamic_only = m.Compute(s, 0, 16, 4, 2).cpu_nj;
+  const double with_time = m.Compute(s, 3200000, 16, 4, 2).cpu_nj;
+  EXPECT_GT(dynamic_only, 0.0);
+  EXPECT_GT(with_time, dynamic_only);
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,41 @@
+#include "sim/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(Presets, PaperPresetMatchesTableOne) {
+  const SimPreset p = PaperPreset();
+  EXPECT_EQ(p.hierarchy.num_cores, 16u);
+  EXPECT_EQ(p.hierarchy.l1.size_bytes, 64_KiB);
+  EXPECT_EQ(p.hierarchy.l2.size_bytes, 128_KiB);
+  EXPECT_EQ(p.hierarchy.l3.size_bytes, 8_MiB);
+  EXPECT_EQ(p.mem.hbm.geometry.capacity_bytes, 2_GiB);
+  EXPECT_EQ(p.mem.mainmem.geometry.capacity_bytes, 32_GiB);
+}
+
+TEST(Presets, EvalPresetPreservesRegime) {
+  const SimPreset p = EvalPreset();
+  // Scaled but ordered: L3 < HBM cache < main memory.
+  EXPECT_LT(p.hierarchy.l3.size_bytes, p.mem.hbm.geometry.capacity_bytes);
+  EXPECT_LT(p.mem.hbm.geometry.capacity_bytes,
+            p.mem.mainmem.geometry.capacity_bytes);
+}
+
+TEST(Presets, TimingIdenticalAcrossPresets) {
+  const SimPreset eval = EvalPreset();
+  const SimPreset paper = PaperPreset();
+  EXPECT_EQ(eval.mem.hbm.timing.tCAS, paper.mem.hbm.timing.tCAS);
+  EXPECT_EQ(eval.mem.hbm.timing.tCCD, paper.mem.hbm.timing.tCCD);
+  EXPECT_EQ(eval.mem.mainmem.timing.tCCD, paper.mem.mainmem.timing.tCCD);
+}
+
+TEST(Presets, HbmHasMoreChannelsAndWiderBus) {
+  const SimPreset p = EvalPreset();
+  EXPECT_GT(p.mem.hbm.geometry.channels, p.mem.mainmem.geometry.channels);
+  EXPECT_GT(p.mem.hbm.geometry.bus_bits, p.mem.mainmem.geometry.bus_bits);
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,99 @@
+#include "sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+
+namespace redcache {
+namespace {
+
+RunSpec TinySpec(Arch arch, const std::string& wl = "LREG") {
+  RunSpec spec;
+  spec.arch = arch;
+  spec.workload = wl;
+  spec.scale = 0.02;
+  spec.preset = EvalPreset();
+  spec.preset.hierarchy.num_cores = 4;
+  return spec;
+}
+
+TEST(System, RunsToCompletion) {
+  const RunResult r = RunOne(TinySpec(Arch::kAlloy));
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.exec_cycles, 0u);
+  EXPECT_GT(r.stats.GetCounter("core.refs"), 0u);
+}
+
+TEST(System, EveryArchCompletesEveryTinyWorkload) {
+  for (Arch a : {Arch::kNoHbm, Arch::kIdeal, Arch::kAlloy, Arch::kBear,
+                 Arch::kRedCache}) {
+    for (const std::string wl : {"LREG", "HIST", "RDX"}) {
+      const RunResult r = RunOne(TinySpec(a, wl));
+      EXPECT_TRUE(r.completed) << ToString(a) << "/" << wl;
+      EXPECT_GT(r.exec_cycles, 0u);
+    }
+  }
+}
+
+TEST(System, DeterministicExecution) {
+  const RunResult a = RunOne(TinySpec(Arch::kRedCache));
+  const RunResult b = RunOne(TinySpec(Arch::kRedCache));
+  EXPECT_EQ(a.exec_cycles, b.exec_cycles);
+  EXPECT_EQ(a.stats.GetCounter("hbm.bytes_transferred"),
+            b.stats.GetCounter("hbm.bytes_transferred"));
+}
+
+TEST(System, MemoryTrafficConservation) {
+  const RunResult r = RunOne(TinySpec(Arch::kAlloy));
+  // Every below-L3 read the cores issued must be answered.
+  EXPECT_EQ(r.stats.GetCounter("core.misses"),
+            r.stats.GetCounter("ctrl.reads"));
+  // Hits+misses equals probed requests.
+  EXPECT_EQ(r.stats.GetCounter("ctrl.cache_hits") +
+                r.stats.GetCounter("ctrl.cache_misses"),
+            r.stats.GetCounter("ctrl.reads") +
+                r.stats.GetCounter("ctrl.writebacks"));
+}
+
+TEST(System, IdealFasterThanNoHbm) {
+  const RunResult ideal = RunOne(TinySpec(Arch::kIdeal, "OCN"));
+  const RunResult nohbm = RunOne(TinySpec(Arch::kNoHbm, "OCN"));
+  EXPECT_LT(ideal.exec_cycles, nohbm.exec_cycles);
+}
+
+TEST(System, EnergyPopulated) {
+  const RunResult r = RunOne(TinySpec(Arch::kRedCache));
+  EXPECT_GT(r.energy.SystemNj(), 0.0);
+  EXPECT_GT(r.energy.HbmCacheNj(), 0.0);
+  EXPECT_GT(r.energy.cpu_nj, 0.0);
+}
+
+TEST(System, RequestObserverSeesTraffic) {
+  auto spec = TinySpec(Arch::kNoHbm);
+  auto sys = BuildSystem(spec);
+  std::uint64_t reads = 0, wbs = 0;
+  sys->SetRequestObserver([&](Addr, bool is_wb) {
+    if (is_wb) wbs++; else reads++;
+  });
+  const RunResult r = sys->Run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(reads, r.stats.GetCounter("core.misses"));
+}
+
+TEST(System, MaxCyclesBoundsRun) {
+  auto spec = TinySpec(Arch::kAlloy);
+  spec.max_cycles = 5000;
+  const RunResult r = RunOne(spec);
+  EXPECT_FALSE(r.completed);
+  EXPECT_LE(r.exec_cycles, 2 * 5000u);
+}
+
+TEST(System, ScaleEnvOverride) {
+  EXPECT_DOUBLE_EQ(EffectiveScale(2.0), 2.0);
+  setenv("REDCACHE_REFS_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(EffectiveScale(2.0), 1.0);
+  unsetenv("REDCACHE_REFS_SCALE");
+}
+
+}  // namespace
+}  // namespace redcache

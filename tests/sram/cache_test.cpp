@@ -1,0 +1,112 @@
+#include "sram/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+SramCacheConfig TinyConfig() {
+  return {.name = "t", .size_bytes = 4_KiB, .ways = 4, .latency = 1};
+}
+
+TEST(SramCache, MissThenHit) {
+  SramCache c(TinyConfig());
+  EXPECT_FALSE(c.Access(0x1000, false).hit);
+  EXPECT_TRUE(c.Access(0x1000, false).hit);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SramCache, ProbeDoesNotAllocate) {
+  SramCache c(TinyConfig());
+  EXPECT_FALSE(c.Probe(0x40));
+  (void)c.Access(0x40, false);
+  EXPECT_TRUE(c.Probe(0x40));
+  EXPECT_EQ(c.hits(), 0u);  // probes don't count
+}
+
+TEST(SramCache, LruEvictsOldest) {
+  SramCache c(TinyConfig());  // 16 sets, 4 ways
+  const std::uint64_t sets = c.num_sets();
+  // Five distinct tags to set 0: the first one must be evicted.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    (void)c.Access(i * sets * kBlockBytes, false);
+  }
+  EXPECT_FALSE(c.Probe(0));
+  EXPECT_TRUE(c.Probe(4 * sets * kBlockBytes));
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(SramCache, LruRefreshedByAccess) {
+  SramCache c(TinyConfig());
+  const std::uint64_t sets = c.num_sets();
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    (void)c.Access(i * sets * kBlockBytes, false);
+  }
+  (void)c.Access(0, false);  // refresh tag 0
+  (void)c.Access(4 * sets * kBlockBytes, false);  // evicts tag 1, not 0
+  EXPECT_TRUE(c.Probe(0));
+  EXPECT_FALSE(c.Probe(1 * sets * kBlockBytes));
+}
+
+TEST(SramCache, DirtyEvictionReportsVictim) {
+  SramCache c(TinyConfig());
+  const std::uint64_t sets = c.num_sets();
+  (void)c.Access(0, /*is_write=*/true);
+  for (std::uint64_t i = 1; i < 4; ++i) {
+    (void)c.Access(i * sets * kBlockBytes, false);
+  }
+  const auto r = c.Access(4 * sets * kBlockBytes, false);
+  ASSERT_TRUE(r.dirty_victim.has_value());
+  EXPECT_EQ(*r.dirty_victim, 0u);
+  EXPECT_EQ(c.dirty_evictions(), 1u);
+}
+
+TEST(SramCache, CleanEvictionSilent) {
+  SramCache c(TinyConfig());
+  const std::uint64_t sets = c.num_sets();
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto r = c.Access(i * sets * kBlockBytes, false);
+    EXPECT_FALSE(r.dirty_victim.has_value());
+  }
+}
+
+TEST(SramCache, InsertMarksDirty) {
+  SramCache c(TinyConfig());
+  EXPECT_FALSE(c.Insert(0x80, /*dirty=*/true).has_value());
+  EXPECT_TRUE(c.Probe(0x80));
+  // Evict it cleanly through read allocations and catch the writeback.
+  const std::uint64_t sets = c.num_sets();
+  std::optional<Addr> wb;
+  for (std::uint64_t i = 1; i <= 4 && !wb; ++i) {
+    wb = c.Access(0x80 + i * sets * kBlockBytes, false).dirty_victim;
+  }
+  ASSERT_TRUE(wb.has_value());
+  EXPECT_EQ(*wb, 0x80u);
+}
+
+TEST(SramCache, InvalidateReturnsDirtiness) {
+  SramCache c(TinyConfig());
+  (void)c.Access(0x100, true);
+  (void)c.Access(0x200, false);
+  EXPECT_TRUE(c.Invalidate(0x100));
+  EXPECT_FALSE(c.Invalidate(0x200));
+  EXPECT_FALSE(c.Invalidate(0x300));  // absent
+  EXPECT_FALSE(c.Probe(0x100));
+}
+
+TEST(SramCache, WriteSetsDirtyOnHit) {
+  SramCache c(TinyConfig());
+  (void)c.Access(0x140, false);
+  (void)c.Access(0x140, true);  // hit, dirties
+  EXPECT_TRUE(c.Invalidate(0x140));
+}
+
+TEST(SramCache, SubBlockAddressesShareALine) {
+  SramCache c(TinyConfig());
+  (void)c.Access(0x1000, false);
+  EXPECT_TRUE(c.Access(0x1030, false).hit);  // same 64 B block
+}
+
+}  // namespace
+}  // namespace redcache

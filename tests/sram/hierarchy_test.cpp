@@ -1,0 +1,84 @@
+#include "sram/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+HierarchyConfig SmallHierarchy() {
+  HierarchyConfig cfg;
+  cfg.num_cores = 2;
+  cfg.l1 = {.name = "l1", .size_bytes = 1_KiB, .ways = 2, .latency = 4};
+  cfg.l2 = {.name = "l2", .size_bytes = 4_KiB, .ways = 4, .latency = 12};
+  cfg.l3 = {.name = "l3", .size_bytes = 16_KiB, .ways = 8, .latency = 38};
+  return cfg;
+}
+
+TEST(Hierarchy, ColdMissGoesToMemory) {
+  CacheHierarchy h(SmallHierarchy());
+  const auto r = h.Access(0, 0x10000, false);
+  EXPECT_EQ(r.hit_level, 0u);
+  EXPECT_EQ(r.latency, 4u + 12u + 38u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  CacheHierarchy h(SmallHierarchy());
+  (void)h.Access(0, 0x10000, false);
+  const auto r = h.Access(0, 0x10000, false);
+  EXPECT_EQ(r.hit_level, 1u);
+  EXPECT_EQ(r.latency, 4u);
+}
+
+TEST(Hierarchy, PrivateL1sAreIndependent) {
+  CacheHierarchy h(SmallHierarchy());
+  (void)h.Access(0, 0x10000, false);
+  // Core 1 misses its own L1/L2 but finds the block in the shared L3.
+  const auto r = h.Access(1, 0x10000, false);
+  EXPECT_EQ(r.hit_level, 3u);
+}
+
+TEST(Hierarchy, EvictedL1BlockFoundInL2) {
+  const HierarchyConfig cfg = SmallHierarchy();
+  CacheHierarchy h(cfg);
+  // Fill L1 set 0 beyond capacity (2 ways, 8 sets => stride 512).
+  for (int i = 0; i < 3; ++i) {
+    (void)h.Access(0, 0x10000 + i * 512, false);
+  }
+  // The first block fell out of L1; must hit in L2.
+  const auto r = h.Access(0, 0x10000, false);
+  EXPECT_EQ(r.hit_level, 2u);
+}
+
+TEST(Hierarchy, DirtyDataMigratesDownToL3Writeback) {
+  CacheHierarchy h(SmallHierarchy());
+  // Write a block, then flush it through all levels with conflicting reads.
+  (void)h.Access(0, 0x0, true);
+  std::vector<Addr> wbs;
+  for (int i = 1; i < 200; ++i) {
+    auto r = h.Access(0, static_cast<Addr>(i) * 512, false);
+    wbs.insert(wbs.end(), r.writebacks.begin(), r.writebacks.end());
+  }
+  bool found = false;
+  for (const Addr a : wbs) {
+    if (a == 0) found = true;
+  }
+  EXPECT_TRUE(found) << "dirty block 0 never emerged as an L3 writeback";
+}
+
+TEST(Hierarchy, MissPathLatencySumsLevels) {
+  CacheHierarchy h(SmallHierarchy());
+  EXPECT_EQ(h.MissPathLatency(), 4u + 12u + 38u);
+}
+
+TEST(Hierarchy, WritebacksOnlyForDirtyData) {
+  CacheHierarchy h(SmallHierarchy());
+  std::size_t wb_count = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto r = h.Access(0, static_cast<Addr>(i) * 64, /*is_write=*/false);
+    wb_count += r.writebacks.size();
+  }
+  EXPECT_EQ(wb_count, 0u);  // read-only stream never writes back
+}
+
+}  // namespace
+}  // namespace redcache

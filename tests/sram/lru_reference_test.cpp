@@ -1,0 +1,89 @@
+// Property test: SramCache must agree with a trivially-correct reference
+// LRU model across way counts and access streams.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "sram/cache.hpp"
+
+namespace redcache {
+namespace {
+
+/// Reference model: per-set std::list ordered most-recent-first.
+class ReferenceLru {
+ public:
+  ReferenceLru(std::uint64_t sets, std::uint32_t ways)
+      : sets_(sets), ways_(ways), set_state_(sets) {}
+
+  struct Result {
+    bool hit;
+    std::optional<Addr> dirty_victim;
+  };
+
+  Result Access(Addr addr, bool is_write) {
+    const Addr tag = addr >> kBlockShift;
+    auto& lru = set_state_[tag & (sets_ - 1)];
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (it->tag == tag) {
+        it->dirty |= is_write;
+        lru.splice(lru.begin(), lru, it);
+        return {true, std::nullopt};
+      }
+    }
+    Result r{false, std::nullopt};
+    if (lru.size() == ways_) {
+      if (lru.back().dirty) {
+        r.dirty_victim = lru.back().tag << kBlockShift;
+      }
+      lru.pop_back();
+    }
+    lru.push_front({tag, is_write});
+    return r;
+  }
+
+ private:
+  struct Line {
+    Addr tag;
+    bool dirty;
+  };
+  std::uint64_t sets_;
+  std::uint32_t ways_;
+  std::vector<std::list<Line>> set_state_;
+};
+
+class LruEquivalence : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LruEquivalence, MatchesReferenceModel) {
+  const std::uint32_t ways = GetParam();
+  SramCacheConfig cfg{.name = "t", .size_bytes = 16_KiB, .ways = ways,
+                      .latency = 1};
+  SramCache cache(cfg);
+  ReferenceLru ref(cache.num_sets(), ways);
+  Rng rng(ways * 1000003);
+
+  for (int i = 0; i < 50000; ++i) {
+    // Skewed addresses so sets see real contention.
+    const Addr addr = (rng.Zipf(4096, 0.7)) * kBlockBytes;
+    const bool write = rng.Chance(0.3);
+    const auto got = cache.Access(addr, write);
+    const auto want = ref.Access(addr, write);
+    ASSERT_EQ(got.hit, want.hit) << "op " << i;
+    ASSERT_EQ(got.dirty_victim.has_value(), want.dirty_victim.has_value())
+        << "op " << i;
+    if (got.dirty_victim) {
+      ASSERT_EQ(*got.dirty_victim, *want.dirty_victim) << "op " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, LruEquivalence,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
+                           return "ways" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,120 @@
+#include "workloads/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace redcache {
+namespace {
+
+TEST(Benchmarks, AllElevenLabelsPresent) {
+  EXPECT_EQ(WorkloadLabels().size(), 11u);
+}
+
+TEST(Benchmarks, EveryLabelBuilds) {
+  for (const std::string& label : WorkloadLabels()) {
+    WorkloadBuildParams p;
+    p.num_cores = 4;
+    p.scale = 0.05;
+    auto trace = MakeWorkload(label, p);
+    ASSERT_NE(trace, nullptr) << label;
+    EXPECT_EQ(trace->num_cores(), 4u);
+    EXPECT_GT(trace->footprint_bytes(), 0u);
+    MemRef r;
+    EXPECT_TRUE(trace->Next(0, r)) << label << " produced no references";
+  }
+}
+
+TEST(Benchmarks, UnknownLabelThrows) {
+  EXPECT_THROW(MakeWorkload("NOPE", {}), std::invalid_argument);
+}
+
+TEST(Benchmarks, DescriptionsNonEmpty) {
+  for (const std::string& label : WorkloadLabels()) {
+    EXPECT_NE(WorkloadDescription(label), "unknown") << label;
+    EXPECT_FALSE(WorkloadDescription(label).empty());
+  }
+}
+
+TEST(Benchmarks, ScaleShrinksReferenceCount) {
+  const auto count_refs = [](double scale) {
+    WorkloadBuildParams p;
+    p.num_cores = 2;
+    p.scale = scale;
+    auto trace = MakeWorkload("LREG", p);
+    std::uint64_t n = 0;
+    MemRef r;
+    while (trace->Next(0, r)) n++;
+    return n;
+  };
+  const auto small = count_refs(0.05);
+  const auto large = count_refs(0.10);
+  EXPECT_GT(large, small);
+  EXPECT_NEAR(static_cast<double>(large) / small, 2.0, 0.3);
+}
+
+TEST(Benchmarks, DeterministicForFixedSeedSalt) {
+  WorkloadBuildParams p;
+  p.num_cores = 2;
+  p.scale = 0.02;
+  auto a = MakeWorkload("RDX", p);
+  auto b = MakeWorkload("RDX", p);
+  MemRef ra, rb;
+  while (a->Next(0, ra)) {
+    ASSERT_TRUE(b->Next(0, rb));
+    EXPECT_EQ(ra.addr, rb.addr);
+  }
+}
+
+TEST(Benchmarks, SeedSaltChangesStream) {
+  WorkloadBuildParams p;
+  p.num_cores = 1;
+  p.scale = 0.02;
+  auto a = MakeWorkload("HIST", p);
+  p.seed_salt = 99;
+  auto b = MakeWorkload("HIST", p);
+  MemRef ra, rb;
+  bool diverged = false;
+  for (int i = 0; i < 2000 && a->Next(0, ra) && b->Next(0, rb); ++i) {
+    if (ra.addr != rb.addr) {
+      diverged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Benchmarks, CoresTouchDisjointPrivateRegions) {
+  WorkloadBuildParams p;
+  p.num_cores = 2;
+  p.scale = 0.05;
+  auto trace = MakeWorkload("OCN", p);  // purely private sweeps
+  Addr max0 = 0, min1 = ~Addr{0};
+  MemRef r;
+  while (trace->Next(0, r)) max0 = std::max(max0, r.addr);
+  while (trace->Next(1, r)) min1 = std::min(min1, r.addr);
+  EXPECT_LT(max0, min1);
+}
+
+TEST(Benchmarks, SharedRegionsOverlapAcrossCores) {
+  WorkloadBuildParams p;
+  p.num_cores = 2;
+  p.scale = 0.05;
+  auto trace = MakeWorkload("BRN", p);  // shared tree + private particles
+  std::set<Addr> blocks0, blocks1;
+  MemRef r;
+  while (trace->Next(0, r)) blocks0.insert(BlockAlign(r.addr));
+  while (trace->Next(1, r)) blocks1.insert(BlockAlign(r.addr));
+  bool overlap = false;
+  for (const Addr a : blocks0) {
+    if (blocks1.count(a)) {
+      overlap = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(overlap);
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workloads/kernel_trace.hpp"
+
+namespace redcache {
+namespace {
+
+Kernel DualSweepKernel() {
+  Kernel k;
+  k.kind = Kernel::Kind::kDualSweep;
+  k.base = 0;
+  k.size = 64 * 1024;       // 1024 cold blocks
+  k.passes = 1;
+  k.hot_base = 8_MiB;
+  k.hot_size = 64 * 128;    // 128 hot blocks
+  k.p_hot = 0.5;
+  k.write_frac = 0.0;
+  k.pause_every = 0;
+  return k;
+}
+
+TEST(DualSweep, ColdBlocksTouchedOncePerPass) {
+  KernelTrace t("t", {{DualSweepKernel()}}, 3);
+  std::map<Addr, int> cold;
+  MemRef r;
+  while (t.Next(0, r)) {
+    if (r.addr < 8_MiB) cold[BlockAlign(r.addr)]++;
+  }
+  for (const auto& [addr, n] : cold) {
+    EXPECT_EQ(n, 1) << addr;
+  }
+}
+
+TEST(DualSweep, HotBlocksGetUniformReuse) {
+  KernelTrace t("t", {{DualSweepKernel()}}, 3);
+  std::map<Addr, int> hot;
+  MemRef r;
+  while (t.Next(0, r)) {
+    if (r.addr >= 8_MiB) hot[BlockAlign(r.addr)]++;
+  }
+  // Expected touches per hot block ~ p/(1-p) * cold/hot = 8.
+  ASSERT_FALSE(hot.empty());
+  int min_n = 1 << 30, max_n = 0;
+  for (const auto& [addr, n] : hot) {
+    min_n = std::min(min_n, n);
+    max_n = std::max(max_n, n);
+  }
+  EXPECT_GE(min_n, 6);   // homo-reuse: a tight band, not a Zipf smear
+  EXPECT_LE(max_n, 10);
+}
+
+TEST(DualSweep, HotShareMatchesProbability) {
+  KernelTrace t("t", {{DualSweepKernel()}}, 7);
+  std::uint64_t hot = 0, total = 0;
+  MemRef r;
+  while (t.Next(0, r)) {
+    total++;
+    if (r.addr >= 8_MiB) hot++;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / static_cast<double>(total), 0.5,
+              0.05);
+}
+
+TEST(DualSweep, SeparateHotWriteFraction) {
+  Kernel k = DualSweepKernel();
+  k.write_frac = 0.9;      // cold scatter output: write heavy
+  k.hot_write_frac = 0.1;  // hot keys: read mostly
+  KernelTrace t("t", {{k}}, 9);
+  std::uint64_t hot_w = 0, hot_n = 0, cold_w = 0, cold_n = 0;
+  MemRef r;
+  while (t.Next(0, r)) {
+    if (r.addr >= 8_MiB) {
+      hot_n++;
+      hot_w += r.is_write;
+    } else {
+      cold_n++;
+      cold_w += r.is_write;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hot_w) / hot_n, 0.1, 0.05);
+  EXPECT_NEAR(static_cast<double>(cold_w) / cold_n, 0.9, 0.05);
+}
+
+TEST(DualSweep, PausesInsertLongGaps) {
+  Kernel k = DualSweepKernel();
+  k.pause_every = 64;
+  k.pause_cycles = 5000;
+  KernelTrace t("t", {{k}}, 11);
+  MemRef r;
+  std::uint64_t long_gaps = 0, total = 0;
+  while (t.Next(0, r)) {
+    total++;
+    if (r.gap > 1000) long_gaps++;
+  }
+  EXPECT_NEAR(static_cast<double>(long_gaps),
+              static_cast<double>(total) / 64.0,
+              static_cast<double>(total) / 64.0 * 0.5);
+}
+
+}  // namespace
+}  // namespace redcache

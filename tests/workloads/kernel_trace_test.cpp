@@ -1,0 +1,198 @@
+#include "workloads/kernel_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace redcache {
+namespace {
+
+std::vector<MemRef> Collect(KernelTrace& t, std::uint32_t core) {
+  std::vector<MemRef> out;
+  MemRef r;
+  while (t.Next(core, r)) out.push_back(r);
+  return out;
+}
+
+Kernel SweepKernel(Addr base, std::uint64_t size, std::uint32_t passes) {
+  Kernel k;
+  k.kind = Kernel::Kind::kSweep;
+  k.base = base;
+  k.size = size;
+  k.passes = passes;
+  k.write_frac = 0.0;
+  return k;
+}
+
+TEST(KernelTrace, SweepEmitsEveryBlockPerPass) {
+  KernelTrace t("t", {{SweepKernel(0, 64 * 16, 2)}}, 1);
+  const auto refs = Collect(t, 0);
+  ASSERT_EQ(refs.size(), 32u);
+  std::map<Addr, int> counts;
+  for (const auto& r : refs) counts[BlockAlign(r.addr)]++;
+  EXPECT_EQ(counts.size(), 16u);
+  for (const auto& [addr, n] : counts) EXPECT_EQ(n, 2) << addr;
+}
+
+TEST(KernelTrace, SweepRespectsBase) {
+  KernelTrace t("t", {{SweepKernel(1_MiB, 64 * 4, 1)}}, 1);
+  const auto refs = Collect(t, 0);
+  for (const auto& r : refs) {
+    EXPECT_GE(r.addr, 1_MiB);
+    EXPECT_LT(r.addr, 1_MiB + 256);
+  }
+}
+
+TEST(KernelTrace, TiledVisitsTilesSequentially) {
+  Kernel k;
+  k.kind = Kernel::Kind::kTiled;
+  k.base = 0;
+  k.size = 4096;          // 2 tiles of 2 KiB
+  k.tile_bytes = 2048;
+  k.tile_passes = 3;
+  k.write_frac = 0.0;
+  KernelTrace t("t", {{k}}, 1);
+  const auto refs = Collect(t, 0);
+  ASSERT_EQ(refs.size(), 2u * 32 * 3);  // 32 blocks/tile * 3 passes * 2 tiles
+  // First half of the trace stays inside tile 0.
+  for (std::size_t i = 0; i < refs.size() / 2; ++i) {
+    EXPECT_LT(refs[i].addr, 2048u);
+  }
+  for (std::size_t i = refs.size() / 2; i < refs.size(); ++i) {
+    EXPECT_GE(refs[i].addr, 2048u);
+  }
+}
+
+TEST(KernelTrace, HotStaysInRegionAndSkews) {
+  Kernel k;
+  k.kind = Kernel::Kind::kHot;
+  k.base = 4096;
+  k.size = 64 * 1024;
+  k.refs = 20000;
+  k.zipf_s = 1.0;
+  KernelTrace t("t", {{k}}, 7);
+  std::map<Addr, int> counts;
+  MemRef r;
+  while (t.Next(0, r)) {
+    ASSERT_GE(r.addr, 4096u);
+    ASSERT_LT(r.addr, 4096u + 64 * 1024);
+    counts[BlockAlign(r.addr)]++;
+  }
+  // Skew: the most popular block sees far more than the mean.
+  int max_count = 0;
+  for (const auto& [_, n] : counts) max_count = std::max(max_count, n);
+  EXPECT_GT(max_count, 3 * 20000 / 1024);
+}
+
+TEST(KernelTrace, ScatterCoversRegion) {
+  Kernel k;
+  k.kind = Kernel::Kind::kScatter;
+  k.base = 0;
+  k.size = 64 * 256;
+  k.refs = 5000;
+  KernelTrace t("t", {{k}}, 3);
+  std::set<Addr> blocks;
+  MemRef r;
+  while (t.Next(0, r)) blocks.insert(BlockAlign(r.addr));
+  EXPECT_GT(blocks.size(), 200u);  // most of the 256 blocks touched
+}
+
+TEST(KernelTrace, ScatterHotSplitsTraffic) {
+  Kernel k;
+  k.kind = Kernel::Kind::kScatterHot;
+  k.base = 0;
+  k.size = 1_MiB;
+  k.hot_base = 8_MiB;
+  k.hot_size = 64 * 1024;
+  k.p_hot = 0.5;
+  k.refs = 10000;
+  KernelTrace t("t", {{k}}, 5);
+  std::uint64_t hot = 0, cold = 0;
+  MemRef r;
+  while (t.Next(0, r)) {
+    if (r.addr >= 8_MiB) hot++; else cold++;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / (hot + cold), 0.5, 0.05);
+}
+
+TEST(KernelTrace, WriteFractionHonored) {
+  Kernel k = SweepKernel(0, 64 * 4096, 4);
+  k.write_frac = 0.3;
+  KernelTrace t("t", {{k}}, 11);
+  std::uint64_t writes = 0, total = 0;
+  MemRef r;
+  while (t.Next(0, r)) {
+    total++;
+    writes += r.is_write ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / total, 0.3, 0.03);
+}
+
+TEST(KernelTrace, DeterministicAcrossInstances) {
+  const auto make = [] {
+    Kernel k;
+    k.kind = Kernel::Kind::kScatter;
+    k.base = 0;
+    k.size = 1_MiB;
+    k.refs = 1000;
+    return KernelTrace("t", {{k}}, 42);
+  };
+  auto a = make();
+  auto b = make();
+  MemRef ra, rb;
+  while (a.Next(0, ra)) {
+    ASSERT_TRUE(b.Next(0, rb));
+    EXPECT_EQ(ra.addr, rb.addr);
+    EXPECT_EQ(ra.is_write, rb.is_write);
+    EXPECT_EQ(ra.gap, rb.gap);
+  }
+  EXPECT_FALSE(b.Next(0, rb));
+}
+
+TEST(KernelTrace, CoresHaveIndependentStreams) {
+  Kernel k;
+  k.kind = Kernel::Kind::kScatter;
+  k.base = 0;
+  k.size = 1_MiB;
+  k.refs = 100;
+  KernelTrace t("t", {{k}, {k}}, 42);
+  MemRef r0, r1;
+  ASSERT_TRUE(t.Next(0, r0));
+  ASSERT_TRUE(t.Next(1, r1));
+  EXPECT_NE(r0.addr, r1.addr);  // different per-core seeds
+}
+
+TEST(KernelTrace, MultiKernelProgramRunsInOrder) {
+  KernelTrace t("t", {{SweepKernel(0, 256, 1), SweepKernel(1_MiB, 256, 1)}},
+                1);
+  const auto refs = Collect(t, 0);
+  ASSERT_EQ(refs.size(), 8u);
+  for (int i = 0; i < 4; ++i) EXPECT_LT(refs[i].addr, 1_MiB);
+  for (int i = 4; i < 8; ++i) EXPECT_GE(refs[i].addr, 1_MiB);
+}
+
+TEST(KernelTrace, GapsPositiveAndNearMean) {
+  Kernel k = SweepKernel(0, 64 * 8192, 2);
+  k.gap_mean = 6;
+  k.pause_every = 0;  // disable compute stretches for the mean check
+  KernelTrace t("t", {{k}}, 9);
+  double sum = 0;
+  std::uint64_t n = 0;
+  MemRef r;
+  while (t.Next(0, r)) {
+    EXPECT_GE(r.gap, 1u);
+    sum += r.gap;
+    n++;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(n), 6.0, 1.0);
+}
+
+TEST(KernelTrace, FootprintCoversRegions) {
+  KernelTrace t("t", {{SweepKernel(0, 1_MiB, 1), SweepKernel(4_MiB, 1_MiB, 1)}},
+                1);
+  EXPECT_EQ(t.footprint_bytes(), 5_MiB);
+}
+
+}  // namespace
+}  // namespace redcache

@@ -1,0 +1,87 @@
+#include "workloads/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache {
+namespace {
+
+TEST(BlockProfiler, CountsRequestsAndBlocks) {
+  BlockProfiler p;
+  p.OnRequest(0, false);
+  p.OnRequest(0, false);
+  p.OnRequest(64, false);
+  EXPECT_EQ(p.total_requests(), 3u);
+  EXPECT_EQ(p.distinct_blocks(), 2u);
+}
+
+TEST(BlockProfiler, GroupsByReuseCount) {
+  BlockProfiler p;
+  // Block 0: 3 accesses (2 reuses); blocks 1,2: 1 access (0 reuses).
+  for (int i = 0; i < 3; ++i) p.OnRequest(0, false);
+  p.OnRequest(64, false);
+  p.OnRequest(128, false);
+  const auto groups = p.Groups(1);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].reuses, 0u);
+  EXPECT_EQ(groups[0].blocks, 2u);
+  EXPECT_EQ(groups[1].reuses, 2u);
+  EXPECT_EQ(groups[1].blocks, 1u);
+}
+
+TEST(BlockProfiler, CostSharesSumToOne) {
+  BlockProfiler p;
+  for (Addr a = 0; a < 50; ++a) {
+    for (Addr touch = 0; touch <= a % 5; ++touch) {
+      p.OnRequest(a * 64, false);
+    }
+  }
+  double total = 0;
+  for (const auto& g : p.Groups(1)) total += g.cost_share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BlockProfiler, BucketsMergeNeighbours) {
+  BlockProfiler p;
+  for (int i = 0; i < 4; ++i) p.OnRequest(0, false);    // 3 reuses
+  for (int i = 0; i < 5; ++i) p.OnRequest(64, false);   // 4 reuses
+  const auto groups = p.Groups(4);
+  // reuse 3 -> bucket 0; reuse 4 -> bucket 4.
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].reuses, 0u);
+  EXPECT_EQ(groups[1].reuses, 4u);
+}
+
+TEST(BlockProfiler, LastAccessWritebackFraction) {
+  BlockProfiler p;
+  p.OnRequest(0, false);
+  p.OnRequest(0, true);   // last access of block 0 is a writeback
+  p.OnRequest(64, true);
+  p.OnRequest(64, false);  // last access of block 1 is a read
+  EXPECT_DOUBLE_EQ(p.LastAccessWritebackFraction(), 0.5);
+}
+
+TEST(BlockProfiler, UniformPageHasAllBlocksInFirstBin) {
+  BlockProfiler p;
+  // All 64 blocks of page 0 accessed exactly twice: sigma = 0.
+  for (std::uint32_t b = 0; b < kBlocksPerPage; ++b) {
+    p.OnRequest(b * kBlockBytes, false);
+    p.OnRequest(b * kBlockBytes, false);
+  }
+  const auto u = p.PageReuseUniformity();
+  EXPECT_DOUBLE_EQ(u.within_one, 1.0);
+  EXPECT_DOUBLE_EQ(u.within_two, 0.0);
+}
+
+TEST(BlockProfiler, OutlierBlockLandsOutsideFirstBin) {
+  BlockProfiler p;
+  for (std::uint32_t b = 0; b < kBlocksPerPage; ++b) {
+    p.OnRequest(b * kBlockBytes, false);
+  }
+  // One block is hammered far beyond its page-mates.
+  for (int i = 0; i < 64; ++i) p.OnRequest(0, false);
+  const auto u = p.PageReuseUniformity();
+  EXPECT_LT(u.within_one, 1.0);
+}
+
+}  // namespace
+}  // namespace redcache

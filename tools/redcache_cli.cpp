@@ -1,0 +1,254 @@
+// redcache_cli — the swiss-army driver for one-off experiments.
+//
+//   redcache_cli --arch RedCache --workload LU
+//   redcache_cli --arch Alloy --workload RDX --scale 0.5 --stats
+//   redcache_cli --arch RedCache --ways 4 --workload FT
+//   redcache_cli --footprint --workload HIST
+//   redcache_cli --capture lu.rctr --workload LU        # snapshot a trace
+//   redcache_cli --arch Bear --trace lu.rctr            # replay it
+//   redcache_cli --list
+//
+// Exit code 0 on success; prints a one-line summary plus optional full
+// counter dump.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dramcache/assoc_redcache.hpp"
+#include "dramcache/footprint.hpp"
+#include "sim/runner.hpp"
+#include "workloads/trace_file.hpp"
+
+namespace {
+
+using namespace redcache;
+
+struct CliOptions {
+  std::string arch = "RedCache";
+  std::string workload = "LU";
+  std::optional<std::string> trace_path;
+  std::optional<std::string> capture_path;
+  double scale = 1.0;
+  bool paper_preset = false;
+  bool dump_stats = false;
+  bool list = false;
+  std::uint32_t ways = 0;         ///< >1 selects the associative RedCache
+  bool footprint = false;         ///< coarse-grained baseline
+  std::optional<std::uint64_t> hbm_mib;
+  std::optional<std::uint32_t> alpha;
+  std::optional<std::uint32_t> gamma;
+  std::uint64_t seed = 1;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: redcache_cli [options]\n"
+      "  --arch NAME        No-HBM|IDEAL|Alloy|Bear|Red-Alpha|Red-Gamma|\n"
+      "                     Red-Basic|Red-InSitu|RedCache (default RedCache)\n"
+      "  --workload LABEL   Table II label (default LU)\n"
+      "  --trace FILE       replay a captured trace instead of a workload\n"
+      "  --capture FILE     write the workload's trace to FILE and exit\n"
+      "  --scale X          workload scale factor (default 1.0)\n"
+      "  --paper            use the verbatim Table I preset (2 GiB HBM)\n"
+      "  --hbm-mib N        override HBM cache capacity\n"
+      "  --ways N           N-way associative RedCache (extension)\n"
+      "  --footprint        coarse-grained footprint-cache baseline\n"
+      "  --alpha N          pin alpha (disables adaptation)\n"
+      "  --gamma N          pin gamma (disables adaptation)\n"
+      "  --seed N           simulation seed\n"
+      "  --stats            dump every counter after the run\n"
+      "  --list             list architectures and workloads\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--arch") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.arch = v;
+    } else if (arg == "--workload") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.workload = v;
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.trace_path = v;
+    } else if (arg == "--capture") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.capture_path = v;
+    } else if (arg == "--scale") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.scale = std::atof(v);
+    } else if (arg == "--paper") {
+      opt.paper_preset = true;
+    } else if (arg == "--hbm-mib") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.hbm_mib = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--ways") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.ways = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--footprint") {
+      opt.footprint = true;
+    } else if (arg == "--alpha") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.alpha = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--gamma") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.gamma = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--stats") {
+      opt.dump_stats = true;
+    } else if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+RedCacheOptions TunedOptions(const CliOptions& opt) {
+  RedCacheOptions o = RedCacheOptions::Full();
+  if (opt.alpha) {
+    o.alpha.initial_alpha = *opt.alpha;
+    o.alpha.min_alpha = *opt.alpha;
+    o.alpha.max_alpha = *opt.alpha;
+    o.alpha.adaptive = false;
+  }
+  if (opt.gamma) {
+    o.gamma.initial_gamma = *opt.gamma;
+    o.gamma.min_gamma = *opt.gamma;
+    o.gamma.max_gamma = *opt.gamma;
+  }
+  return o;
+}
+
+int Run(const CliOptions& opt) {
+  SimPreset preset = opt.paper_preset ? PaperPreset() : EvalPreset();
+  if (opt.hbm_mib) {
+    preset.mem.hbm = HbmCacheConfig(*opt.hbm_mib << 20);
+  }
+
+  // Trace source: captured file or synthetic workload.
+  std::unique_ptr<TraceSource> trace;
+  if (opt.trace_path) {
+    trace = std::make_unique<FileTraceSource>(*opt.trace_path);
+  } else {
+    WorkloadBuildParams wp;
+    wp.num_cores = preset.hierarchy.num_cores;
+    wp.scale = EffectiveScale(opt.scale);
+    trace = MakeWorkload(opt.workload, wp);
+  }
+
+  if (opt.capture_path) {
+    TraceFileWriter writer(*opt.capture_path, trace->num_cores());
+    writer.CaptureAll(*trace);
+    writer.Flush();
+    std::printf("captured %llu records to %s\n",
+                static_cast<unsigned long long>(writer.records_written()),
+                opt.capture_path->c_str());
+    return 0;
+  }
+
+  // Controller: extension flags first, then the standard registry.
+  std::unique_ptr<MemController> ctrl;
+  std::string arch_label = opt.arch;
+  if (opt.footprint) {
+    ctrl = std::make_unique<FootprintCacheController>(preset.mem);
+    arch_label = "footprint-2KB";
+  } else if (opt.ways > 1) {
+    ctrl = std::make_unique<AssocRedCacheController>(
+        preset.mem, TunedOptions(opt), opt.ways);
+    arch_label = "RedCache-" + std::to_string(opt.ways) + "way";
+  } else if (opt.alpha || opt.gamma) {
+    ctrl = std::make_unique<RedCacheController>(preset.mem, TunedOptions(opt),
+                                                "redcache-pinned");
+    arch_label = "RedCache-pinned";
+  } else {
+    ctrl = MakeController(ArchFromString(opt.arch), preset.mem);
+  }
+
+  System system(preset.hierarchy, preset.core, std::move(ctrl),
+                std::move(trace), opt.seed);
+  const RunResult r = system.Run();
+  if (!r.completed) {
+    std::fprintf(stderr, "simulation did not complete\n");
+    return 1;
+  }
+
+  const auto hits = r.stats.GetCounter("ctrl.cache_hits");
+  const auto misses = r.stats.GetCounter("ctrl.cache_misses");
+  std::printf(
+      "%s on %s: %llu cycles (%.2f ms @3.2GHz), hit rate %.1f%%, "
+      "HBM %.3f GB, DDR4 %.3f GB, system energy %.2f mJ\n",
+      arch_label.c_str(),
+      opt.trace_path ? opt.trace_path->c_str() : opt.workload.c_str(),
+      static_cast<unsigned long long>(r.exec_cycles),
+      static_cast<double>(r.exec_cycles) / 3.2e9 * 1e3,
+      hits + misses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(hits) /
+                static_cast<double>(hits + misses),
+      static_cast<double>(r.HbmBytes()) / 1e9,
+      static_cast<double>(r.MmBytes()) / 1e9, r.energy.SystemNj() / 1e6);
+
+  if (opt.dump_stats) {
+    std::printf("%s", r.stats.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!ParseArgs(argc, argv, opt)) {
+    PrintUsage();
+    return 2;
+  }
+  if (opt.list) {
+    std::printf("architectures:");
+    for (Arch a : {Arch::kNoHbm, Arch::kIdeal, Arch::kAlloy, Arch::kBear,
+                   Arch::kRedAlpha, Arch::kRedGamma, Arch::kRedBasic,
+                   Arch::kRedInSitu, Arch::kRedCache}) {
+      std::printf(" %s", ToString(a));
+    }
+    std::printf("\nworkloads:");
+    for (const std::string& wl : WorkloadLabels()) {
+      std::printf(" %s", wl.c_str());
+    }
+    std::printf("\nextensions: --ways N (associative RedCache), "
+                "--footprint (coarse-grained baseline)\n");
+    return 0;
+  }
+  try {
+    return Run(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
