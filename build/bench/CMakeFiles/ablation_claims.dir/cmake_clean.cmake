@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_claims.dir/ablation_claims.cpp.o"
+  "CMakeFiles/ablation_claims.dir/ablation_claims.cpp.o.d"
+  "ablation_claims"
+  "ablation_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

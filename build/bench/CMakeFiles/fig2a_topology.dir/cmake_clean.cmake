@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_topology.dir/fig2a_topology.cpp.o"
+  "CMakeFiles/fig2a_topology.dir/fig2a_topology.cpp.o.d"
+  "fig2a_topology"
+  "fig2a_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

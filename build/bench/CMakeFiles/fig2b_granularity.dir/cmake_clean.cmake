@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_granularity.dir/fig2b_granularity.cpp.o"
+  "CMakeFiles/fig2b_granularity.dir/fig2b_granularity.cpp.o.d"
+  "fig2b_granularity"
+  "fig2b_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

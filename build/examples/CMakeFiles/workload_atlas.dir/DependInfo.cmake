@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workload_atlas.cpp" "examples/CMakeFiles/workload_atlas.dir/workload_atlas.cpp.o" "gcc" "examples/CMakeFiles/workload_atlas.dir/workload_atlas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/redcache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/redcache_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sram/CMakeFiles/redcache_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/redcache_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/redcache_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramcache/CMakeFiles/redcache_dramcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/redcache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/redcache_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/redcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

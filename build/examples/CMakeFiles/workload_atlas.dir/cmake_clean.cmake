@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_atlas.dir/workload_atlas.cpp.o"
+  "CMakeFiles/workload_atlas.dir/workload_atlas.cpp.o.d"
+  "workload_atlas"
+  "workload_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

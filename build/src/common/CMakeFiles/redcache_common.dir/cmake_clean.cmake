@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcache_common.dir/rng.cpp.o"
+  "CMakeFiles/redcache_common.dir/rng.cpp.o.d"
+  "CMakeFiles/redcache_common.dir/stats.cpp.o"
+  "CMakeFiles/redcache_common.dir/stats.cpp.o.d"
+  "CMakeFiles/redcache_common.dir/table.cpp.o"
+  "CMakeFiles/redcache_common.dir/table.cpp.o.d"
+  "CMakeFiles/redcache_common.dir/types.cpp.o"
+  "CMakeFiles/redcache_common.dir/types.cpp.o.d"
+  "libredcache_common.a"
+  "libredcache_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcache_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

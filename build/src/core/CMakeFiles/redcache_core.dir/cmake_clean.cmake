@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcache_core.dir/alpha_table.cpp.o"
+  "CMakeFiles/redcache_core.dir/alpha_table.cpp.o.d"
+  "CMakeFiles/redcache_core.dir/rcu.cpp.o"
+  "CMakeFiles/redcache_core.dir/rcu.cpp.o.d"
+  "libredcache_core.a"
+  "libredcache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

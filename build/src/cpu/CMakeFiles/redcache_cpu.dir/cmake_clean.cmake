@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcache_cpu.dir/core.cpp.o"
+  "CMakeFiles/redcache_cpu.dir/core.cpp.o.d"
+  "libredcache_cpu.a"
+  "libredcache_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcache_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

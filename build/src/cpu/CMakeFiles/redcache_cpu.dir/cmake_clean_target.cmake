@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libredcache_cpu.a"
+)

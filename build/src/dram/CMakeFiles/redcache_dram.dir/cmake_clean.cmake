@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcache_dram.dir/address.cpp.o"
+  "CMakeFiles/redcache_dram.dir/address.cpp.o.d"
+  "CMakeFiles/redcache_dram.dir/channel.cpp.o"
+  "CMakeFiles/redcache_dram.dir/channel.cpp.o.d"
+  "CMakeFiles/redcache_dram.dir/dram_system.cpp.o"
+  "CMakeFiles/redcache_dram.dir/dram_system.cpp.o.d"
+  "CMakeFiles/redcache_dram.dir/timing.cpp.o"
+  "CMakeFiles/redcache_dram.dir/timing.cpp.o.d"
+  "libredcache_dram.a"
+  "libredcache_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcache_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dramcache/alloy.cpp" "src/dramcache/CMakeFiles/redcache_dramcache.dir/alloy.cpp.o" "gcc" "src/dramcache/CMakeFiles/redcache_dramcache.dir/alloy.cpp.o.d"
+  "/root/repo/src/dramcache/assoc_redcache.cpp" "src/dramcache/CMakeFiles/redcache_dramcache.dir/assoc_redcache.cpp.o" "gcc" "src/dramcache/CMakeFiles/redcache_dramcache.dir/assoc_redcache.cpp.o.d"
+  "/root/repo/src/dramcache/bear.cpp" "src/dramcache/CMakeFiles/redcache_dramcache.dir/bear.cpp.o" "gcc" "src/dramcache/CMakeFiles/redcache_dramcache.dir/bear.cpp.o.d"
+  "/root/repo/src/dramcache/controller.cpp" "src/dramcache/CMakeFiles/redcache_dramcache.dir/controller.cpp.o" "gcc" "src/dramcache/CMakeFiles/redcache_dramcache.dir/controller.cpp.o.d"
+  "/root/repo/src/dramcache/factory.cpp" "src/dramcache/CMakeFiles/redcache_dramcache.dir/factory.cpp.o" "gcc" "src/dramcache/CMakeFiles/redcache_dramcache.dir/factory.cpp.o.d"
+  "/root/repo/src/dramcache/footprint.cpp" "src/dramcache/CMakeFiles/redcache_dramcache.dir/footprint.cpp.o" "gcc" "src/dramcache/CMakeFiles/redcache_dramcache.dir/footprint.cpp.o.d"
+  "/root/repo/src/dramcache/ideal.cpp" "src/dramcache/CMakeFiles/redcache_dramcache.dir/ideal.cpp.o" "gcc" "src/dramcache/CMakeFiles/redcache_dramcache.dir/ideal.cpp.o.d"
+  "/root/repo/src/dramcache/no_hbm.cpp" "src/dramcache/CMakeFiles/redcache_dramcache.dir/no_hbm.cpp.o" "gcc" "src/dramcache/CMakeFiles/redcache_dramcache.dir/no_hbm.cpp.o.d"
+  "/root/repo/src/dramcache/redcache.cpp" "src/dramcache/CMakeFiles/redcache_dramcache.dir/redcache.cpp.o" "gcc" "src/dramcache/CMakeFiles/redcache_dramcache.dir/redcache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/redcache_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/redcache_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/redcache_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcache_dramcache.dir/alloy.cpp.o"
+  "CMakeFiles/redcache_dramcache.dir/alloy.cpp.o.d"
+  "CMakeFiles/redcache_dramcache.dir/assoc_redcache.cpp.o"
+  "CMakeFiles/redcache_dramcache.dir/assoc_redcache.cpp.o.d"
+  "CMakeFiles/redcache_dramcache.dir/bear.cpp.o"
+  "CMakeFiles/redcache_dramcache.dir/bear.cpp.o.d"
+  "CMakeFiles/redcache_dramcache.dir/controller.cpp.o"
+  "CMakeFiles/redcache_dramcache.dir/controller.cpp.o.d"
+  "CMakeFiles/redcache_dramcache.dir/factory.cpp.o"
+  "CMakeFiles/redcache_dramcache.dir/factory.cpp.o.d"
+  "CMakeFiles/redcache_dramcache.dir/footprint.cpp.o"
+  "CMakeFiles/redcache_dramcache.dir/footprint.cpp.o.d"
+  "CMakeFiles/redcache_dramcache.dir/ideal.cpp.o"
+  "CMakeFiles/redcache_dramcache.dir/ideal.cpp.o.d"
+  "CMakeFiles/redcache_dramcache.dir/no_hbm.cpp.o"
+  "CMakeFiles/redcache_dramcache.dir/no_hbm.cpp.o.d"
+  "CMakeFiles/redcache_dramcache.dir/redcache.cpp.o"
+  "CMakeFiles/redcache_dramcache.dir/redcache.cpp.o.d"
+  "libredcache_dramcache.a"
+  "libredcache_dramcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcache_dramcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for redcache_dramcache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcache_energy.dir/model.cpp.o"
+  "CMakeFiles/redcache_energy.dir/model.cpp.o.d"
+  "libredcache_energy.a"
+  "libredcache_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcache_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcache_sim.dir/presets.cpp.o"
+  "CMakeFiles/redcache_sim.dir/presets.cpp.o.d"
+  "CMakeFiles/redcache_sim.dir/runner.cpp.o"
+  "CMakeFiles/redcache_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/redcache_sim.dir/system.cpp.o"
+  "CMakeFiles/redcache_sim.dir/system.cpp.o.d"
+  "libredcache_sim.a"
+  "libredcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

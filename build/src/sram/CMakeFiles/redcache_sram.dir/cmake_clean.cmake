@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcache_sram.dir/cache.cpp.o"
+  "CMakeFiles/redcache_sram.dir/cache.cpp.o.d"
+  "CMakeFiles/redcache_sram.dir/hierarchy.cpp.o"
+  "CMakeFiles/redcache_sram.dir/hierarchy.cpp.o.d"
+  "libredcache_sram.a"
+  "libredcache_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcache_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/benchmarks.cpp" "src/workloads/CMakeFiles/redcache_workloads.dir/benchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/redcache_workloads.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/workloads/kernel_trace.cpp" "src/workloads/CMakeFiles/redcache_workloads.dir/kernel_trace.cpp.o" "gcc" "src/workloads/CMakeFiles/redcache_workloads.dir/kernel_trace.cpp.o.d"
+  "/root/repo/src/workloads/profiler.cpp" "src/workloads/CMakeFiles/redcache_workloads.dir/profiler.cpp.o" "gcc" "src/workloads/CMakeFiles/redcache_workloads.dir/profiler.cpp.o.d"
+  "/root/repo/src/workloads/trace_file.cpp" "src/workloads/CMakeFiles/redcache_workloads.dir/trace_file.cpp.o" "gcc" "src/workloads/CMakeFiles/redcache_workloads.dir/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/redcache_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcache_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/redcache_workloads.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/redcache_workloads.dir/kernel_trace.cpp.o"
+  "CMakeFiles/redcache_workloads.dir/kernel_trace.cpp.o.d"
+  "CMakeFiles/redcache_workloads.dir/profiler.cpp.o"
+  "CMakeFiles/redcache_workloads.dir/profiler.cpp.o.d"
+  "CMakeFiles/redcache_workloads.dir/trace_file.cpp.o"
+  "CMakeFiles/redcache_workloads.dir/trace_file.cpp.o.d"
+  "libredcache_workloads.a"
+  "libredcache_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcache_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/alpha_decay_test.cpp.o"
+  "CMakeFiles/core_tests.dir/alpha_decay_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/alpha_table_test.cpp.o"
+  "CMakeFiles/core_tests.dir/alpha_table_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/gamma_test.cpp.o"
+  "CMakeFiles/core_tests.dir/gamma_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/rcu_test.cpp.o"
+  "CMakeFiles/core_tests.dir/rcu_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

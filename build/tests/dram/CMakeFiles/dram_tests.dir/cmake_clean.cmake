@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_tests.dir/address_test.cpp.o"
+  "CMakeFiles/dram_tests.dir/address_test.cpp.o.d"
+  "CMakeFiles/dram_tests.dir/channel_test.cpp.o"
+  "CMakeFiles/dram_tests.dir/channel_test.cpp.o.d"
+  "CMakeFiles/dram_tests.dir/dram_system_test.cpp.o"
+  "CMakeFiles/dram_tests.dir/dram_system_test.cpp.o.d"
+  "CMakeFiles/dram_tests.dir/property_test.cpp.o"
+  "CMakeFiles/dram_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/dram_tests.dir/timing_constraints_test.cpp.o"
+  "CMakeFiles/dram_tests.dir/timing_constraints_test.cpp.o.d"
+  "CMakeFiles/dram_tests.dir/timing_test.cpp.o"
+  "CMakeFiles/dram_tests.dir/timing_test.cpp.o.d"
+  "dram_tests"
+  "dram_tests.pdb"
+  "dram_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramcache_tests.dir/alloy_test.cpp.o"
+  "CMakeFiles/dramcache_tests.dir/alloy_test.cpp.o.d"
+  "CMakeFiles/dramcache_tests.dir/assoc_tags_test.cpp.o"
+  "CMakeFiles/dramcache_tests.dir/assoc_tags_test.cpp.o.d"
+  "CMakeFiles/dramcache_tests.dir/bear_test.cpp.o"
+  "CMakeFiles/dramcache_tests.dir/bear_test.cpp.o.d"
+  "CMakeFiles/dramcache_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/dramcache_tests.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/dramcache_tests.dir/factory_test.cpp.o"
+  "CMakeFiles/dramcache_tests.dir/factory_test.cpp.o.d"
+  "CMakeFiles/dramcache_tests.dir/no_hbm_ideal_test.cpp.o"
+  "CMakeFiles/dramcache_tests.dir/no_hbm_ideal_test.cpp.o.d"
+  "CMakeFiles/dramcache_tests.dir/redcache_adaptation_test.cpp.o"
+  "CMakeFiles/dramcache_tests.dir/redcache_adaptation_test.cpp.o.d"
+  "CMakeFiles/dramcache_tests.dir/redcache_flow_test.cpp.o"
+  "CMakeFiles/dramcache_tests.dir/redcache_flow_test.cpp.o.d"
+  "CMakeFiles/dramcache_tests.dir/tag_store_test.cpp.o"
+  "CMakeFiles/dramcache_tests.dir/tag_store_test.cpp.o.d"
+  "dramcache_tests"
+  "dramcache_tests.pdb"
+  "dramcache_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramcache_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/arch_invariants_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/arch_invariants_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/energy_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/energy_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/presets_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/presets_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/shape_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/shape_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/system_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/system_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/traffic_conservation_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/traffic_conservation_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

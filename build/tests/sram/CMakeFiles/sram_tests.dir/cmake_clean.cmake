@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sram_tests.dir/cache_test.cpp.o"
+  "CMakeFiles/sram_tests.dir/cache_test.cpp.o.d"
+  "CMakeFiles/sram_tests.dir/hierarchy_test.cpp.o"
+  "CMakeFiles/sram_tests.dir/hierarchy_test.cpp.o.d"
+  "CMakeFiles/sram_tests.dir/lru_reference_test.cpp.o"
+  "CMakeFiles/sram_tests.dir/lru_reference_test.cpp.o.d"
+  "sram_tests"
+  "sram_tests.pdb"
+  "sram_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sram_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_tests.dir/benchmarks_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/benchmarks_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/dual_sweep_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/dual_sweep_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/kernel_trace_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/kernel_trace_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/profiler_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/profiler_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/sweep_hot_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/sweep_hot_test.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/trace_file_test.cpp.o"
+  "CMakeFiles/workloads_tests.dir/trace_file_test.cpp.o.d"
+  "workloads_tests"
+  "workloads_tests.pdb"
+  "workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redcache_cli.dir/redcache_cli.cpp.o"
+  "CMakeFiles/redcache_cli.dir/redcache_cli.cpp.o.d"
+  "redcache_cli"
+  "redcache_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redcache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
