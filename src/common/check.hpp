@@ -1,0 +1,30 @@
+// Always-on checked invariants.
+//
+// REDCACHE_CHECK stays armed in Release builds: fuzz campaigns and long
+// simulations run optimized, and an invariant violation must abort there
+// too, not silently corrupt counters. Use it for preconditions whose
+// violation means the simulation state is no longer trustworthy; keep plain
+// assert() for hot-loop sanity checks that are too expensive to ship.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcache::detail {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "REDCACHE_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace redcache::detail
+
+#define REDCACHE_CHECK(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::redcache::detail::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                   \
+  } while (0)

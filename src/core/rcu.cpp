@@ -14,6 +14,13 @@ std::vector<RcuManager::Entry> RcuManager::Insert(Addr block,
     }
   }
   std::vector<Entry> evicted;
+  if (capacity_ == 0) {
+    // Degenerate queue: nothing can be parked, the update force-flushes
+    // straight through to the caller.
+    capacity_flushes_++;
+    evicted.push_back({block, loc});
+    return evicted;
+  }
   if (entries_.size() >= capacity_) {
     evicted.push_back(entries_.front());
     entries_.pop_front();

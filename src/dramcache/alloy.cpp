@@ -16,17 +16,24 @@ AlloyController::AlloyController(MemControllerConfig cfg)
 void AlloyController::Fill(Addr addr, bool dirty, Cycle now) {
   const std::uint64_t set = tags_.SetOf(addr);
   DirectMappedTags::Line& line = tags_.line(set);
-  if (line.valid && line.dirty) {
-    // The probe read already returned the victim block; wider lines need
-    // the remaining blocks streamed out before the main-memory writeback.
-    if (tags_.line_blocks() > 1) {
-      SendHbm(kPostedOp, tags_.HbmAddr(set, addr), /*is_write=*/false, now,
-              tags_.line_blocks() - 1);
+  if (line.valid) {
+    evictions_++;
+    if (line.dirty) {
+      // The probe read already returned the victim block; wider lines need
+      // the remaining blocks streamed out before the main-memory writeback.
+      if (tags_.line_blocks() > 1) {
+        SendHbm(kPostedOp, tags_.HbmAddr(set, addr), /*is_write=*/false, now,
+                tags_.line_blocks() - 1);
+      }
+      NotifyVictimWriteback(tags_.VictimAddr(set));
+      SendMm(kPostedOp, tags_.VictimAddr(set), /*is_write=*/true, now,
+             tags_.line_blocks());
+      victim_writebacks_++;
+    } else {
+      NotifyInvalidate(tags_.VictimAddr(set));
     }
-    SendMm(kPostedOp, tags_.VictimAddr(set), /*is_write=*/true, now,
-           tags_.line_blocks());
-    victim_writebacks_++;
   }
+  NotifyFill(addr, dirty);
   line.valid = true;
   line.dirty = dirty;
   line.tag = tags_.TagOf(addr);
@@ -55,11 +62,13 @@ void AlloyController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
         if (txn.is_writeback) {
           write_hits_++;
           tags_.line(set).dirty = true;
+          NotifyCacheWrite(txn.addr);
           SendHbm(kPostedOp, tags_.HbmAddr(set, txn.addr), /*is_write=*/true,
                   now);
           FreeTxn(txn);
         } else {
           read_hits_++;
+          NotifyServeRead(txn, ServeSource::kCache);
           CompleteRead(txn, c.done);
           FreeTxn(txn);
         }
@@ -83,12 +92,21 @@ void AlloyController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
       return;
     }
     case kMissFetch: {
+      NotifyServeRead(txn, ServeSource::kMainMemory);
       CompleteRead(txn, c.done);
       Fill(txn.addr, /*dirty=*/false, now);
       FreeTxn(txn);
       return;
     }
   }
+}
+
+std::uint64_t AlloyController::ResidentLines() const {
+  std::uint64_t resident = 0;
+  for (std::uint64_t s = 0; s < tags_.num_sets(); ++s) {
+    resident += tags_.line(s).valid ? 1 : 0;
+  }
+  return resident;
 }
 
 void AlloyController::ExportOwnStats(StatSet& stats) const {
@@ -98,6 +116,8 @@ void AlloyController::ExportOwnStats(StatSet& stats) const {
   stats.Counter("ctrl.write_hits") = write_hits_;
   stats.Counter("ctrl.fills") = fills_;
   stats.Counter("ctrl.victim_writebacks") = victim_writebacks_;
+  stats.Counter("ctrl.evictions") = evictions_;
+  stats.Counter("ctrl.resident_lines") = ResidentLines();
 }
 
 }  // namespace redcache

@@ -36,6 +36,9 @@ class AlloyController : public ControllerBase {
   /// current occupant if dirty. `dirty` marks the new line.
   void Fill(Addr addr, bool dirty, Cycle now);
 
+  /// Valid lines currently resident (fills == evictions + resident).
+  std::uint64_t ResidentLines() const;
+
   DirectMappedTags tags_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
@@ -43,6 +46,7 @@ class AlloyController : public ControllerBase {
   std::uint64_t write_hits_ = 0;
   std::uint64_t fills_ = 0;
   std::uint64_t victim_writebacks_ = 0;
+  std::uint64_t evictions_ = 0;  ///< valid lines displaced (clean or dirty)
 };
 
 }  // namespace redcache

@@ -106,6 +106,7 @@ void BearController::StartTxn(Txn& txn, Cycle now) {
     RecordOutcome(tags_.SetOf(txn.addr), /*hit=*/false);
     if (txn.is_writeback) {
       write_miss_bypasses_++;
+      NotifyMmWrite(txn.addr);
       SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
       FreeTxn(txn);
       return;
@@ -131,10 +132,12 @@ void BearController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
         if (txn.is_writeback) {
           write_hits_++;
           tags_.line(set).dirty = true;
+          NotifyCacheWrite(txn.addr);
           SendHbm(kPostedOp, tags_.HbmAddr(set, txn.addr), /*is_write=*/true,
                   now);
         } else {
           read_hits_++;
+          NotifyServeRead(txn, ServeSource::kCache);
           CompleteRead(txn, c.done);
         }
         FreeTxn(txn);
@@ -144,6 +147,7 @@ void BearController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
       if (txn.is_writeback) {
         // Write-miss bypass (probe was a DCP false positive).
         write_miss_bypasses_++;
+        NotifyMmWrite(txn.addr);
         SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
         FreeTxn(txn);
         return;
@@ -154,6 +158,7 @@ void BearController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
       return;
     }
     case kMissFetch: {
+      NotifyServeRead(txn, ServeSource::kMainMemory);
       CompleteRead(txn, c.done);
       if (ShouldFill(set)) {
         FillTracked(txn.addr, /*dirty=*/false, now);
@@ -164,6 +169,7 @@ void BearController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
       return;
     }
     case kDirectFetch: {
+      NotifyServeRead(txn, ServeSource::kMainMemory);
       CompleteRead(txn, c.done);
       if (ShouldFill(set)) {
         // Filling after a skipped probe needs the victim TAD read first.

@@ -1,7 +1,8 @@
 #include "dramcache/controller.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace redcache {
 
@@ -20,20 +21,21 @@ ControllerBase::ControllerBase(const MemControllerConfig& cfg) : cfg_(cfg) {
 
 void ControllerBase::SubmitRead(Addr addr, std::uint64_t tag, Cycle now) {
   (void)now;
-  assert(CanAcceptRead());
+  REDCACHE_CHECK(CanAcceptRead(), "read submitted to a full input queue");
   input_.push_back({BlockAlign(addr), tag, false});
   reads_seen_++;
 }
 
 void ControllerBase::SubmitWriteback(Addr addr, Cycle now) {
   (void)now;
-  assert(CanAcceptWriteback());
+  REDCACHE_CHECK(CanAcceptWriteback(),
+                 "writeback submitted to a full input queue");
   input_.push_back({BlockAlign(addr), 0, true});
   writebacks_seen_++;
 }
 
 ControllerBase::Txn& ControllerBase::AllocTxn(const Input& in) {
-  assert(!free_txns_.empty());
+  REDCACHE_CHECK(!free_txns_.empty(), "transaction pool exhausted");
   const std::uint32_t idx = free_txns_.back();
   free_txns_.pop_back();
   Txn& t = txns_[idx];
@@ -47,7 +49,7 @@ ControllerBase::Txn& ControllerBase::AllocTxn(const Input& in) {
 }
 
 void ControllerBase::FreeTxn(Txn& txn) {
-  assert(txn.active);
+  REDCACHE_CHECK(txn.active, "double free of a transaction");
   txn.active = false;
   active_txns_--;
   free_txns_.push_back(TxnIndex(txn));
@@ -59,7 +61,7 @@ void ControllerBase::CompleteRead(Txn& txn, Cycle done) {
 
 void ControllerBase::SendHbm(std::uint32_t txn, Addr addr, bool is_write,
                              Cycle now, std::uint32_t bursts) {
-  assert(hbm_ != nullptr);
+  REDCACHE_CHECK(hbm_ != nullptr, "HBM operation on a controller without HBM");
   const std::uint32_t channel = hbm_->ChannelOf(addr);
   if (deferred_hbm_.empty() && hbm_->ChannelCanAccept(channel)) {
     hbm_->Enqueue(addr, is_write, now, txn, bursts);
@@ -101,7 +103,7 @@ void ControllerBase::RouteCompletions(DramSystem& dev, bool from_hbm,
   for (const DramCompletion& c : list) {
     if (c.user_tag == kPostedOp) continue;
     Txn& t = txns_[static_cast<std::uint32_t>(c.user_tag)];
-    assert(t.active);
+    REDCACHE_CHECK(t.active, "device completion for a freed transaction");
     OnDeviceComplete(t, from_hbm, c, now);
   }
   list.clear();

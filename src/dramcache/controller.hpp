@@ -14,6 +14,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "dram/dram_system.hpp"
+#include "dramcache/verify_hooks.hpp"
 
 namespace redcache {
 
@@ -51,6 +52,14 @@ class MemController {
   virtual void ExportStats(StatSet& stats) const = 0;
   /// True when no transaction is in flight anywhere below the L3.
   virtual bool Idle() const = 0;
+
+  /// Attach a verification sink (see verify_hooks.hpp). Policies without
+  /// instrumentation may ignore it; nullptr detaches.
+  virtual void SetVerifySink(VerifySink* /*sink*/) {}
+
+  /// The concrete policy behind any verification decorators (the System
+  /// uses this to reach device geometry for the energy model).
+  virtual const MemController* underlying() const { return this; }
 };
 
 /// Shared machinery. Subclasses implement StartTxn / OnDeviceComplete.
@@ -73,6 +82,7 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
   Cycle NextEventHint(Cycle now) const override;
   void ExportStats(StatSet& stats) const override;
   bool Idle() const override;
+  void SetVerifySink(VerifySink* sink) override { verify_sink_ = sink; }
 
   const DramSystem* hbm() const { return hbm_.get(); }
   const DramSystem* mainmem() const { return mm_.get(); }
@@ -120,6 +130,28 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
   /// Column-command observation (RedCache RCU). Default: ignore.
   void OnColumnCommand(const IssuedColumnCommand& /*cmd*/) override {}
 
+  // --- verification event helpers (no-ops with no sink attached) ----------
+  void NotifyFill(Addr block, bool dirty) {
+    if (verify_sink_ != nullptr) verify_sink_->OnFill(block, dirty);
+  }
+  void NotifyCacheWrite(Addr block) {
+    if (verify_sink_ != nullptr) verify_sink_->OnCacheWrite(block);
+  }
+  void NotifyMmWrite(Addr block) {
+    if (verify_sink_ != nullptr) verify_sink_->OnMmWrite(block);
+  }
+  void NotifyVictimWriteback(Addr block) {
+    if (verify_sink_ != nullptr) verify_sink_->OnVictimWriteback(block);
+  }
+  void NotifyInvalidate(Addr block) {
+    if (verify_sink_ != nullptr) verify_sink_->OnInvalidate(block);
+  }
+  void NotifyServeRead(const Txn& txn, ServeSource src) {
+    if (verify_sink_ != nullptr) {
+      verify_sink_->OnServeRead(txn.addr, txn.tag, src);
+    }
+  }
+
   MemControllerConfig cfg_;
   std::unique_ptr<DramSystem> hbm_;  ///< null when has_hbm == false
   std::unique_ptr<DramSystem> mm_;
@@ -127,6 +159,8 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
   // Base-level counters every policy shares.
   std::uint64_t reads_seen_ = 0;
   std::uint64_t writebacks_seen_ = 0;
+
+  VerifySink* verify_sink_ = nullptr;
 
  private:
   struct Input {

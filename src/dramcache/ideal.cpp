@@ -20,11 +20,15 @@ void IdealController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
                                        const DramCompletion& c, Cycle now) {
   if (txn.is_writeback) {
     // Tag check done; now write the data (bus reversal charged by the
-    // DRAM model).
+    // DRAM model). IDEAL holds every block, so the write lands in the
+    // cache copy: report it as a dirty fill (install-or-update).
+    NotifyFill(txn.addr, /*dirty=*/true);
     SendHbm(kPostedOp, txn.addr, /*is_write=*/true, now);
     FreeTxn(txn);
     return;
   }
+  // Never-written blocks are served from the (identical) main-memory image.
+  NotifyServeRead(txn, ServeSource::kAny);
   CompleteRead(txn, c.done);
   FreeTxn(txn);
 }

@@ -7,6 +7,7 @@ NoHbmController::NoHbmController(MemControllerConfig cfg)
 
 void NoHbmController::StartTxn(Txn& txn, Cycle now) {
   if (txn.is_writeback) {
+    NotifyMmWrite(txn.addr);
     SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
     FreeTxn(txn);
     return;
@@ -16,6 +17,7 @@ void NoHbmController::StartTxn(Txn& txn, Cycle now) {
 
 void NoHbmController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
                                        const DramCompletion& c, Cycle /*now*/) {
+  NotifyServeRead(txn, ServeSource::kMainMemory);
   CompleteRead(txn, c.done);
   FreeTxn(txn);
 }

@@ -56,6 +56,7 @@ void RedCacheController::InvalidateBlock(std::uint64_t set,
   if (lifetime_sample && opt_.gamma_enabled && line.r_count > 0) {
     gamma_.OnLifetimeSample(line.r_count);
   }
+  departures_++;
   line.valid = false;
   line.dirty = false;
 }
@@ -65,13 +66,17 @@ void RedCacheController::Fill(Addr addr, bool dirty, Cycle now) {
   DirectMappedTags::Line& line = tags_.line(set);
   if (line.valid) {
     rcu_.Remove(tags_.VictimAddr(set));
-    if (line.dirty) {
+    if (line.dirty && !opt_.testing_drop_victim_writeback) {
       // Victim data came back with the probe read; push it off-package.
+      NotifyVictimWriteback(tags_.VictimAddr(set));
       SendMm(kPostedOp, tags_.VictimAddr(set), /*is_write=*/true, now);
       victim_writebacks_++;
+    } else {
+      NotifyInvalidate(tags_.VictimAddr(set));
     }
     InvalidateBlock(set, /*lifetime_sample=*/true);
   }
+  NotifyFill(addr, dirty);
   line.valid = true;
   line.dirty = dirty;
   line.write_filled = dirty;  // fills carrying store data arrive dirty
@@ -83,6 +88,7 @@ void RedCacheController::Fill(Addr addr, bool dirty, Cycle now) {
 
 void RedCacheController::RouteToMainMemory(Txn& txn, Cycle now) {
   if (txn.is_writeback) {
+    NotifyMmWrite(txn.addr);
     SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
     FreeTxn(txn);
     return;
@@ -97,9 +103,31 @@ void RedCacheController::StartTxn(Txn& txn, Cycle now) {
 
   // --- Alpha counting: cold pages never touch the HBM cache. -------------
   if (opt_.alpha_enabled && !alpha_.OnRequest(txn.addr)) {
-    alpha_bypasses_++;
-    RouteToMainMemory(txn, now);
-    return;
+    // A copy installed while the page was still hot must not go stale.
+    // Presence comes from the controller-side tag mirror, like the refresh
+    // bypass below.
+    const std::uint64_t cold_set = tags_.SetOf(txn.addr);
+    const DirectMappedTags::Line& cold_line = tags_.line(cold_set);
+    const bool present =
+        cold_line.valid && cold_line.tag == tags_.TagOf(txn.addr);
+    if (txn.is_writeback && present) {
+      // Main memory receives the newest data; the cached copy is stale now.
+      rcu_.Remove(txn.addr);
+      NotifyMmWrite(txn.addr);
+      InvalidateBlock(cold_set, /*lifetime_sample=*/false);
+      NotifyInvalidate(txn.addr);
+      alpha_bypasses_++;
+      SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
+      FreeTxn(txn);
+      return;
+    }
+    if (txn.is_writeback || !present || !cold_line.dirty) {
+      alpha_bypasses_++;
+      RouteToMainMemory(txn, now);
+      return;
+    }
+    // Dirty resident copy: only the cache has the newest data — serve it
+    // through the normal probe path despite the cold page.
   }
 
   const std::uint64_t set = tags_.SetOf(txn.addr);
@@ -113,6 +141,7 @@ void RedCacheController::StartTxn(Txn& txn, Cycle now) {
     const std::uint32_t r = tags_.BumpRcount(set);
     if (opt_.gamma_enabled) gamma_.OnHit(r);
     rcu_.Insert(txn.addr, hbm_->mapper().Map(tags_.HbmAddr(set, txn.addr)));
+    NotifyServeRead(txn, ServeSource::kRcuRam);
     CompleteRead(txn, now + kRcuServeLatency);
     FreeTxn(txn);
     return;
@@ -127,9 +156,11 @@ void RedCacheController::StartTxn(Txn& txn, Cycle now) {
     const bool present = line.valid && line.tag == tags_.TagOf(txn.addr);
     if (txn.is_writeback) {
       // Main memory receives the newest data; any cached copy is stale now.
+      NotifyMmWrite(txn.addr);
       if (present) {
         rcu_.Remove(txn.addr);
         InvalidateBlock(set, /*lifetime_sample=*/false);
+        NotifyInvalidate(txn.addr);
       }
       refresh_bypasses_++;
       SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
@@ -197,12 +228,19 @@ void RedCacheController::HandleProbeResult(Txn& txn, const DramCompletion& c,
         // turnaround.
         gamma_invalidations_++;
         rcu_.Remove(txn.addr);
+        NotifyMmWrite(txn.addr);
         InvalidateBlock(set, /*lifetime_sample=*/false);
+        NotifyInvalidate(txn.addr);
         NoteGammaInvalidation(txn.addr);
         SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
       } else {
         line.dirty = true;
-        // The refreshed r-count rides inside the data write's tag/ECC bits.
+        // A parked r-count update (and its RAM block copy) is superseded by
+        // the write: drop it, or the RCU block cache would serve pre-write
+        // data to the next read. The refreshed r-count rides inside the
+        // data write's tag/ECC bits.
+        rcu_.Remove(txn.addr);
+        NotifyCacheWrite(txn.addr);
         SendHbm(kPostedOp, tags_.HbmAddr(set, txn.addr), /*is_write=*/true,
                 now);
       }
@@ -211,6 +249,7 @@ void RedCacheController::HandleProbeResult(Txn& txn, const DramCompletion& c,
     }
 
     read_hits_++;
+    NotifyServeRead(txn, ServeSource::kCache);
     CompleteRead(txn, c.done);
     RecordReadHitUpdate(txn.addr, set, now);
     FreeTxn(txn);
@@ -225,6 +264,7 @@ void RedCacheController::HandleProbeResult(Txn& txn, const DramCompletion& c,
       // directly; no fill, no victim round trip.
       dirty_miss_bypasses_++;
       write_miss_bypasses_++;
+      NotifyMmWrite(txn.addr);
       SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
     } else {
       Fill(txn.addr, /*dirty=*/true, now);
@@ -243,11 +283,13 @@ void RedCacheController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
       HandleProbeResult(txn, c, now);
       return;
     case kMissFetch:
+      NotifyServeRead(txn, ServeSource::kMainMemory);
       CompleteRead(txn, c.done);
       Fill(txn.addr, /*dirty=*/false, now);
       FreeTxn(txn);
       return;
     case kDirectFetch:
+      NotifyServeRead(txn, ServeSource::kMainMemory);
       CompleteRead(txn, c.done);
       FreeTxn(txn);
       return;
@@ -281,6 +323,14 @@ void RedCacheController::PolicyTick(Cycle now) {
   }
 }
 
+std::uint64_t RedCacheController::ResidentLines() const {
+  std::uint64_t resident = 0;
+  for (std::uint64_t s = 0; s < tags_.num_sets(); ++s) {
+    resident += tags_.line(s).valid ? 1 : 0;
+  }
+  return resident;
+}
+
 void RedCacheController::MaybeRetune() {
   if (epoch_request_count_ < opt_.epoch_requests) return;
   epoch_request_count_ = 0;
@@ -302,6 +352,8 @@ void RedCacheController::ExportOwnStats(StatSet& stats) const {
   stats.Counter("ctrl.write_hits") = write_hits_;
   stats.Counter("ctrl.fills") = fills_;
   stats.Counter("ctrl.victim_writebacks") = victim_writebacks_;
+  stats.Counter("ctrl.evictions") = departures_;
+  stats.Counter("ctrl.resident_lines") = ResidentLines();
   stats.Counter("ctrl.alpha_bypasses") = alpha_bypasses_;
   stats.Counter("ctrl.refresh_bypasses") = refresh_bypasses_;
   stats.Counter("ctrl.gamma_invalidations") = gamma_invalidations_;

@@ -46,6 +46,10 @@ struct RedCacheOptions {
   /// hot working set's revisit interval (no decay between its passes) and a
   /// cold stream's (full decay between its passes); see alpha_table.hpp.
   std::uint64_t epoch_requests = 131072;
+  /// Test-only fault injection: silently drop dirty victims at Fill instead
+  /// of writing them back. Exists so negative tests can prove the
+  /// ShadowChecker catches lost writes; never set outside tests/verify.
+  bool testing_drop_victim_writeback = false;
 
   static RedCacheOptions Full() { return {}; }
   static RedCacheOptions Basic() {
@@ -111,6 +115,8 @@ class RedCacheController : public ControllerBase {
   void RouteToMainMemory(Txn& txn, Cycle now);
   /// Mean r-count of blocks that left the cache this epoch.
   void MaybeRetune();
+  /// Valid lines currently resident (fills == departures + resident).
+  std::uint64_t ResidentLines() const;
 
   RedCacheOptions opt_;
   const char* display_name_;
@@ -140,6 +146,7 @@ class RedCacheController : public ControllerBase {
   std::uint64_t write_hits_ = 0;
   std::uint64_t fills_ = 0;
   std::uint64_t victim_writebacks_ = 0;
+  std::uint64_t departures_ = 0;  ///< valid lines dropped, any cause
   std::uint64_t alpha_bypasses_ = 0;
   std::uint64_t refresh_bypasses_ = 0;
   std::uint64_t gamma_invalidations_ = 0;

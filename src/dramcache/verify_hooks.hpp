@@ -1,0 +1,65 @@
+// Verification hook points exposed by the memory controllers.
+//
+// The simulator carries no data payloads, so data correctness is expressed
+// through *events*: every policy announces where demand data came from and
+// where CPU write data went. A VerifySink (the ShadowChecker in src/verify)
+// replays those events against a functional reference memory model and
+// flags lost writes, stale serves and double completions at the cycle they
+// happen.
+//
+// All events use main-memory block addresses (the CPU-visible address, not
+// the remapped HBM device address). Policies that do not call the hooks
+// (extensions) still get completion-level checking from the ShadowChecker;
+// the semantic checks simply stay dormant.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace redcache {
+
+/// Where a demand read's data came from.
+enum class ServeSource : std::uint8_t {
+  kCache,       ///< the HBM cache's resident copy
+  kRcuRam,      ///< the RCU manager's block RAM (a copy of the cached block)
+  kMainMemory,  ///< off-package main memory
+  kAny,         ///< policy guarantees the authoritative copy (IDEAL)
+};
+
+inline const char* ToString(ServeSource src) {
+  switch (src) {
+    case ServeSource::kCache: return "cache";
+    case ServeSource::kRcuRam: return "rcu-ram";
+    case ServeSource::kMainMemory: return "main-memory";
+    case ServeSource::kAny: return "any";
+  }
+  return "?";
+}
+
+class VerifySink {
+ public:
+  virtual ~VerifySink() = default;
+
+  /// A block was installed into the DRAM cache. `dirty` fills carry CPU
+  /// store data (they consume the oldest pending writeback for the block);
+  /// clean fills copy the current main-memory version.
+  virtual void OnFill(Addr block, bool dirty) = 0;
+
+  /// A write hit was absorbed by the cached copy (consumes a writeback).
+  virtual void OnCacheWrite(Addr block) = 0;
+
+  /// A CPU writeback was routed to main memory (consumes a writeback).
+  virtual void OnMmWrite(Addr block) = 0;
+
+  /// A dirty victim was pushed to main memory; the block leaves the cache.
+  virtual void OnVictimWriteback(Addr block) = 0;
+
+  /// The cached copy was dropped without a writeback.
+  virtual void OnInvalidate(Addr block) = 0;
+
+  /// Demand read `tag` was served from `src`.
+  virtual void OnServeRead(Addr block, std::uint64_t tag, ServeSource src) = 0;
+};
+
+}  // namespace redcache

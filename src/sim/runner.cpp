@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "verify/shadow_checker.hpp"
+
 namespace redcache {
 
 double EffectiveScale(double scale) {
@@ -18,13 +20,26 @@ std::unique_ptr<System> BuildSystem(const RunSpec& spec) {
   wp.scale = EffectiveScale(spec.scale);
   auto trace = MakeWorkload(spec.workload, wp);
   auto controller = MakeController(spec.arch, spec.preset.mem);
+  if (spec.verify) {
+    ShadowChecker::Options opts;
+    opts.strict = true;
+    controller =
+        std::make_unique<ShadowChecker>(std::move(controller), opts);
+  }
   return std::make_unique<System>(spec.preset.hierarchy, spec.preset.core,
                                   std::move(controller), std::move(trace),
                                   spec.seed);
 }
 
 RunResult RunOne(const RunSpec& spec) {
-  return BuildSystem(spec)->Run(spec.max_cycles);
+  auto system = BuildSystem(spec);
+  RunResult result = system->Run(spec.max_cycles);
+  if (spec.verify && result.completed) {
+    if (auto* checker = dynamic_cast<ShadowChecker*>(&system->controller())) {
+      checker->CheckDrained();
+    }
+  }
+  return result;
 }
 
 }  // namespace redcache

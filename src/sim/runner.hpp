@@ -20,6 +20,10 @@ struct RunSpec {
   double scale = 1.0;
   std::uint64_t seed = 1;
   Cycle max_cycles = ~Cycle{0};
+  /// Wrap the controller in a strict ShadowChecker (src/verify/): every
+  /// divergence from the reference memory model throws
+  /// ShadowChecker::VerifyError, and RunOne audits the drain on completion.
+  bool verify = false;
 };
 
 /// `scale` combined with the REDCACHE_REFS_SCALE environment variable.

@@ -102,14 +102,15 @@ RunResult System::Run(Cycle max_cycles) {
   result.stats.Counter("sys.exec_cycles") = finish;
 
   const EnergyModel energy_model;
+  // Reach through any verification decorator to the concrete policy for the
+  // device geometry the energy model needs.
   std::uint32_t hbm_channels = 0;
-  if (const DramSystem* hbm =
-          dynamic_cast<const ControllerBase&>(*controller_).hbm()) {
-    hbm_channels = hbm->num_channels();
+  std::uint32_t ddr_channels = 0;
+  if (const auto* base =
+          dynamic_cast<const ControllerBase*>(controller_->underlying())) {
+    if (const DramSystem* hbm = base->hbm()) hbm_channels = hbm->num_channels();
+    ddr_channels = base->mainmem()->num_channels();
   }
-  const std::uint32_t ddr_channels =
-      dynamic_cast<const ControllerBase&>(*controller_).mainmem()
-          ->num_channels();
   result.energy = energy_model.Compute(
       result.stats, finish, static_cast<std::uint32_t>(cores_.size()),
       hbm_channels, ddr_channels);

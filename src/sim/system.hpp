@@ -53,6 +53,7 @@ class System : private MemoryPort {
   RunResult Run(Cycle max_cycles = ~Cycle{0});
 
   const MemController& controller() const { return *controller_; }
+  MemController& controller() { return *controller_; }
   const CacheHierarchy& hierarchy() const { return hierarchy_; }
 
  private:

@@ -1,0 +1,116 @@
+#include "verify/differential.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "sim/system.hpp"
+#include "verify/shadow_checker.hpp"
+
+namespace redcache {
+
+const std::vector<Arch>& DifferentialArchs() {
+  static const std::vector<Arch> kArchs = {
+      Arch::kNoHbm, Arch::kIdeal,    Arch::kAlloy,
+      Arch::kBear,  Arch::kRedBasic, Arch::kRedCache,
+  };
+  return kArchs;
+}
+
+namespace {
+
+std::string Where(Arch arch, std::uint64_t seed) {
+  return std::string(ToString(arch)) + "/seed=" + std::to_string(seed) + ": ";
+}
+
+}  // namespace
+
+DifferentialResult RunDifferential(const DifferentialParams& params) {
+  DifferentialResult result;
+
+  for (Arch arch : params.archs) {
+    auto checker = std::make_unique<ShadowChecker>(
+        MakeController(arch, params.preset.mem));
+    ShadowChecker* shadow = checker.get();
+
+    FuzzTraceParams tp = params.trace;
+    tp.cores = std::min(tp.cores, params.preset.hierarchy.num_cores);
+    System system(params.preset.hierarchy, params.preset.core,
+                  std::move(checker), std::make_unique<FuzzTraceSource>(tp),
+                  /*seed=*/params.trace.seed);
+    const RunResult run = system.Run(params.max_cycles);
+
+    const std::string at = Where(arch, params.trace.seed);
+    DifferentialOutcome out;
+    out.arch = arch;
+    out.completed = run.completed;
+    if (!run.completed) {
+      result.errors.push_back(at + "run hit the cycle limit before draining");
+    } else {
+      shadow->CheckDrained();
+    }
+
+    out.core_refs = run.stats.GetCounter("core.refs");
+    out.divergences = shadow->divergence_count();
+    out.reads_checked = shadow->reads_checked();
+    out.model_events = run.stats.GetCounter("verify.model_events");
+    result.outcomes.push_back(out);
+
+    for (const std::string& msg : shadow->divergence_messages()) {
+      result.errors.push_back(at + msg);
+    }
+    if (shadow->divergence_count() > shadow->divergence_messages().size()) {
+      result.errors.push_back(
+          at + std::to_string(shadow->divergence_count() -
+                              shadow->divergence_messages().size()) +
+          " further divergences suppressed");
+    }
+
+    // Traffic conservation over the exported counters.
+    const auto c = [&run](const char* name) {
+      return run.stats.GetCounter(name);
+    };
+    const std::uint64_t refs = c("core.refs");
+    const std::uint64_t accounted = c("core.l1_hits") + c("core.l2_hits") +
+                                    c("core.l3_hits") + c("core.misses");
+    if (refs != accounted) {
+      result.errors.push_back(at + "core refs leak: " + std::to_string(refs) +
+                              " refs vs " + std::to_string(accounted) +
+                              " accounted");
+    }
+    if (c("ctrl.reads") != c("core.misses")) {
+      result.errors.push_back(
+          at + "controller saw " + std::to_string(c("ctrl.reads")) +
+          " reads but the cores issued " + std::to_string(c("core.misses")) +
+          " misses");
+    }
+    if (run.completed && shadow->reads_checked() != c("ctrl.reads")) {
+      result.errors.push_back(
+          at + "checker validated " + std::to_string(shadow->reads_checked()) +
+          " completions for " + std::to_string(c("ctrl.reads")) + " reads");
+    }
+    if (run.stats.HasCounter("ctrl.evictions") &&
+        run.stats.HasCounter("ctrl.resident_lines") &&
+        c("ctrl.fills") != c("ctrl.evictions") + c("ctrl.resident_lines")) {
+      result.errors.push_back(
+          at + "fill leak: " + std::to_string(c("ctrl.fills")) + " fills vs " +
+          std::to_string(c("ctrl.evictions")) + " evictions + " +
+          std::to_string(c("ctrl.resident_lines")) + " resident");
+    }
+  }
+
+  // Every architecture must consume the identical reference stream.
+  for (std::size_t i = 1; i < result.outcomes.size(); ++i) {
+    const auto& a = result.outcomes.front();
+    const auto& b = result.outcomes[i];
+    if (a.core_refs != b.core_refs) {
+      result.errors.push_back(
+          Where(b.arch, params.trace.seed) + "processed " +
+          std::to_string(b.core_refs) + " refs while " + ToString(a.arch) +
+          " processed " + std::to_string(a.core_refs) +
+          " from the same trace");
+    }
+  }
+  return result;
+}
+
+}  // namespace redcache

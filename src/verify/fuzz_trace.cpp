@@ -1,0 +1,120 @@
+#include "verify/fuzz_trace.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace redcache {
+
+namespace {
+
+/// Blocks per DRAM row at the trace's eye level; enough consecutive blocks
+/// to stay in one row on every geometry the presets use.
+constexpr std::uint32_t kRowRunBlocks = 16;
+
+}  // namespace
+
+FuzzTraceSource::FuzzTraceSource(const FuzzTraceParams& p) : seed_(p.seed) {
+  const std::uint32_t cores = std::max<std::uint32_t>(1, p.cores);
+  const std::uint32_t region_pages = std::max<std::uint32_t>(2, p.region_pages);
+  const std::uint32_t hot_pages =
+      std::min(std::max<std::uint32_t>(1, p.hot_pages), region_pages);
+  const Addr region_bytes = Addr{region_pages} * kPageBytes;
+
+  streams_.resize(cores);
+  cursors_.assign(cores, 0);
+
+  Addr max_addr = region_bytes;
+  for (std::uint32_t core = 0; core < cores; ++core) {
+    Rng rng(Mix64(seed_ ^ (0x9e3779b97f4a7c15ULL * (core + 1))));
+    auto& stream = streams_[core];
+    stream.reserve(p.refs_per_core);
+
+    const std::uint32_t t_hot = p.hot_weight;
+    const std::uint32_t t_burst = t_hot + p.burst_weight;
+    const std::uint32_t t_conflict = t_burst + p.conflict_weight;
+    const std::uint32_t t_storm = t_conflict + p.row_storm_weight;
+
+    while (stream.size() < p.refs_per_core) {
+      MemRef ref;
+      ref.gap = 1 + static_cast<std::uint32_t>(rng.Below(4));
+      if (p.idle_every != 0 && !stream.empty() &&
+          stream.size() % p.idle_every == 0) {
+        ref.gap += p.idle_gap_cycles;
+      }
+      ref.is_write = rng.Below(256) < p.write_weight;
+
+      const std::uint64_t pick = rng.Below(256);
+      if (pick < t_hot) {
+        // Repeated traffic over the shared hot pages.
+        const Addr page = rng.Below(hot_pages);
+        ref.addr = page * kPageBytes + rng.Below(kBlocksPerPage) * kBlockBytes;
+        stream.push_back(ref);
+      } else if (pick < t_burst) {
+        // Write burst to one block: pending-version queue depth, gamma
+        // straddle, cache-write / RCU-remove ordering.
+        const Addr block =
+            rng.Below(hot_pages * kBlocksPerPage) * Addr{kBlockBytes};
+        const std::uint32_t n = 2 + static_cast<std::uint32_t>(rng.Below(6));
+        for (std::uint32_t i = 0;
+             i < n && stream.size() < p.refs_per_core; ++i) {
+          MemRef w = ref;
+          w.addr = block;
+          w.is_write = (i + 1 != n) || rng.Below(256) < 192;
+          w.gap = 1;
+          stream.push_back(w);
+        }
+      } else if (pick < t_conflict) {
+        // Two blocks a direct-mapped alias apart, touched back to back.
+        const Addr base =
+            rng.Below(region_bytes / kBlockBytes) * Addr{kBlockBytes};
+        const Addr alias = base + p.conflict_stride_bytes;
+        max_addr = std::max(max_addr, alias + kBlockBytes);
+        MemRef a = ref;
+        a.addr = base;
+        stream.push_back(a);
+        if (stream.size() < p.refs_per_core) {
+          MemRef b = ref;
+          b.addr = alias;
+          b.is_write = rng.Below(256) < 128;
+          b.gap = 1;
+          stream.push_back(b);
+        }
+      } else if (pick < t_storm) {
+        // Sequential reads inside one row: parks a run of RCU updates that
+        // a later same-row write can piggyback on.
+        const Addr start =
+            rng.Below(region_bytes / kBlockBytes) * Addr{kBlockBytes};
+        const std::uint32_t n =
+            4 + static_cast<std::uint32_t>(rng.Below(kRowRunBlocks - 3));
+        for (std::uint32_t i = 0;
+             i < n && stream.size() < p.refs_per_core; ++i) {
+          MemRef r = ref;
+          r.addr = start + Addr{i} * kBlockBytes;
+          r.is_write = (i == n - 1) && rng.Below(256) < 96;
+          r.gap = 1;
+          stream.push_back(r);
+        }
+      } else {
+        // Cold single visit somewhere in the region (alpha bypass food).
+        ref.addr = rng.Below(region_bytes / kBlockBytes) * Addr{kBlockBytes};
+        stream.push_back(ref);
+      }
+    }
+  }
+  footprint_ = max_addr;
+}
+
+bool FuzzTraceSource::Next(std::uint32_t core, MemRef& out) {
+  if (core >= streams_.size()) return false;
+  auto& cursor = cursors_[core];
+  if (cursor >= streams_[core].size()) return false;
+  out = streams_[core][cursor++];
+  return true;
+}
+
+std::string FuzzTraceSource::name() const {
+  return "fuzz-" + std::to_string(seed_);
+}
+
+}  // namespace redcache

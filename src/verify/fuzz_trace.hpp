@@ -1,0 +1,72 @@
+// Seeded adversarial trace generator for differential policy testing.
+//
+// Real workload kernels (workloads/benchmarks.hpp) exercise the common
+// paths; this generator aims at the corners where DRAM-cache policies lose
+// writes or serve stale data:
+//   * hot pages revisited until alpha admits them, interleaved with cold
+//     single-visit streams (alpha bypass while a dirty copy is resident),
+//   * write bursts straddling the gamma threshold on the same block (gamma
+//     kill racing a parked RCU update),
+//   * set-conflict strides that alias in the direct-mapped cache (forced
+//     victim writebacks of freshly dirtied lines),
+//   * row storms — many reads within one DRAM row (fills the 32-entry RCU
+//     CAM and triggers same-row piggyback drains), and
+//   * long idle gaps (refresh-window bypasses mid-burst).
+//
+// Streams are fully pre-generated per core from (seed, core), so a trace is
+// reproducible bit-for-bit and identical for every architecture under test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workloads/trace.hpp"
+
+namespace redcache {
+
+struct FuzzTraceParams {
+  std::uint64_t seed = 1;
+  std::uint32_t cores = 4;
+  std::uint32_t refs_per_core = 2000;
+  /// Base pool of 4 KiB pages the trace touches (shared across cores so
+  /// policies see inter-core reuse and conflicting writes).
+  std::uint32_t region_pages = 96;
+  /// Pages revisited often enough for alpha to classify them hot.
+  std::uint32_t hot_pages = 8;
+  /// Direct-mapped aliasing distance (the evaluation HBM cache capacity).
+  std::uint64_t conflict_stride_bytes = 4_MiB;
+
+  // Per-reference behaviour mix, in parts per 256 (remainder: uniform
+  // single visits over the cold region).
+  std::uint32_t hot_weight = 96;        ///< hot-page read/write traffic
+  std::uint32_t burst_weight = 48;      ///< same-block write bursts
+  std::uint32_t conflict_weight = 32;   ///< set-alias ping-pong
+  std::uint32_t row_storm_weight = 48;  ///< sequential same-row reads
+  /// Probability (parts per 256) that any generated access is a write.
+  std::uint32_t write_weight = 80;
+  /// Every ~this many refs, insert a long idle gap (0 disables).
+  std::uint32_t idle_every = 300;
+  std::uint32_t idle_gap_cycles = 6000;
+};
+
+class FuzzTraceSource final : public TraceSource {
+ public:
+  explicit FuzzTraceSource(const FuzzTraceParams& params);
+
+  bool Next(std::uint32_t core, MemRef& out) override;
+  std::uint32_t num_cores() const override {
+    return static_cast<std::uint32_t>(streams_.size());
+  }
+  std::uint64_t footprint_bytes() const override { return footprint_; }
+  std::string name() const override;
+
+ private:
+  std::vector<std::vector<MemRef>> streams_;
+  std::vector<std::size_t> cursors_;
+  std::uint64_t footprint_ = 0;
+  std::uint64_t seed_;
+};
+
+}  // namespace redcache

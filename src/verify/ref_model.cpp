@@ -1,0 +1,155 @@
+#include "verify/ref_model.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace redcache {
+
+namespace {
+
+std::string Describe(const char* what, Addr block) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s (block 0x%" PRIx64 ")", what, block);
+  return buf;
+}
+
+}  // namespace
+
+void RefMemoryModel::Report(std::string what) {
+  divergences_.push_back({std::move(what)});
+}
+
+void RefMemoryModel::OnWritebackSubmitted(Addr block) {
+  events_++;
+  BlockState& st = State(block);
+  const std::uint64_t v = ++next_version_;
+  st.pending.push_back(v);
+  st.latest = v;
+}
+
+std::uint64_t RefMemoryModel::Consume(BlockState& st, Addr block,
+                                      const char* site) {
+  if (st.pending.empty()) {
+    Report(Describe(site, block) + ": write consumed but none pending");
+    return 0;
+  }
+  const std::uint64_t v = st.pending.front();
+  st.pending.pop_front();
+  if (v > st.consumed_max) st.consumed_max = v;
+  return v;
+}
+
+void RefMemoryModel::OnFill(Addr block, bool dirty) {
+  events_++;
+  BlockState& st = State(block);
+  st.cache_version = dirty ? Consume(st, block, "dirty fill") : st.mm_version;
+  st.cached = true;
+  st.cache_dirty = dirty;
+}
+
+void RefMemoryModel::OnCacheWrite(Addr block) {
+  events_++;
+  BlockState& st = State(block);
+  if (!st.cached) {
+    Report(Describe("write hit on a block the model holds absent", block));
+  }
+  st.cache_version = Consume(st, block, "cache write");
+  st.cached = true;
+  st.cache_dirty = true;
+}
+
+void RefMemoryModel::OnMmWrite(Addr block) {
+  events_++;
+  BlockState& st = State(block);
+  const std::uint64_t v = Consume(st, block, "main-memory write");
+  if (v > st.mm_version) st.mm_version = v;
+}
+
+void RefMemoryModel::OnVictimWriteback(Addr block) {
+  events_++;
+  BlockState& st = State(block);
+  if (!st.cached) {
+    Report(Describe("victim writeback of a non-resident block", block));
+    return;
+  }
+  if (st.cache_version > st.mm_version) st.mm_version = st.cache_version;
+  st.cached = false;
+  st.cache_dirty = false;
+}
+
+void RefMemoryModel::OnInvalidate(Addr block) {
+  events_++;
+  BlockState& st = State(block);
+  if (!st.cached) {
+    Report(Describe("invalidate of a non-resident block", block));
+    return;
+  }
+  // Dropping a dirty copy is a lost write unless main memory already has
+  // this version or a newer write exists (consumed elsewhere or pending).
+  if (st.cache_dirty && st.cache_version > st.mm_version &&
+      st.cache_version >= st.latest) {
+    Report(Describe("lost write: newest dirty copy invalidated without a "
+                    "writeback",
+                    block));
+  }
+  st.cached = false;
+  st.cache_dirty = false;
+}
+
+void RefMemoryModel::OnServeRead(Addr block, ServeSource src) {
+  events_++;
+  BlockState& st = State(block);
+  switch (src) {
+    case ServeSource::kCache:
+    case ServeSource::kRcuRam:
+      if (!st.cached) {
+        Report(Describe("read served from the cache but the model holds the "
+                        "block absent",
+                        block) +
+               " via " + ToString(src));
+        return;
+      }
+      if (st.cache_version < st.consumed_max) {
+        Report(Describe("stale cache serve: an applied write is newer than "
+                        "the cached copy",
+                        block));
+      }
+      return;
+    case ServeSource::kMainMemory:
+      if (st.mm_version < st.consumed_max) {
+        Report(Describe("stale main-memory serve: an applied write is newer "
+                        "than the main-memory copy",
+                        block));
+      }
+      return;
+    case ServeSource::kAny: {
+      const std::uint64_t effective =
+          st.cached && st.cache_version > st.mm_version ? st.cache_version
+                                                        : st.mm_version;
+      if (effective < st.consumed_max) {
+        Report(Describe("stale serve: no copy holds the newest applied write",
+                        block));
+      }
+      return;
+    }
+  }
+}
+
+void RefMemoryModel::CheckDrained() {
+  for (const auto& [block, st] : blocks_) {
+    if (!st.pending.empty()) {
+      Report(Describe("drain: submitted writeback was never consumed", block));
+      continue;
+    }
+    const std::uint64_t newest =
+        st.cached && st.cache_version > st.mm_version ? st.cache_version
+                                                      : st.mm_version;
+    if (newest < st.latest) {
+      Report(Describe("drain: newest version lost (neither cached nor in "
+                      "main memory)",
+                      block));
+    }
+  }
+}
+
+}  // namespace redcache

@@ -1,0 +1,84 @@
+// Functional reference memory model for the shadow checker.
+//
+// The timing simulator carries no data payloads, so the model tracks data
+// *versions*: every CPU writeback to a block mints a new version, and the
+// policy's verification events (verify_hooks.hpp) move versions between
+// three places — the in-flight writeback queue, the HBM cache copy and the
+// main-memory copy. A policy is data-correct iff
+//   * every consumed writeback pops the oldest pending version (no spurious
+//     or duplicated device writes),
+//   * no read is served from a copy older than any version the policy has
+//     already applied (no stale hits, no stale fills),
+//   * no dirty copy holding the newest version is dropped without reaching
+//     main memory (no lost writes), and
+//   * at drain time the newest version of every block is resident in the
+//     cache or in main memory.
+//
+// Two legitimately racy windows are tolerated: a read may be served before
+// a *still-pending* writeback to the same block is applied (the DRAM-level
+// request order decides), and device-level reorderings between independent
+// blocks are invisible to the model.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dramcache/verify_hooks.hpp"
+
+namespace redcache {
+
+class RefMemoryModel {
+ public:
+  /// A divergence between the policy's events and the reference model.
+  struct Divergence {
+    std::string what;
+  };
+
+  // --- CPU-side events (fed by the ShadowChecker decorator) ---------------
+  void OnWritebackSubmitted(Addr block);
+
+  // --- policy events (VerifySink forwarding) ------------------------------
+  void OnFill(Addr block, bool dirty);
+  void OnCacheWrite(Addr block);
+  void OnMmWrite(Addr block);
+  void OnVictimWriteback(Addr block);
+  void OnInvalidate(Addr block);
+  void OnServeRead(Addr block, ServeSource src);
+
+  /// Drain-time audit: call once the controller reports Idle. Verifies that
+  /// every pending writeback was consumed and that the newest version of
+  /// every block survives in the cache or main memory.
+  void CheckDrained();
+
+  const std::vector<Divergence>& divergences() const { return divergences_; }
+  std::uint64_t events() const { return events_; }
+  std::uint64_t blocks_tracked() const { return blocks_.size(); }
+
+ private:
+  struct BlockState {
+    std::deque<std::uint64_t> pending;  ///< submitted, unconsumed versions
+    std::uint64_t latest = 0;           ///< newest version ever submitted
+    std::uint64_t consumed_max = 0;     ///< newest version the policy applied
+    std::uint64_t cache_version = 0;
+    std::uint64_t mm_version = 0;
+    bool cached = false;
+    bool cache_dirty = false;
+  };
+
+  BlockState& State(Addr block) { return blocks_[BlockAlign(block)]; }
+  /// Pop the oldest pending writeback; reports a divergence and returns 0
+  /// when none is pending (a spurious device write).
+  std::uint64_t Consume(BlockState& st, Addr block, const char* site);
+  void Report(std::string what);
+
+  std::unordered_map<Addr, BlockState> blocks_;
+  std::uint64_t next_version_ = 0;
+  std::uint64_t events_ = 0;
+  std::vector<Divergence> divergences_;
+};
+
+}  // namespace redcache

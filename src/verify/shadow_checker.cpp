@@ -1,0 +1,213 @@
+#include "verify/shadow_checker.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace redcache {
+
+namespace {
+
+std::string Hex(Addr a) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%" PRIx64, a);
+  return buf;
+}
+
+}  // namespace
+
+ShadowChecker::ShadowChecker(std::unique_ptr<MemController> inner)
+    : ShadowChecker(std::move(inner), Options{}) {}
+
+ShadowChecker::ShadowChecker(std::unique_ptr<MemController> inner,
+                             Options options)
+    : inner_(std::move(inner)), opt_(options) {
+  if (const auto* base =
+          dynamic_cast<const ControllerBase*>(inner_->underlying())) {
+    semantic_enabled_ = base->config().line_blocks == 1;
+  }
+  inner_->SetVerifySink(this);
+}
+
+ShadowChecker::~ShadowChecker() {
+  if (inner_) inner_->SetVerifySink(nullptr);
+}
+
+void ShadowChecker::SetVerifySink(VerifySink* sink) {
+  // The checker keeps the inner policy's sink slot for itself and chains
+  // any externally attached sink behind its own forwarding.
+  chained_sink_ = sink;
+}
+
+void ShadowChecker::Report(const std::string& what) {
+  divergence_count_++;
+  if (messages_.size() < opt_.max_messages) messages_.push_back(what);
+  if (opt_.strict) throw VerifyError(what);
+}
+
+void ShadowChecker::DrainModelDivergences() {
+  const auto& divs = model_.divergences();
+  while (model_divergences_seen_ < divs.size()) {
+    Report(divs[model_divergences_seen_++].what);
+  }
+}
+
+void ShadowChecker::SubmitRead(Addr addr, std::uint64_t tag, Cycle now) {
+  auto [it, fresh] = outstanding_.try_emplace(tag);
+  if (!fresh) {
+    Report("tag " + std::to_string(tag) +
+           " reused while its read is still outstanding (addr " + Hex(addr) +
+           ")");
+  }
+  it->second = OutstandingRead{addr, now, false};
+  inner_->SubmitRead(addr, tag, now);
+}
+
+void ShadowChecker::SubmitWriteback(Addr addr, Cycle now) {
+  writebacks_seen_++;
+  if (semantic_enabled_) model_.OnWritebackSubmitted(addr);
+  inner_->SubmitWriteback(addr, now);
+  DrainModelDivergences();
+}
+
+void ShadowChecker::Tick(Cycle now) {
+  inner_->Tick(now);
+  ValidateCompletions();
+  DrainModelDivergences();
+}
+
+void ShadowChecker::ValidateCompletions() {
+  auto& inner_done = inner_->read_completions();
+  for (const ReadCompletion& c : inner_done) {
+    reads_checked_++;
+    auto it = outstanding_.find(c.tag);
+    if (it == outstanding_.end()) {
+      Report("completion for tag " + std::to_string(c.tag) +
+             " that is not outstanding (double completion or spurious)");
+      completions_.push_back(c);
+      continue;
+    }
+    const OutstandingRead& r = it->second;
+    if (c.addr != r.addr) {
+      Report("completion address " + Hex(c.addr) + " does not match the " +
+             Hex(r.addr) + " submitted under tag " + std::to_string(c.tag));
+    }
+    if (c.done < r.submitted) {
+      Report("completion for tag " + std::to_string(c.tag) + " at cycle " +
+             std::to_string(c.done) + " precedes its submission at " +
+             std::to_string(r.submitted));
+    }
+    if (semantic_active_ && !r.served) {
+      Report("read " + Hex(r.addr) + " (tag " + std::to_string(c.tag) +
+             ") completed without a serve event (data source unknown)");
+    }
+    outstanding_.erase(it);
+    completions_.push_back(c);
+  }
+  inner_done.clear();
+}
+
+// --- VerifySink forwarding -------------------------------------------------
+
+void ShadowChecker::OnFill(Addr block, bool dirty) {
+  if (semantic_enabled_) {
+    semantic_active_ = true;
+    model_.OnFill(block, dirty);
+  }
+  if (chained_sink_ != nullptr) chained_sink_->OnFill(block, dirty);
+}
+
+void ShadowChecker::OnCacheWrite(Addr block) {
+  if (semantic_enabled_) {
+    semantic_active_ = true;
+    model_.OnCacheWrite(block);
+  }
+  if (chained_sink_ != nullptr) chained_sink_->OnCacheWrite(block);
+}
+
+void ShadowChecker::OnMmWrite(Addr block) {
+  if (semantic_enabled_) {
+    semantic_active_ = true;
+    model_.OnMmWrite(block);
+  }
+  if (chained_sink_ != nullptr) chained_sink_->OnMmWrite(block);
+}
+
+void ShadowChecker::OnVictimWriteback(Addr block) {
+  if (semantic_enabled_) {
+    semantic_active_ = true;
+    model_.OnVictimWriteback(block);
+  }
+  if (chained_sink_ != nullptr) chained_sink_->OnVictimWriteback(block);
+}
+
+void ShadowChecker::OnInvalidate(Addr block) {
+  if (semantic_enabled_) {
+    semantic_active_ = true;
+    model_.OnInvalidate(block);
+  }
+  if (chained_sink_ != nullptr) chained_sink_->OnInvalidate(block);
+}
+
+void ShadowChecker::OnServeRead(Addr block, std::uint64_t tag,
+                                ServeSource src) {
+  if (semantic_enabled_) {
+    semantic_active_ = true;
+    auto it = outstanding_.find(tag);
+    if (it == outstanding_.end()) {
+      Report("serve event for tag " + std::to_string(tag) +
+             " with no outstanding read (addr " + Hex(block) + ")");
+    } else {
+      if (it->second.served) {
+        Report("read tag " + std::to_string(tag) + " served twice");
+      }
+      if (BlockAlign(block) != BlockAlign(it->second.addr)) {
+        Report("serve event block " + Hex(block) +
+               " does not match the read submitted under tag " +
+               std::to_string(tag) + " (" + Hex(it->second.addr) + ")");
+      }
+      it->second.served = true;
+    }
+    model_.OnServeRead(block, src);
+  }
+  if (chained_sink_ != nullptr) chained_sink_->OnServeRead(block, tag, src);
+}
+
+// --- audits ----------------------------------------------------------------
+
+void ShadowChecker::CheckDrained() {
+  for (const auto& [tag, r] : outstanding_) {
+    Report("read " + Hex(r.addr) + " (tag " + std::to_string(tag) +
+           ") submitted at cycle " + std::to_string(r.submitted) +
+           " never completed");
+  }
+  if (semantic_active_) {
+    model_.CheckDrained();
+    DrainModelDivergences();
+  }
+}
+
+void ShadowChecker::ExportStats(StatSet& stats) const {
+  inner_->ExportStats(stats);
+  stats.Counter("verify.reads_checked") += reads_checked_;
+  stats.Counter("verify.writebacks_tracked") += writebacks_seen_;
+  stats.Counter("verify.model_events") += model_.events();
+  stats.Counter("verify.blocks_tracked") += model_.blocks_tracked();
+  stats.Counter("verify.divergences") += divergence_count_;
+  stats.Counter("verify.semantic_active") += semantic_active_ ? 1 : 0;
+}
+
+std::string ShadowChecker::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "verify(%s): %" PRIu64 " reads checked, %" PRIu64
+                " writebacks tracked, %" PRIu64 " model events, %" PRIu64
+                " divergence%s%s",
+                inner_->name(), reads_checked_, writebacks_seen_,
+                model_.events(), divergence_count_,
+                divergence_count_ == 1 ? "" : "s",
+                semantic_active_ ? "" : " (semantic checks dormant)");
+  return buf;
+}
+
+}  // namespace redcache

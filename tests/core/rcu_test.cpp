@@ -77,6 +77,57 @@ TEST(Rcu, PopAllEmptiesQueue) {
   EXPECT_EQ(rcu.size(), 0u);
 }
 
+TEST(Rcu, CapacityZeroForceFlushesEveryInsert) {
+  RcuManager rcu(0);
+  EXPECT_TRUE(rcu.full());
+  const auto evicted = rcu.Insert(0x40, Loc(0, 0, 1));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].block, 0x40u);
+  EXPECT_EQ(rcu.size(), 0u);
+  EXPECT_FALSE(rcu.Contains(0x40));
+  EXPECT_EQ(rcu.capacity_flushes(), 1u);
+  // Stays degenerate on repeat.
+  EXPECT_EQ(rcu.Insert(0x80, Loc(0, 0, 2)).size(), 1u);
+  EXPECT_EQ(rcu.capacity_flushes(), 2u);
+}
+
+TEST(Rcu, CapacityOneEvictsOnEverySecondInsert) {
+  RcuManager rcu(1);
+  EXPECT_TRUE(rcu.Insert(0xa, Loc(0, 0, 1)).empty());
+  const auto evicted = rcu.Insert(0xb, Loc(0, 0, 2));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].block, 0xau);
+  EXPECT_EQ(rcu.size(), 1u);
+  EXPECT_TRUE(rcu.Contains(0xb));
+}
+
+TEST(Rcu, ForceFlushOrderIsFifo) {
+  RcuManager rcu(2);
+  (void)rcu.Insert(0x1, Loc(0, 0, 1));
+  (void)rcu.Insert(0x2, Loc(0, 0, 2));
+  const auto first = rcu.Insert(0x3, Loc(0, 0, 3));
+  const auto second = rcu.Insert(0x4, Loc(0, 0, 4));
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(first[0].block, 0x1u);   // oldest leaves first
+  EXPECT_EQ(second[0].block, 0x2u);
+}
+
+TEST(Rcu, ContainsIsFalseAfterCapacityEviction) {
+  RcuManager rcu(1);
+  (void)rcu.Insert(0x100, Loc(0, 0, 1));
+  (void)rcu.Insert(0x200, Loc(0, 0, 2));
+  EXPECT_FALSE(rcu.Contains(0x100));
+  EXPECT_TRUE(rcu.Contains(0x200));
+}
+
+TEST(Rcu, ContainsIsFalseAfterMatchIndexDrain) {
+  RcuManager rcu(4);
+  (void)rcu.Insert(0x100, Loc(0, 1, 7));
+  ASSERT_EQ(rcu.MatchIndex(Loc(0, 1, 7)).size(), 1u);
+  EXPECT_FALSE(rcu.Contains(0x100));
+}
+
 TEST(Rcu, FullFlag) {
   RcuManager rcu(2);
   EXPECT_FALSE(rcu.full());

@@ -1,0 +1,81 @@
+// EffectiveScale must survive whatever the environment throws at it:
+// REDCACHE_REFS_SCALE is user input and a malformed value silently
+// reverting to the configured scale beats aborting a bench sweep.
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace redcache {
+namespace {
+
+/// Sets REDCACHE_REFS_SCALE for one test and restores the prior value.
+class ScopedScaleEnv {
+ public:
+  explicit ScopedScaleEnv(const char* value) {
+    if (const char* old = std::getenv(kVar)) {
+      saved_ = old;
+      had_ = true;
+    }
+    if (value == nullptr) {
+      ::unsetenv(kVar);
+    } else {
+      ::setenv(kVar, value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedScaleEnv() {
+    if (had_) {
+      ::setenv(kVar, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(kVar);
+    }
+  }
+
+ private:
+  static constexpr const char* kVar = "REDCACHE_REFS_SCALE";
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(EffectiveScale, UnsetKeepsConfiguredScale) {
+  ScopedScaleEnv env(nullptr);
+  EXPECT_DOUBLE_EQ(EffectiveScale(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(EffectiveScale(1.0), 1.0);
+}
+
+TEST(EffectiveScale, ValidValueMultiplies) {
+  ScopedScaleEnv env("0.5");
+  EXPECT_DOUBLE_EQ(EffectiveScale(0.4), 0.2);
+}
+
+TEST(EffectiveScale, MalformedValueFallsBack) {
+  ScopedScaleEnv env("banana");
+  EXPECT_DOUBLE_EQ(EffectiveScale(0.75), 0.75);
+}
+
+TEST(EffectiveScale, NegativeValueFallsBack) {
+  ScopedScaleEnv env("-2");
+  EXPECT_DOUBLE_EQ(EffectiveScale(0.75), 0.75);
+}
+
+TEST(EffectiveScale, ZeroValueFallsBack) {
+  ScopedScaleEnv env("0");
+  EXPECT_DOUBLE_EQ(EffectiveScale(0.75), 0.75);
+}
+
+TEST(EffectiveScale, EmptyValueFallsBack) {
+  ScopedScaleEnv env("");
+  EXPECT_DOUBLE_EQ(EffectiveScale(0.75), 0.75);
+}
+
+TEST(EffectiveScale, LeadingNumberWithTrailingGarbageParses) {
+  // atof semantics: the numeric prefix wins. Document it so a change in
+  // parsing strategy shows up here.
+  ScopedScaleEnv env("0.5x");
+  EXPECT_DOUBLE_EQ(EffectiveScale(1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace redcache

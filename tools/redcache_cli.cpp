@@ -19,6 +19,7 @@
 #include "dramcache/assoc_redcache.hpp"
 #include "dramcache/footprint.hpp"
 #include "sim/runner.hpp"
+#include "verify/shadow_checker.hpp"
 #include "workloads/trace_file.hpp"
 
 namespace {
@@ -36,6 +37,7 @@ struct CliOptions {
   bool list = false;
   std::uint32_t ways = 0;         ///< >1 selects the associative RedCache
   bool footprint = false;         ///< coarse-grained baseline
+  bool verify = false;            ///< shadow-check the run
   std::optional<std::uint64_t> hbm_mib;
   std::optional<std::uint32_t> alpha;
   std::optional<std::uint32_t> gamma;
@@ -58,6 +60,8 @@ void PrintUsage() {
       "  --alpha N          pin alpha (disables adaptation)\n"
       "  --gamma N          pin gamma (disables adaptation)\n"
       "  --seed N           simulation seed\n"
+      "  --verify           run under the shadow checker; exit 1 on any\n"
+      "                     divergence from the reference memory model\n"
       "  --stats            dump every counter after the run\n"
       "  --list             list architectures and workloads\n");
 }
@@ -116,6 +120,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--verify") {
+      opt.verify = true;
     } else if (arg == "--stats") {
       opt.dump_stats = true;
     } else if (arg == "--list") {
@@ -192,12 +198,29 @@ int Run(const CliOptions& opt) {
     ctrl = MakeController(ArchFromString(opt.arch), preset.mem);
   }
 
+  ShadowChecker* shadow = nullptr;
+  if (opt.verify) {
+    auto checked = std::make_unique<ShadowChecker>(std::move(ctrl));
+    shadow = checked.get();
+    ctrl = std::move(checked);
+  }
+
   System system(preset.hierarchy, preset.core, std::move(ctrl),
                 std::move(trace), opt.seed);
   const RunResult r = system.Run();
   if (!r.completed) {
     std::fprintf(stderr, "simulation did not complete\n");
     return 1;
+  }
+  if (shadow != nullptr) {
+    shadow->CheckDrained();
+    std::printf("%s\n", shadow->Summary().c_str());
+    if (shadow->divergence_count() != 0) {
+      for (const std::string& msg : shadow->divergence_messages()) {
+        std::fprintf(stderr, "divergence: %s\n", msg.c_str());
+      }
+      return 1;
+    }
   }
 
   const auto hits = r.stats.GetCounter("ctrl.cache_hits");
