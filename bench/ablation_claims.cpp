@@ -21,23 +21,33 @@ void LastWriteAndUniformity() {
                    "sigma", "[1,2) sigma"});
   double wb_sum = 0, one_sum = 0, two_sum = 0;
   const auto workloads = SelectedWorkloads();
-  for (const std::string& wl : workloads) {
+  struct Claim {
+    double wb = 0, within_one = 0, within_two = 0;
+  };
+  std::vector<Claim> claims(workloads.size());
+  // Profiling runs are independent per workload; fan out, print in order.
+  ParallelFor(workloads.size(), 0, [&](std::size_t i) {
     RunSpec spec;
     spec.arch = Arch::kNoHbm;
-    spec.workload = wl;
+    spec.workload = workloads[i];
     spec.preset = EvalPreset();
     auto system = BuildSystem(spec);
     BlockProfiler profiler;
     system->SetRequestObserver(
         [&](Addr addr, bool is_wb) { profiler.OnRequest(addr, is_wb); });
     (void)system->Run();
-    const double wb = profiler.LastAccessWritebackFraction();
+    claims[i].wb = profiler.LastAccessWritebackFraction();
     const auto uni = profiler.PageReuseUniformity();
-    wb_sum += wb;
-    one_sum += uni.within_one;
-    two_sum += uni.within_two;
-    table.AddRow({wl, TextTable::Pct(wb), TextTable::Pct(uni.within_one),
-                  TextTable::Pct(uni.within_two)});
+    claims[i].within_one = uni.within_one;
+    claims[i].within_two = uni.within_two;
+  });
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const Claim& c = claims[i];
+    wb_sum += c.wb;
+    one_sum += c.within_one;
+    two_sum += c.within_two;
+    table.AddRow({workloads[i], TextTable::Pct(c.wb),
+                  TextTable::Pct(c.within_one), TextTable::Pct(c.within_two)});
   }
   const double n = static_cast<double>(workloads.size());
   table.AddRow({"mean", TextTable::Pct(wb_sum / n),
@@ -57,6 +67,8 @@ void RcuStatistics() {
   TextTable table({"workload", "parked updates", "merged (cond.1)",
                    "idle (cond.2)", "capacity (cond.3)",
                    "deferred past insert"});
+  RunCellsAhead(GridCells({Arch::kRedCache}, SelectedWorkloads()),
+                "ablation-rcu");
   for (const std::string& wl : SelectedWorkloads()) {
     const CellResult r = RunCell(Arch::kRedCache, wl);
     const double inserts =
@@ -89,26 +101,32 @@ void StaticAlphaSweep() {
   std::printf("== static-alpha ablation (adaptive controller reference) ==\n");
   TextTable table({"alpha", "FT exec (Mcycles)", "LU exec (Mcycles)",
                    "RDX exec (Mcycles)"});
-  for (std::uint32_t alpha = 1; alpha <= 3; ++alpha) {
+  const std::vector<std::string> wls = {"FT", "LU", "RDX"};
+  constexpr std::uint32_t kMaxAlpha = 3;
+  std::vector<Cycle> execs(kMaxAlpha * wls.size());
+  // One custom-controller simulation per (alpha, workload) pair.
+  ParallelFor(execs.size(), 0, [&](std::size_t i) {
+    const std::uint32_t alpha = static_cast<std::uint32_t>(i / wls.size()) + 1;
+    const std::string& wl = wls[i % wls.size()];
+    RedCacheOptions opt = RedCacheOptions::Full();
+    opt.alpha.initial_alpha = alpha;
+    opt.alpha.adaptive = false;
+    const SimPreset preset = EvalPreset();
+    WorkloadBuildParams wp;
+    wp.num_cores = preset.hierarchy.num_cores;
+    wp.scale = EffectiveScale(1.0);
+    auto trace = MakeWorkload(wl, wp);
+    auto ctrl =
+        std::make_unique<RedCacheController>(preset.mem, opt, "static-alpha");
+    System system(preset.hierarchy, preset.core, std::move(ctrl),
+                  std::move(trace));
+    execs[i] = system.Run().exec_cycles;
+  });
+  for (std::uint32_t alpha = 1; alpha <= kMaxAlpha; ++alpha) {
     std::vector<std::string> row = {std::to_string(alpha)};
-    for (const char* wl : {"FT", "LU", "RDX"}) {
-      RedCacheOptions opt = RedCacheOptions::Full();
-      opt.alpha.initial_alpha = alpha;
-      opt.alpha.adaptive = false;
-      RunSpec spec;
-      spec.workload = wl;
-      spec.preset = EvalPreset();
-      WorkloadBuildParams wp;
-      wp.num_cores = spec.preset.hierarchy.num_cores;
-      wp.scale = EffectiveScale(1.0);
-      auto trace = MakeWorkload(wl, wp);
-      auto ctrl = std::make_unique<RedCacheController>(spec.preset.mem, opt,
-                                                       "static-alpha");
-      System system(spec.preset.hierarchy, spec.preset.core, std::move(ctrl),
-                    std::move(trace));
-      const RunResult r = system.Run();
-      row.push_back(TextTable::Num(
-          static_cast<double>(r.exec_cycles) / 1e6, 1));
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+      const Cycle exec = execs[(alpha - 1) * wls.size() + w];
+      row.push_back(TextTable::Num(static_cast<double>(exec) / 1e6, 1));
     }
     table.AddRow(std::move(row));
   }

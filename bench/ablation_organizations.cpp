@@ -32,22 +32,42 @@ int main() {
   std::printf("Organization ablation — RedCache mechanisms across cache\n");
   std::printf("organizations (not a paper figure; extension study)\n\n");
 
-  const char* workloads[] = {"FT", "LU"};
+  const std::vector<std::string> workloads = {"FT", "LU"};
   TextTable table({"workload", "direct-mapped", "2-way", "4-way",
                    "footprint 2KB", "(exec cycles normalized to DM)"});
 
-  for (const char* wl : workloads) {
+  // 4 organizations x workloads, all independent custom-controller sims.
+  constexpr std::size_t kOrgs = 4;
+  std::vector<RunResult> results(kOrgs * workloads.size());
+  ParallelFor(results.size(), 0, [&](std::size_t i) {
+    const std::string& wl = workloads[i / kOrgs];
     const SimPreset preset = EvalPreset();
-    const RunResult dm = RunCustom(
-        wl, MakeController(Arch::kRedCache, preset.mem));
-    const RunResult w2 = RunCustom(
-        wl, std::make_unique<AssocRedCacheController>(
-                preset.mem, RedCacheOptions::Full(), 2, "rc2"));
-    const RunResult w4 = RunCustom(
-        wl, std::make_unique<AssocRedCacheController>(
-                preset.mem, RedCacheOptions::Full(), 4, "rc4"));
-    const RunResult fp =
-        RunCustom(wl, std::make_unique<FootprintCacheController>(preset.mem));
+    std::unique_ptr<MemController> ctrl;
+    switch (i % kOrgs) {
+      case 0:
+        ctrl = MakeController(Arch::kRedCache, preset.mem);
+        break;
+      case 1:
+        ctrl = std::make_unique<AssocRedCacheController>(
+            preset.mem, RedCacheOptions::Full(), 2, "rc2");
+        break;
+      case 2:
+        ctrl = std::make_unique<AssocRedCacheController>(
+            preset.mem, RedCacheOptions::Full(), 4, "rc4");
+        break;
+      default:
+        ctrl = std::make_unique<FootprintCacheController>(preset.mem);
+        break;
+    }
+    results[i] = RunCustom(wl, std::move(ctrl));
+  });
+
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const std::string& wl = workloads[w];
+    const RunResult& dm = results[w * kOrgs + 0];
+    const RunResult& w2 = results[w * kOrgs + 1];
+    const RunResult& w4 = results[w * kOrgs + 2];
+    const RunResult& fp = results[w * kOrgs + 3];
     const double base = static_cast<double>(dm.exec_cycles);
     table.AddRow({wl, "1.000",
                   TextTable::Num(static_cast<double>(w2.exec_cycles) / base, 3),

@@ -1,24 +1,24 @@
 // Shared harness for the figure-reproduction benches.
 //
-// Runs (architecture x workload) simulations on the scaled evaluation
-// preset and optionally caches results on disk so the three evaluation
-// figures (execution time / HBM energy / system energy), which share one
-// sweep, do not re-simulate. The cache is enabled by setting
-// REDCACHE_CACHE_DIR; entries key on (arch, workload, scale, preset).
-// Delete the directory after changing simulator code.
+// Cells run through the batch engine (src/sim/batch.hpp): a worker-pool
+// sweep with an in-process memo (shared cells such as the Alloy baseline
+// column simulate once) and, when REDCACHE_CACHE_DIR is set, a disk cache
+// whose entries are validated against a simulator/preset fingerprint — a
+// stale entry from an older build re-simulates instead of silently serving
+// wrong numbers.
+//
+// Typical figure structure:
+//   RunCellsAhead(GridCells(archs, workloads), "fig9");  // parallel sweep
+//   ... per-cell RunCell(...) calls then hit the in-process memo.
 #pragma once
 
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
-#include "sim/runner.hpp"
+#include "sim/batch.hpp"
 
 namespace redcache::bench {
 
@@ -32,80 +32,57 @@ struct CellResult {
   EnergyBreakdown energy;
 };
 
-inline std::string CacheKey(Arch arch, const std::string& workload,
-                            double scale, const char* preset,
-                            const std::string& variant = "") {
-  char buf[200];
-  std::snprintf(buf, sizeof(buf), "%s_%s_%s_%.4f%s%s.stats", preset,
-                ToString(arch), workload.c_str(), scale,
-                variant.empty() ? "" : "_", variant.c_str());
-  std::string key = buf;
-  for (char& c : key) {
-    if (c == ' ' || c == '/') c = '-';
-  }
-  return key;
+/// Build the CellSpec for one figure cell. `variant` distinguishes
+/// non-default configurations (e.g. fill granularity) in the cache key;
+/// `custom_preset` may be customized to match.
+inline CellSpec MakeCell(Arch arch, const std::string& workload,
+                         double scale = DefaultScale(),
+                         const std::string& variant = "",
+                         const SimPreset* custom_preset = nullptr) {
+  CellSpec cell;
+  cell.spec.arch = arch;
+  cell.spec.workload = workload;
+  cell.spec.scale = scale;
+  cell.spec.preset = custom_preset != nullptr ? *custom_preset : EvalPreset();
+  cell.variant = variant;
+  return cell;
 }
 
-inline std::optional<CellResult> LoadCached(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  CellResult r;
-  std::string name;
-  std::uint64_t value;
-  if (!(in >> name >> value) || name != "exec_cycles") return std::nullopt;
-  r.exec_cycles = value;
-  while (in >> name >> value) {
-    r.stats.Counter(name) = value;
-  }
-  return r;
-}
-
-inline void SaveCached(const std::string& path, const CellResult& r) {
-  std::ofstream out(path);
-  if (!out) return;
-  out << "exec_cycles " << r.exec_cycles << '\n';
-  for (const auto& [name, value] : r.stats.counters()) {
-    out << name << ' ' << value << '\n';
-  }
-}
-
-/// Run one cell (with caching if REDCACHE_CACHE_DIR is set). `variant`
-/// distinguishes non-default configurations (e.g. fill granularity) in the
-/// cache key; `preset` may be customized to match.
+/// Run one cell (memoized in-process; disk-cached under REDCACHE_CACHE_DIR).
 inline CellResult RunCell(Arch arch, const std::string& workload,
                           double scale = DefaultScale(),
                           const std::string& variant = "",
                           const SimPreset* custom_preset = nullptr) {
-  const SimPreset preset =
-      custom_preset != nullptr ? *custom_preset : EvalPreset();
-  const char* cache_dir = std::getenv("REDCACHE_CACHE_DIR");
-  std::string path;
-  if (cache_dir != nullptr) {
-    path = std::string(cache_dir) + "/" +
-           CacheKey(arch, workload, EffectiveScale(scale), preset.name,
-                    variant);
-    if (auto cached = LoadCached(path)) {
-      CellResult r = std::move(*cached);
-      const EnergyModel model;
-      r.energy = model.Compute(r.stats, r.exec_cycles,
-                               preset.hierarchy.num_cores,
-                               preset.mem.hbm.geometry.channels,
-                               preset.mem.mainmem.geometry.channels);
-      return r;
+  const RunResult r =
+      RunCellCached(MakeCell(arch, workload, scale, variant, custom_preset));
+  CellResult out;
+  out.exec_cycles = r.exec_cycles;
+  out.stats = r.stats;
+  out.energy = r.energy;
+  return out;
+}
+
+/// Every (arch x workload) cell of a figure grid.
+inline std::vector<CellSpec> GridCells(const std::vector<Arch>& archs,
+                                       const std::vector<std::string>& workloads,
+                                       double scale = DefaultScale()) {
+  std::vector<CellSpec> cells;
+  cells.reserve(archs.size() * workloads.size());
+  for (const std::string& wl : workloads) {
+    for (const Arch a : archs) {
+      cells.push_back(MakeCell(a, wl, scale));
     }
   }
-  RunSpec spec;
-  spec.arch = arch;
-  spec.workload = workload;
-  spec.scale = scale;
-  spec.preset = preset;
-  const RunResult run = RunOne(spec);
-  CellResult r;
-  r.exec_cycles = run.exec_cycles;
-  r.stats = run.stats;
-  r.energy = run.energy;
-  if (!path.empty()) SaveCached(path, r);
-  return r;
+  return cells;
+}
+
+/// Run a cell set through the worker pool ahead of time, so the per-cell
+/// RunCell calls that build the figure tables hit the in-process memo.
+inline void RunCellsAhead(const std::vector<CellSpec>& cells,
+                          const std::string& label) {
+  BatchOptions opts;
+  opts.label = label;
+  RunCells(cells, opts);
 }
 
 /// Workload filter from REDCACHE_WORKLOADS (comma separated labels).

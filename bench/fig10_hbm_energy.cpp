@@ -15,6 +15,7 @@ int main() {
 
   const auto workloads = SelectedWorkloads();
   const auto& archs = EvaluationArchs();
+  RunCellsAhead(GridCells(archs, workloads), "fig10");
 
   std::printf("Figure 10 — HBM cache energy normalized to Alloy Cache\n");
   std::printf("(lower is better; paper means: RedCache 0.58 vs Alloy,\n");

@@ -14,6 +14,7 @@ int main() {
 
   const auto workloads = SelectedWorkloads();
   const auto& archs = EvaluationArchs();
+  RunCellsAhead(GridCells(archs, workloads), "fig11");
 
   std::printf("Figure 11 — system energy normalized to Alloy Cache\n");
   std::printf("(lower is better; paper means: RedCache 0.71 vs Alloy,\n");

@@ -18,6 +18,9 @@ int main() {
 
   const auto workloads = SelectedWorkloads();
   const Arch topologies[] = {Arch::kNoHbm, Arch::kIdeal, Arch::kAlloy};
+  RunCellsAhead(
+      GridCells({Arch::kNoHbm, Arch::kIdeal, Arch::kAlloy}, workloads),
+      "fig2a");
 
   std::printf("Figure 2(a) — system-topology bandwidth efficiency\n");
   std::printf("(normalized to No-HBM; paper: IDEAL ~6x bandwidth / ~1.33x\n");

@@ -23,12 +23,18 @@ struct GranResult {
   double exec = 0;
 };
 
-GranResult RunGranularity(const std::string& wl, std::uint32_t line_blocks) {
+CellSpec GranularityCell(const std::string& wl, std::uint32_t line_blocks) {
   SimPreset preset = EvalPreset();
   preset.mem.line_blocks = line_blocks;
-  const CellResult r =
-      RunCell(Arch::kAlloy, wl, DefaultScale(),
-              "gran" + std::to_string(line_blocks), &preset);
+  return MakeCell(Arch::kAlloy, wl, DefaultScale(),
+                  "gran" + std::to_string(line_blocks), &preset);
+}
+
+GranResult RunGranularity(const std::string& wl, std::uint32_t line_blocks) {
+  const RunResult run = RunCellCached(GranularityCell(wl, line_blocks));
+  CellResult r;
+  r.exec_cycles = run.exec_cycles;
+  r.stats = run.stats;
   GranResult out;
   const auto hits = r.stats.GetCounter("ctrl.cache_hits");
   const auto misses = r.stats.GetCounter("ctrl.cache_misses");
@@ -49,6 +55,15 @@ GranResult RunGranularity(const std::string& wl, std::uint32_t line_blocks) {
 int main() {
   const auto workloads = SelectedWorkloads();
   const std::uint32_t grans[] = {1, 2, 4};  // 64 B, 128 B, 256 B
+  {
+    std::vector<CellSpec> cells;
+    for (const std::string& wl : workloads) {
+      for (const std::uint32_t g : grans) {
+        cells.push_back(GranularityCell(wl, g));
+      }
+    }
+    RunCellsAhead(cells, "fig2b");
+  }
 
   std::printf("Figure 2(b) — fill-granularity study on the Alloy HBM cache\n");
   std::printf("(normalized to 64 B; paper: hit rate +12%%/+21%%, data and\n");

@@ -17,7 +17,13 @@ namespace {
 using namespace redcache;
 using namespace redcache::bench;
 
-void ProfileWorkload(const std::string& wl) {
+struct ProfileData {
+  std::uint64_t total_requests = 0;
+  std::uint64_t distinct_blocks = 0;
+  std::vector<BlockProfiler::ReuseGroup> groups;
+};
+
+ProfileData RunProfile(const std::string& wl) {
   RunSpec spec;
   spec.arch = Arch::kNoHbm;
   spec.workload = wl;
@@ -28,13 +34,20 @@ void ProfileWorkload(const std::string& wl) {
     profiler.OnRequest(addr, is_wb);
   });
   (void)system->Run();
+  ProfileData out;
+  out.total_requests = profiler.total_requests();
+  out.distinct_blocks = profiler.distinct_blocks();
+  out.groups = profiler.Groups(/*bucket=*/2);
+  return out;
+}
 
+void PrintProfile(const std::string& wl, const ProfileData& data) {
   std::printf("-- %s: %llu requests over %llu distinct blocks --\n",
               wl.c_str(),
-              static_cast<unsigned long long>(profiler.total_requests()),
-              static_cast<unsigned long long>(profiler.distinct_blocks()));
+              static_cast<unsigned long long>(data.total_requests),
+              static_cast<unsigned long long>(data.distinct_blocks));
 
-  const auto groups = profiler.Groups(/*bucket=*/2);
+  const auto& groups = data.groups;
   // Render an ASCII version of the Fig. 3 scatter: bandwidth-cost share per
   // homo-reuse bucket.
   double max_share = 0;
@@ -93,8 +106,13 @@ void ProfileWorkload(const std::string& wl) {
 int main() {
   std::printf("Figure 3 — off-chip bandwidth cost vs block reuses "
               "(No-HBM system)\n\n");
-  for (const char* wl : {"LU", "MG", "RDX", "HIST"}) {
-    ProfileWorkload(wl);
+  const std::vector<std::string> wls = {"LU", "MG", "RDX", "HIST"};
+  std::vector<ProfileData> profiles(wls.size());
+  // The four profiling runs are independent; fan them out, print in order.
+  ParallelFor(wls.size(), 0,
+              [&](std::size_t i) { profiles[i] = RunProfile(wls[i]); });
+  for (std::size_t i = 0; i < wls.size(); ++i) {
+    PrintProfile(wls[i], profiles[i]);
   }
   std::printf(
       "expected shapes (paper): LU/MG/RDX concentrate cost in narrow\n"

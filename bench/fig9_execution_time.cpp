@@ -16,6 +16,7 @@ int main() {
 
   const auto workloads = SelectedWorkloads();
   const auto& archs = EvaluationArchs();
+  RunCellsAhead(GridCells(archs, workloads), "fig9");
 
   std::printf("Figure 9 — execution time normalized to Alloy Cache\n");
   std::printf("(lower is better; paper means: RedCache 0.69, Bear ~0.92,\n");

@@ -34,6 +34,34 @@ void BM_DramChannelStreamingReads(benchmark::State& state) {
 }
 BENCHMARK(BM_DramChannelStreamingReads);
 
+// Saturated queue with bank conflicts: the scheduler's hard case. Keeps the
+// transaction queue near depth (back-pressure) with a scattered mix of reads
+// and writes, so the FR-FCFS scan, the write-drain watermark and the
+// row-demand precharge guard all stay hot. BM_DramChannelStreamingReads
+// above covers the near-empty-queue fast path; this one is the guard for
+// scheduler data-structure changes, which only show under load.
+void BM_DramChannelLoadedQueue(benchmark::State& state) {
+  DramSystem sys(HbmCacheConfig(8_MiB));
+  Cycle now = 0;
+  std::uint64_t lcg = 12345;
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < 4; ++k) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      const Addr addr = ((lcg >> 16) % 8_MiB) & ~Addr{63};
+      const bool is_write = ((lcg >> 12) & 7) < 3;  // ~38% writes
+      if (sys.CanAccept(addr)) sys.Enqueue(addr, is_write, now);
+    }
+    sys.Tick(now);
+    completed += sys.completions().size();
+    sys.completions().clear();
+    now += 2;
+  }
+  state.counters["completed"] = static_cast<double>(completed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+}
+BENCHMARK(BM_DramChannelLoadedQueue);
+
 void BM_SramCacheAccess(benchmark::State& state) {
   SramCache cache({.name = "l3", .size_bytes = 1_MiB, .ways = 8,
                    .latency = 38});

@@ -1,0 +1,123 @@
+// Batch-engine throughput bench: simulated references per wall-clock
+// second over a fixed evaluation cell set, serial (jobs=1) vs parallel
+// (jobs=N). Writes results/BENCH_perf.json for trend tracking.
+//
+// Uses RunBatch (no memo, no disk cache) so both passes do the full work
+// and the speedup reflects only the worker pool.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace redcache;
+using namespace redcache::bench;
+
+struct PassResult {
+  double seconds = 0;
+  std::uint64_t refs = 0;
+  std::uint64_t cycles = 0;
+};
+
+PassResult TimedPass(const std::vector<RunSpec>& specs, unsigned jobs) {
+  BatchOptions opts;
+  opts.jobs = jobs;
+  opts.progress = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = RunBatch(specs, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  PassResult out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto& r : results) {
+    out.refs += r.stats.GetCounter("core.refs");
+    out.cycles += r.exec_cycles;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned jobs = ResolveJobs(0);
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--jobs") {
+      jobs = static_cast<unsigned>(std::atoi(argv[i + 1]));
+    }
+  }
+  if (jobs == 0) jobs = 1;
+
+  // Fixed cell set: the Fig. 9 architectures over three contrasting
+  // workloads, small enough to finish quickly at any REDCACHE_REFS_SCALE.
+  const std::vector<Arch> archs = {Arch::kNoHbm, Arch::kAlloy, Arch::kBear,
+                                   Arch::kRedCache};
+  const std::vector<std::string> wls = {"LU", "RDX", "HIST"};
+  std::vector<RunSpec> specs;
+  for (const Arch a : archs) {
+    for (const std::string& wl : wls) {
+      RunSpec s;
+      s.arch = a;
+      s.workload = wl;
+      s.scale = EffectiveScale(0.25 * DefaultScale());
+      s.ignore_env_scale = true;  // scale already resolved above
+      specs.push_back(s);
+    }
+  }
+
+  std::printf("perf_throughput — %zu cells, jobs=1 vs jobs=%u\n\n",
+              specs.size(), jobs);
+
+  const PassResult serial = TimedPass(specs, 1);
+  const PassResult parallel = TimedPass(specs, jobs);
+  const double serial_rps =
+      serial.seconds > 0 ? static_cast<double>(serial.refs) / serial.seconds
+                         : 0;
+  const double parallel_rps =
+      parallel.seconds > 0
+          ? static_cast<double>(parallel.refs) / parallel.seconds
+          : 0;
+  const double speedup =
+      parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0;
+
+  TextTable table({"pass", "wall s", "refs", "refs/s", "speedup"});
+  table.AddRow({"jobs=1", TextTable::Num(serial.seconds, 2),
+                std::to_string(serial.refs), TextTable::Num(serial_rps, 0),
+                "1.00"});
+  table.AddRow({"jobs=" + std::to_string(jobs),
+                TextTable::Num(parallel.seconds, 2),
+                std::to_string(parallel.refs),
+                TextTable::Num(parallel_rps, 0),
+                TextTable::Num(speedup, 2)});
+  std::printf("%s\n", table.Render().c_str());
+
+  if (serial.refs != parallel.refs || serial.cycles != parallel.cycles) {
+    std::fprintf(stderr,
+                 "FAIL: passes disagree (refs %llu vs %llu, cycles %llu vs "
+                 "%llu) — batch execution must be deterministic\n",
+                 static_cast<unsigned long long>(serial.refs),
+                 static_cast<unsigned long long>(parallel.refs),
+                 static_cast<unsigned long long>(serial.cycles),
+                 static_cast<unsigned long long>(parallel.cycles));
+    return 1;
+  }
+
+  std::filesystem::create_directories("results");
+  std::ofstream json("results/BENCH_perf.json");
+  json << "{\n"
+       << "  \"bench\": \"perf_throughput\",\n"
+       << "  \"cells\": " << specs.size() << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"simulated_refs\": " << serial.refs << ",\n"
+       << "  \"serial_seconds\": " << serial.seconds << ",\n"
+       << "  \"parallel_seconds\": " << parallel.seconds << ",\n"
+       << "  \"serial_refs_per_sec\": " << serial_rps << ",\n"
+       << "  \"parallel_refs_per_sec\": " << parallel_rps << ",\n"
+       << "  \"speedup\": " << speedup << "\n"
+       << "}\n";
+  std::printf("wrote results/BENCH_perf.json\n");
+  return 0;
+}

@@ -13,26 +13,38 @@ int main() {
 
   TextTable table({"label", "modeled behaviour", "footprint (MiB)",
                    "refs (M)", "writes"});
-  for (const std::string& wl : WorkloadLabels()) {
+  const auto labels = WorkloadLabels();
+  struct RowData {
+    std::uint64_t footprint = 0, refs = 0, writes = 0;
+  };
+  std::vector<RowData> rows(labels.size());
+  // Trace generation is independent per workload; drain them in parallel
+  // and emit the table rows in order afterwards.
+  ParallelFor(labels.size(), 0, [&](std::size_t i) {
     WorkloadBuildParams params;
     params.num_cores = EvalPreset().hierarchy.num_cores;
     params.scale = EffectiveScale(1.0);
-    auto trace = MakeWorkload(wl, params);
-    std::uint64_t refs = 0, writes = 0;
+    auto trace = MakeWorkload(labels[i], params);
+    RowData& row = rows[i];
     MemRef r;
     for (std::uint32_t c = 0; c < trace->num_cores(); ++c) {
       while (trace->Next(c, r)) {
-        refs++;
-        writes += r.is_write ? 1 : 0;
+        row.refs++;
+        row.writes += r.is_write ? 1 : 0;
       }
     }
-    table.AddRow({wl, WorkloadDescription(wl),
-                  TextTable::Num(static_cast<double>(trace->footprint_bytes()) /
+    row.footprint = trace->footprint_bytes();
+  });
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const RowData& row = rows[i];
+    table.AddRow({labels[i], WorkloadDescription(labels[i]),
+                  TextTable::Num(static_cast<double>(row.footprint) /
                                      (1024.0 * 1024.0), 1),
-                  TextTable::Num(static_cast<double>(refs) / 1e6, 2),
-                  TextTable::Pct(refs == 0 ? 0.0
-                                           : static_cast<double>(writes) /
-                                                 static_cast<double>(refs))});
+                  TextTable::Num(static_cast<double>(row.refs) / 1e6, 2),
+                  TextTable::Pct(row.refs == 0
+                                     ? 0.0
+                                     : static_cast<double>(row.writes) /
+                                           static_cast<double>(row.refs))});
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("All eleven Table II applications are present: FT IS MG CH RDX "

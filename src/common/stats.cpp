@@ -1,5 +1,7 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace redcache {
@@ -27,8 +29,13 @@ double Histogram::Mean() const {
 
 std::uint64_t Histogram::Quantile(double q) const {
   if (total_weight_ == 0) return 0;
+  // Smallest positive rank at or past the requested quantile. Flooring here
+  // (and a plain cast for q=0) yielded target 0, which made the scan stop at
+  // bucket 0 even when it was empty — Quantile(0) must be the end of the
+  // first bucket that actually observed weight.
+  const double scaled = q * static_cast<double>(total_weight_);
   const auto target =
-      static_cast<std::uint64_t>(q * static_cast<double>(total_weight_));
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(scaled)));
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     acc += buckets_[i];

@@ -2,16 +2,47 @@
 
 namespace redcache {
 
+namespace {
+bool IsPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint32_t Log2(std::uint64_t v) {
+  std::uint32_t s = 0;
+  while ((std::uint64_t{1} << s) < v) ++s;
+  return s;
+}
+}  // namespace
+
 AddressMapper::AddressMapper(const DramGeometry& geo)
     : channels_(geo.channels),
       ranks_(geo.ranks_per_channel),
       banks_(geo.banks_per_rank),
       blocks_per_row_(geo.BlocksPerRow()),
-      rows_(geo.RowsPerBank()) {}
+      rows_(geo.RowsPerBank()) {
+  all_pow2_ = IsPow2(channels_) && IsPow2(blocks_per_row_) &&
+              IsPow2(banks_) && IsPow2(ranks_) && IsPow2(rows_);
+  if (all_pow2_) {
+    channel_shift_ = Log2(channels_);
+    column_shift_ = Log2(blocks_per_row_);
+    bank_shift_ = Log2(banks_);
+    rank_shift_ = Log2(ranks_);
+  }
+}
 
 DramAddress AddressMapper::Map(Addr byte_addr) const {
   std::uint64_t block = BlockIndex(byte_addr);
   DramAddress out;
+  if (all_pow2_) {
+    out.channel = static_cast<std::uint32_t>(block & (channels_ - 1));
+    block >>= channel_shift_;
+    out.column = static_cast<std::uint32_t>(block & (blocks_per_row_ - 1));
+    block >>= column_shift_;
+    out.bank = static_cast<std::uint32_t>(block & (banks_ - 1));
+    block >>= bank_shift_;
+    out.rank = static_cast<std::uint32_t>(block & (ranks_ - 1));
+    block >>= rank_shift_;
+    out.row = block & (rows_ - 1);
+    return out;
+  }
   out.channel = static_cast<std::uint32_t>(block % channels_);
   block /= channels_;
   out.column = static_cast<std::uint32_t>(block % blocks_per_row_);

@@ -47,6 +47,14 @@ class AddressMapper {
   std::uint32_t banks_;
   std::uint32_t blocks_per_row_;
   std::uint64_t rows_;
+  /// Every real geometry uses power-of-two dimensions; five 64-bit div/mod
+  /// pairs per Map() are measurable in the simulation hot loop, so the
+  /// constructor precomputes shifts for a mask/shift fast path.
+  bool all_pow2_ = false;
+  std::uint32_t channel_shift_ = 0;
+  std::uint32_t column_shift_ = 0;
+  std::uint32_t bank_shift_ = 0;
+  std::uint32_t rank_shift_ = 0;
 };
 
 }  // namespace redcache

@@ -22,80 +22,181 @@ DramChannel::DramChannel(const DramConfig& cfg, std::uint32_t channel_index)
   for (std::uint32_t r = 0; r < cfg_.geometry.ranks_per_channel; ++r) {
     ranks_[r].Init(cfg_.timing, r);
   }
-  queue_.reserve(cfg_.controller.queue_depth);
+  slots_.resize(cfg_.controller.queue_depth);
+  free_slots_.reserve(cfg_.controller.queue_depth);
+  for (std::uint32_t s = cfg_.controller.queue_depth; s-- > 0;) {
+    free_slots_.push_back(static_cast<std::int32_t>(s));
+  }
+  row_demand_.resize(banks_.size());
+  ready_memo_.resize(banks_.size());
+  bank_stamp_.assign(banks_.size(), 0);
+  rank_stamp_.assign(ranks_.size(), 0);
 }
 
 void DramChannel::Enqueue(const DramRequest& req) {
   assert(CanAccept());
-  Pending p;
+  const std::int32_t s = free_slots_.back();
+  free_slots_.pop_back();
+  Pending& p = slots_[static_cast<std::size_t>(s)];
   p.req = req;
   p.bursts_left = std::max<std::uint32_t>(1, req.bursts);
   p.bank_idx = req.loc.rank * cfg_.geometry.banks_per_rank + req.loc.bank;
-  queue_.push_back(p);
+  p.first_command_issued = false;
+  p.prev = tail_;
+  p.next = -1;
+  if (tail_ == -1) {
+    head_ = s;
+  } else {
+    slots_[static_cast<std::size_t>(tail_)].next = s;
+  }
+  tail_ = s;
+  live_count_++;
+  AddRowDemand(p.bank_idx, req.loc.row);
   if (req.is_write) write_count_++;
   counters_.transactions++;
   sleep_until_ = 0;  // new work: wake the scheduler
 }
 
-Cycle DramChannel::ColumnReadyAt(const Pending& p) const {
+void DramChannel::RemoveFromQueue(std::int32_t slot) {
+  Pending& p = slots_[static_cast<std::size_t>(slot)];
+  if (p.prev == -1) {
+    head_ = p.next;
+  } else {
+    slots_[static_cast<std::size_t>(p.prev)].next = p.next;
+  }
+  if (p.next == -1) {
+    tail_ = p.prev;
+  } else {
+    slots_[static_cast<std::size_t>(p.next)].prev = p.prev;
+  }
+  live_count_--;
+  SubRowDemand(p.bank_idx, p.req.loc.row);
+  free_slots_.push_back(slot);
+}
+
+void DramChannel::AddRowDemand(std::uint32_t bank_idx, std::uint64_t row) {
+  auto& rows = row_demand_[bank_idx];
+  for (RowDemand& d : rows) {
+    if (d.row == row) {
+      d.count++;
+      return;
+    }
+  }
+  rows.push_back({row, 1});
+}
+
+void DramChannel::SubRowDemand(std::uint32_t bank_idx, std::uint64_t row) {
+  auto& rows = row_demand_[bank_idx];
+  for (RowDemand& d : rows) {
+    if (d.row == row) {
+      if (--d.count == 0) {
+        d = rows.back();
+        rows.pop_back();
+      }
+      return;
+    }
+  }
+  assert(false && "row demand underflow");
+}
+
+bool DramChannel::RowWanted(std::uint32_t bank_idx, std::uint64_t row) const {
+  for (const RowDemand& d : row_demand_[bank_idx]) {
+    if (d.row == row) return d.count != 0;
+  }
+  return false;
+}
+
+Cycle DramChannel::ComputeColumnReady(std::uint32_t bank_idx,
+                                      std::uint32_t rank_idx, bool is_write,
+                                      Cycle col_gate) const {
   const auto& t = cfg_.timing;
-  const BankState& bank = banks_[p.bank_idx];
-  const Cycle lat = p.req.is_write ? t.tCWD : t.tCAS;
-  // Follow-up bursts of the same transaction stream back to back, gated by
-  // the data bus only (not tCCD).
-  const Cycle col_gate =
-      last_column_req_ == p.req.id && p.bursts_left < p.req.bursts
-          ? Cycle{0}
-          : next_column_cmd_;
-  Cycle ready = std::max({bank.next_column, col_gate, next_cmd_slot_,
-                          p.req.is_write ? next_write_cmd_ : next_read_cmd_});
+  const BankState& bank = banks_[bank_idx];
+  const Cycle lat = is_write ? t.tCWD : t.tCAS;
+  Cycle ready = std::max({bank.next_column, col_gate,
+                          is_write ? next_write_cmd_ : next_read_cmd_});
   if (data_bus_free_ > lat) {
     ready = std::max(ready, data_bus_free_ - lat);
   }
-  const RankState& rank = ranks_[p.req.loc.rank];
+  const RankState& rank = ranks_[rank_idx];
   if (rank.Refreshing(ready)) {
     ready = rank.refreshing_until();
   }
   return AlignUp(ready);
 }
 
-bool DramChannel::RowWantedByQueue(const DramAddress& loc,
-                                   std::uint64_t row) const {
-  for (const Pending& q : queue_) {
-    if (q.req.loc.SameBankAs(loc) && q.req.loc.row == row) return true;
-  }
-  return false;
+Cycle DramChannel::ComputeActivateReady(std::uint32_t bank_idx,
+                                        std::uint32_t rank_idx) const {
+  const BankState& bank = banks_[bank_idx];
+  const RankState& rank = ranks_[rank_idx];
+  Cycle ready = std::max(bank.next_activate, rank.NextActivateAllowed());
+  if (rank.Refreshing(ready)) ready = rank.refreshing_until();
+  return AlignUp(ready);
 }
 
-DramChannel::Action DramChannel::RequiredAction(const Pending& p,
-                                                Cycle& ready_at) const {
-  const BankState& bank = banks_[p.bank_idx];
-  const RankState& rank = ranks_[p.req.loc.rank];
+Cycle DramChannel::ComputePrechargeReady(std::uint32_t bank_idx,
+                                         std::uint32_t rank_idx) const {
+  const BankState& bank = banks_[bank_idx];
+  const RankState& rank = ranks_[rank_idx];
+  Cycle ready = bank.next_precharge;
+  if (rank.Refreshing(ready)) ready = rank.refreshing_until();
+  return AlignUp(ready);
+}
 
+REDCACHE_ALWAYS_INLINE DramChannel::Action DramChannel::RequiredAction(
+    const Pending& p, Cycle& ready_at) const {
+  const std::uint32_t b = p.bank_idx;
+  const std::uint32_t r = p.req.loc.rank;
+  const BankState& bank = banks_[b];
+  ReadyMemo& m = ready_memo_[b];
+  const std::uint64_t br_sig = std::max(bank_stamp_[b], rank_stamp_[r]);
   if (!bank.RowOpen()) {
-    Cycle ready =
-        std::max({bank.next_activate, rank.NextActivateAllowed(),
-                  next_cmd_slot_});
-    if (rank.Refreshing(ready)) ready = rank.refreshing_until();
-    ready_at = AlignUp(ready);
+    if (m.act_sig != br_sig) {
+      m.act = ComputeActivateReady(b, r);
+      m.act_sig = br_sig;
+    }
+    ready_at = m.act;
     return Action::kActivate;
   }
   if (bank.open_row != p.req.loc.row) {
-    Cycle ready = std::max(bank.next_precharge, next_cmd_slot_);
-    if (rank.Refreshing(ready)) ready = rank.refreshing_until();
-    ready_at = AlignUp(ready);
+    if (m.pre_sig != br_sig) {
+      m.pre = ComputePrechargeReady(b, r);
+      m.pre_sig = br_sig;
+    }
+    ready_at = m.pre;
     return Action::kPrecharge;
   }
-  ready_at = ColumnReadyAt(p);
+  // Follow-up bursts of the same transaction stream back to back, gated by
+  // the data bus only (not tCCD). At most one queued request matches
+  // last_column_req_, so this case bypasses the per-bank memo.
+  if (last_column_req_ == p.req.id && p.bursts_left < p.req.bursts) {
+    ready_at = ComputeColumnReady(b, r, p.req.is_write, Cycle{0});
+    return Action::kColumn;
+  }
+  const std::uint64_t col_sig = std::max(br_sig, col_stamp_);
+  if (p.req.is_write) {
+    if (m.col_w_sig != col_sig) {
+      m.col_w = ComputeColumnReady(b, r, true, next_column_cmd_);
+      m.col_w_sig = col_sig;
+    }
+    ready_at = m.col_w;
+  } else {
+    if (m.col_r_sig != col_sig) {
+      m.col_r = ComputeColumnReady(b, r, false, next_column_cmd_);
+      m.col_r_sig = col_sig;
+    }
+    ready_at = m.col_r;
+  }
   return Action::kColumn;
 }
 
-void DramChannel::IssueColumn(std::size_t idx, Cycle now) {
+void DramChannel::IssueColumn(std::int32_t slot, Cycle now) {
   const auto& t = cfg_.timing;
   const auto& geo = cfg_.geometry;
-  Pending& p = queue_[idx];
+  Pending& p = slots_[static_cast<std::size_t>(slot)];
   BankState& bank = BankOf(p.req.loc);
   const bool is_write = p.req.is_write;
+  bank_stamp_[p.bank_idx] = ++stamp_counter_;
+  col_stamp_ = stamp_counter_;
 
   const Cycle lat = is_write ? t.tCWD : t.tCAS;
   const Cycle data_start = now + lat;
@@ -140,14 +241,17 @@ void DramChannel::IssueColumn(std::size_t idx, Cycle now) {
   if (p.bursts_left == 0) {
     pending_done_.push_back(
         {p.req.id, p.req.addr, is_write, data_end, p.req.user_tag});
+    pending_done_min_ = std::min(pending_done_min_, data_end);
     if (is_write) write_count_--;
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+    RemoveFromQueue(slot);
   }
 }
 
 void DramChannel::IssueActivate(Pending& p, Cycle now) {
   const auto& t = cfg_.timing;
   BankState& bank = BankOf(p.req.loc);
+  bank_stamp_[p.bank_idx] = ++stamp_counter_;
+  rank_stamp_[p.req.loc.rank] = stamp_counter_;
   bank.open_row = p.req.loc.row;
   bank.next_column = now + t.tRCD;
   bank.next_precharge = std::max(bank.next_precharge, now + t.tRAS);
@@ -162,7 +266,9 @@ void DramChannel::IssueActivate(Pending& p, Cycle now) {
   }
 }
 
-void DramChannel::IssuePrecharge(BankState& bank, Cycle now) {
+void DramChannel::IssuePrecharge(std::uint32_t bank_idx, Cycle now) {
+  BankState& bank = banks_[bank_idx];
+  bank_stamp_[bank_idx] = ++stamp_counter_;
   bank.open_row = BankState::kNoRow;
   bank.next_activate = std::max(bank.next_activate, now + cfg_.timing.tRP);
   next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
@@ -196,7 +302,7 @@ bool DramChannel::MaybeRefresh(Cycle now, Cycle& min_ready) {
       if (bank.RowOpen()) {
         all_closed = false;
         if (now >= bank.next_precharge) {
-          IssuePrecharge(bank, now);
+          IssuePrecharge(r * cfg_.geometry.banks_per_rank + b, now);
           return true;  // refresh_wake_ stays hot (<= now)
         }
         rank_ready = std::max(rank_ready, bank.next_precharge);
@@ -209,6 +315,7 @@ bool DramChannel::MaybeRefresh(Cycle now, Cycle& min_ready) {
       continue;
     }
     rank.StartRefresh(now);
+    rank_stamp_[r] = ++stamp_counter_;
     for (std::uint32_t b = 0; b < cfg_.geometry.banks_per_rank; ++b) {
       bank_base[b].next_activate =
           std::max(bank_base[b].next_activate, now + cfg_.timing.tRFC);
@@ -223,17 +330,21 @@ bool DramChannel::MaybeRefresh(Cycle now, Cycle& min_ready) {
 }
 
 void DramChannel::Tick(Cycle now, std::vector<DramCompletion>& done) {
-  // Deliver finished data movements.
-  if (!pending_done_.empty()) {
-    for (std::size_t i = 0; i < pending_done_.size();) {
+  // Deliver finished data movements: one stable compacting pass (delivery
+  // order matches insertion order, no per-element erase).
+  if (pending_done_min_ <= now) {
+    std::size_t keep = 0;
+    Cycle next_min = kNever;
+    for (std::size_t i = 0; i < pending_done_.size(); ++i) {
       if (pending_done_[i].done <= now) {
         done.push_back(pending_done_[i]);
-        pending_done_.erase(pending_done_.begin() +
-                            static_cast<std::ptrdiff_t>(i));
       } else {
-        ++i;
+        next_min = std::min(next_min, pending_done_[i].done);
+        pending_done_[keep++] = pending_done_[i];
       }
     }
+    pending_done_.resize(keep);
+    pending_done_min_ = next_min;
   }
 
   if (now % kCpuCyclesPerDramCycle != 0) return;
@@ -242,32 +353,35 @@ void DramChannel::Tick(Cycle now, std::vector<DramCompletion>& done) {
   Cycle min_ready = kNever;
   if (MaybeRefresh(now, min_ready)) return;
 
-  if (queue_.empty()) {
+  if (live_count_ == 0) {
     sleep_until_ = min_ready == kNever ? now + cfg_.timing.tREFI : min_ready;
     return;
   }
 
   const Cycle starve = cfg_.controller.starvation_cycles;
 
-  // Anti-starvation: once the oldest request (queue front, arrival order)
+  // Anti-starvation: once the oldest request (queue head, arrival order)
   // has waited past the threshold, issue its next command ahead of row
   // hits — but only when it can actually issue; blocking the channel on a
   // not-yet-ready command would serialize the banks.
-  if (queue_.front().req.arrival + starve < now) {
-    Pending& p = queue_.front();
-    Cycle ready = kNever;
-    const Action act = RequiredAction(p, ready);
-    if (ready <= now) {
-      if (act == Action::kColumn) {
-        IssueColumn(0, now);
-      } else if (act == Action::kActivate) {
+  Action head_act = Action::kNone;
+  Cycle head_ready = kNever;
+  bool head_cached = false;
+  if (slots_[static_cast<std::size_t>(head_)].req.arrival + starve < now) {
+    Pending& p = slots_[static_cast<std::size_t>(head_)];
+    head_act = RequiredAction(p, head_ready);
+    head_cached = true;
+    if (head_ready <= now) {
+      if (head_act == Action::kColumn) {
+        IssueColumn(head_, now);
+      } else if (head_act == Action::kActivate) {
         IssueActivate(p, now);
       } else {
-        IssuePrecharge(banks_[p.bank_idx], now);
+        IssuePrecharge(p.bank_idx, now);
       }
       return;
     }
-    min_ready = std::min(min_ready, ready);
+    min_ready = std::min(min_ready, head_ready);
     // Fall through: serve other ready work while the starved head waits on
     // its bank timing.
   }
@@ -278,47 +392,52 @@ void DramChannel::Tick(Cycle now, std::vector<DramCompletion>& done) {
   const bool drain_writes =
       2 * write_count_ > cfg_.controller.queue_depth;
 
-  std::size_t open_pick = queue_.size();
+  std::int32_t open_pick = -1;
   Action open_action = Action::kNone;
-  std::size_t write_pick = queue_.size();
+  std::int32_t write_pick = -1;
 
-  for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const Pending& p = queue_[i];
+  for (std::int32_t s = head_; s != -1;
+       s = slots_[static_cast<std::size_t>(s)].next) {
+    const Pending& p = slots_[static_cast<std::size_t>(s)];
     Cycle ready = kNever;
-    const Action act = RequiredAction(p, ready);
+    // The starved-head branch already computed the head's action this slot.
+    const Action act = (s == head_ && head_cached)
+                           ? (ready = head_ready, head_act)
+                           : RequiredAction(p, ready);
 
     if (act == Action::kColumn && ready <= now) {
       if (!p.req.is_write || drain_writes) {
         // FR-FCFS: the oldest ready row-hit (read-first) wins.
-        IssueColumn(i, now);
+        IssueColumn(s, now);
         return;
       }
-      if (write_pick == queue_.size()) write_pick = i;
+      if (write_pick == -1) write_pick = s;
       continue;
     }
     if (act == Action::kPrecharge) {
       // Do not close a row another queued transaction still wants.
       const BankState& bank = banks_[p.bank_idx];
-      if (RowWantedByQueue(p.req.loc, bank.open_row)) continue;
+      if (RowWanted(p.bank_idx, bank.open_row)) continue;
     }
 
     min_ready = std::min(min_ready, ready);
     if (ready > now) continue;
-    if (act != Action::kColumn && open_pick == queue_.size()) {
-      open_pick = i;
+    if (act != Action::kColumn && open_pick == -1) {
+      open_pick = s;
       open_action = act;
     }
   }
 
-  if (write_pick < queue_.size()) {
+  if (write_pick != -1) {
     IssueColumn(write_pick, now);
     return;
   }
-  if (open_pick < queue_.size()) {
+  if (open_pick != -1) {
+    Pending& p = slots_[static_cast<std::size_t>(open_pick)];
     if (open_action == Action::kActivate) {
-      IssueActivate(queue_[open_pick], now);
+      IssueActivate(p, now);
     } else {
-      IssuePrecharge(banks_[queue_[open_pick].bank_idx], now);
+      IssuePrecharge(p.bank_idx, now);
     }
     return;
   }
@@ -329,9 +448,8 @@ void DramChannel::Tick(Cycle now, std::vector<DramCompletion>& done) {
 }
 
 Cycle DramChannel::NextEventHint(Cycle now) const {
-  Cycle next = kNever;
-  for (const auto& c : pending_done_) next = std::min(next, c.done);
-  if (!queue_.empty()) {
+  Cycle next = pending_done_min_;
+  if (live_count_ != 0) {
     next = std::min(next, std::max({now + 1, next_cmd_slot_, sleep_until_}));
   } else {
     // Idle: the only future work is refresh bookkeeping.

@@ -38,9 +38,9 @@ class DramChannel {
  public:
   DramChannel(const DramConfig& cfg, std::uint32_t channel_index);
 
-  bool CanAccept() const { return queue_.size() < cfg_.controller.queue_depth; }
-  bool QueueEmpty() const { return queue_.empty() && pending_done_.empty(); }
-  std::size_t QueueSize() const { return queue_.size(); }
+  bool CanAccept() const { return live_count_ < cfg_.controller.queue_depth; }
+  bool QueueEmpty() const { return live_count_ == 0 && pending_done_.empty(); }
+  std::size_t QueueSize() const { return live_count_; }
 
   /// Enqueue a transaction (caller checked CanAccept).
   void Enqueue(const DramRequest& req);
@@ -63,27 +63,54 @@ class DramChannel {
   Cycle NextEventHint(Cycle now) const;
 
  private:
+  /// Queue entries live in a fixed slot pool (`slots_`, sized queue_depth)
+  /// threaded into an arrival-order doubly-linked list, so retiring a
+  /// transaction is O(1) instead of an O(n) mid-vector erase while the
+  /// FR-FCFS scan still walks strict arrival order.
   struct Pending {
     DramRequest req;
     std::uint32_t bursts_left;
     std::uint32_t bank_idx;  ///< cached rank*banks_per_rank + bank
     bool first_command_issued = false;
+    std::int32_t prev = -1;  ///< arrival-order list links (slot indices)
+    std::int32_t next = -1;
   };
   enum class Action { kNone, kColumn, kActivate, kPrecharge };
 
   static constexpr Cycle kNever = ~Cycle{0};
 
+// Hot path: called for every queued transaction on every command slot; the
+// call overhead alone is measurable in the FR-FCFS scan (see
+// BM_DramChannelLoadedQueue), so force it into Tick.
+#if defined(__GNUC__) || defined(__clang__)
+#define REDCACHE_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define REDCACHE_ALWAYS_INLINE inline
+#endif
   /// Next required command for `p` and its earliest legal issue cycle.
-  Action RequiredAction(const Pending& p, Cycle& ready_at) const;
-  Cycle ColumnReadyAt(const Pending& p) const;
+  REDCACHE_ALWAYS_INLINE Action RequiredAction(const Pending& p,
+                                               Cycle& ready_at) const;
+  Cycle ComputeColumnReady(std::uint32_t bank_idx, std::uint32_t rank,
+                           bool is_write, Cycle col_gate) const;
+  Cycle ComputeActivateReady(std::uint32_t bank_idx, std::uint32_t rank) const;
+  Cycle ComputePrechargeReady(std::uint32_t bank_idx,
+                              std::uint32_t rank) const;
 
-  void IssueColumn(std::size_t idx, Cycle now);
+  void IssueColumn(std::int32_t slot, Cycle now);
   void IssueActivate(Pending& p, Cycle now);
-  void IssuePrecharge(BankState& bank, Cycle now);
+  void IssuePrecharge(std::uint32_t bank_idx, Cycle now);
   /// Handles refresh duty. Returns true if a command slot was consumed.
   bool MaybeRefresh(Cycle now, Cycle& min_ready);
 
-  bool RowWantedByQueue(const DramAddress& loc, std::uint64_t row) const;
+  /// Unlink `slot` from the arrival list and return it to the free pool.
+  void RemoveFromQueue(std::int32_t slot);
+
+  // Incrementally-maintained count of queued transactions per (bank, row):
+  // the scheduler's "may I close this row" test used to rescan the whole
+  // queue for every precharge candidate (O(n^2) per command slot).
+  void AddRowDemand(std::uint32_t bank_idx, std::uint64_t row);
+  void SubRowDemand(std::uint32_t bank_idx, std::uint64_t row);
+  bool RowWanted(std::uint32_t bank_idx, std::uint64_t row) const;
 
   BankState& BankOf(const DramAddress& a) {
     return banks_[a.rank * cfg_.geometry.banks_per_rank + a.bank];
@@ -95,8 +122,54 @@ class DramChannel {
   DramConfig cfg_;
   std::vector<BankState> banks_;
   std::vector<RankState> ranks_;
-  std::vector<Pending> queue_;
+  std::vector<Pending> slots_;            ///< fixed pool, queue_depth entries
+  std::vector<std::int32_t> free_slots_;  ///< unused slot indices (stack)
+  std::int32_t head_ = -1;                ///< oldest queued transaction
+  std::int32_t tail_ = -1;                ///< newest queued transaction
+  std::uint32_t live_count_ = 0;
+  /// Distinct rows demanded by queued transactions, per bank. Each inner
+  /// vector is tiny (bounded by queued transactions on that bank).
+  struct RowDemand {
+    std::uint64_t row;
+    std::uint32_t count;
+  };
+  std::vector<std::vector<RowDemand>> row_demand_;
   std::vector<DramCompletion> pending_done_;  ///< data still on the bus
+  Cycle pending_done_min_ = ~Cycle{0};  ///< earliest pending_done_ delivery
+
+  /// Ready times are pure functions of device/bus state, which mutates only
+  /// when a command issues (Issue*/StartRefresh). The FR-FCFS scan asks the
+  /// same per-bank questions for every queued transaction on a bank — often
+  /// across many consecutive slots — so the answers are memoized per bank.
+  ///
+  /// Invalidation is by monotone stamps rather than a single global epoch:
+  /// each issued command stamps only the state it mutated (its bank, its
+  /// rank, the shared column/data bus), and a memo entry is valid while its
+  /// recorded stamp still equals the max of the stamps its inputs depend on.
+  /// A column command elsewhere therefore does not flush activate/precharge
+  /// answers for unrelated banks.
+  ///
+  /// The cached values deliberately omit the `next_cmd_slot_` term: Tick
+  /// returns before scanning when `now < next_cmd_slot_`, so at scan time
+  /// `next_cmd_slot_ <= now` and (both being slot-aligned) max()-ing it in
+  /// changes neither the issue/wait decision nor any min_ready value that
+  /// is actually consulted (those are all > now).
+  struct ReadyMemo {
+    std::uint64_t act_sig = kNeverSig;
+    std::uint64_t pre_sig = kNeverSig;
+    std::uint64_t col_r_sig = kNeverSig;
+    std::uint64_t col_w_sig = kNeverSig;
+    Cycle act = 0;
+    Cycle pre = 0;
+    Cycle col_r = 0;
+    Cycle col_w = 0;
+  };
+  static constexpr std::uint64_t kNeverSig = ~std::uint64_t{0};
+  mutable std::vector<ReadyMemo> ready_memo_;
+  std::vector<std::uint64_t> bank_stamp_;  ///< per bank, bumped on issue
+  std::vector<std::uint64_t> rank_stamp_;  ///< per rank (tRRD/tFAW/refresh)
+  std::uint64_t col_stamp_ = 0;   ///< shared column/data-bus state
+  std::uint64_t stamp_counter_ = 0;
 
   // Channel-shared bus state.
   Cycle next_cmd_slot_ = 0;    ///< command bus: one command per DRAM clock

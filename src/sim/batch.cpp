@@ -1,0 +1,375 @@
+#include "sim/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "energy/model.hpp"
+
+namespace redcache {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hashing (FNV-1a). Deterministic across platforms; speed is irrelevant.
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t FnvBytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t FnvU64(std::uint64_t h, std::uint64_t v) {
+  return FnvBytes(h, &v, sizeof(v));
+}
+
+std::uint64_t FnvStr(std::uint64_t h, const std::string& s) {
+  return FnvBytes(FnvU64(h, s.size()), s.data(), s.size());
+}
+
+// Explicit field-by-field hash of a preset. Used to key the in-process
+// fingerprint memo and to separate cache filenames of distinct presets; the
+// canary runs in SimFingerprint are what actually guard correctness, so a
+// field missed here degrades to a shared memo slot, not to wrong numbers.
+std::uint64_t HashSram(std::uint64_t h, const SramCacheConfig& c) {
+  h = FnvU64(h, c.size_bytes);
+  h = FnvU64(h, c.ways);
+  return FnvU64(h, c.latency);
+}
+
+std::uint64_t HashDram(std::uint64_t h, const DramConfig& d) {
+  const DramTimingParams& t = d.timing;
+  for (const Cycle v :
+       {t.tRCD, t.tCAS, t.tCCD, t.tWTR, t.tWR, t.tRTP, t.tBL, t.tCWD, t.tRP,
+        t.tRRD, t.tRAS, t.tRC, t.tFAW, t.tREFI, t.tRFC, t.tRTW_bubble}) {
+    h = FnvU64(h, v);
+  }
+  const DramGeometry& g = d.geometry;
+  h = FnvU64(h, g.channels);
+  h = FnvU64(h, g.ranks_per_channel);
+  h = FnvU64(h, g.banks_per_rank);
+  h = FnvU64(h, g.row_bytes);
+  h = FnvU64(h, g.capacity_bytes);
+  h = FnvU64(h, g.bus_bits);
+  h = FnvU64(h, g.burst_bytes);
+  h = FnvU64(h, g.sideband_bytes);
+  h = FnvU64(h, d.controller.queue_depth);
+  return FnvU64(h, d.controller.starvation_cycles);
+}
+
+std::uint64_t PresetFieldHash(const SimPreset& p) {
+  std::uint64_t h = FnvStr(kFnvOffset, p.name);
+  h = FnvU64(h, p.hierarchy.num_cores);
+  h = HashSram(h, p.hierarchy.l1);
+  h = HashSram(h, p.hierarchy.l2);
+  h = HashSram(h, p.hierarchy.l3);
+  h = FnvU64(h, p.core.max_outstanding);
+  h = FnvBytes(h, &p.core.dependent_fraction,
+               sizeof(p.core.dependent_fraction));
+  h = FnvU64(h, p.core.l1_hit_cost);
+  h = FnvU64(h, p.core.l2_hit_cost);
+  h = FnvU64(h, p.core.l3_hit_cost);
+  h = FnvU64(h, p.core.retry_interval);
+  h = HashDram(h, p.mem.hbm);
+  h = HashDram(h, p.mem.mainmem);
+  h = FnvU64(h, p.mem.has_hbm ? 1 : 0);
+  h = FnvU64(h, p.mem.input_queue_cap);
+  h = FnvU64(h, p.mem.txn_pool_size);
+  return FnvU64(h, p.mem.line_blocks);
+}
+
+// Bump when the cache file format or the canary definition changes.
+constexpr std::uint64_t kCacheFormatVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Progress reporting.
+
+bool ProgressEnvEnabled() {
+  const char* env = std::getenv("REDCACHE_PROGRESS");
+  return env == nullptr || std::string(env) != "0";
+}
+
+std::string FormatScale(double scale) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", scale);
+  return buf;
+}
+
+std::string SanitizeKey(std::string key) {
+  for (char& c : key) {
+    if (c == ' ' || c == '/') c = '-';
+  }
+  return key;
+}
+
+std::string HexU64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Disk cache (text format, one file per cell):
+//   fingerprint <hex>
+//   exec_cycles <n>
+//   <counter name> <value>
+//   ...
+// A fingerprint mismatch is treated as a miss; the entry is overwritten
+// after re-simulation.
+
+bool LoadCached(const std::string& path, std::uint64_t fingerprint,
+                RunResult& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string name;
+  std::string fp_hex;
+  if (!(in >> name >> fp_hex) || name != "fingerprint") return false;
+  if (fp_hex != HexU64(fingerprint)) return false;
+  std::uint64_t value = 0;
+  if (!(in >> name >> value) || name != "exec_cycles") return false;
+  out.completed = true;
+  out.exec_cycles = value;
+  while (in >> name >> value) {
+    out.stats.Counter(name) = value;
+  }
+  return true;
+}
+
+void SaveCached(const std::string& path, std::uint64_t fingerprint,
+                const RunResult& r) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "fingerprint " << HexU64(fingerprint) << '\n';
+  out << "exec_cycles " << r.exec_cycles << '\n';
+  for (const auto& [name, value] : r.stats.counters()) {
+    out << name << ' ' << value << '\n';
+  }
+}
+
+// Shared worker-pool driver: runs task(0..n-1) with results keyed by index,
+// printing per-completion progress/ETA.
+std::vector<RunResult> RunIndexed(
+    std::size_t n, const BatchOptions& opts,
+    const std::function<RunResult(std::size_t)>& task,
+    const std::function<std::string(std::size_t)>& describe) {
+  std::vector<RunResult> results(n);
+  if (n == 0) return results;
+  const bool progress = opts.progress && ProgressEnvEnabled();
+  const unsigned jobs =
+      static_cast<unsigned>(std::min<std::size_t>(ResolveJobs(opts.jobs), n));
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::mutex io_mu;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      results[i] = task(i);
+      const std::size_t d = done.fetch_add(1) + 1;
+      if (progress) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        const double eta =
+            elapsed / static_cast<double>(d) * static_cast<double>(n - d);
+        std::lock_guard<std::mutex> lock(io_mu);
+        std::fprintf(stderr, "[%s %zu/%zu] %s done (%.1fs elapsed, ETA %.1fs)\n",
+                     opts.label.c_str(), d, n, describe(i).c_str(), elapsed,
+                     eta);
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::string DescribeSpec(const RunSpec& spec) {
+  return std::string(ToString(spec.arch)) + "/" + spec.workload;
+}
+
+}  // namespace
+
+unsigned ResolveJobs(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("REDCACHE_JOBS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<RunResult> RunBatch(const std::vector<RunSpec>& specs,
+                                const BatchOptions& opts) {
+  return RunIndexed(
+      specs.size(), opts, [&](std::size_t i) { return RunOne(specs[i]); },
+      [&](std::size_t i) { return DescribeSpec(specs[i]); });
+}
+
+void ParallelFor(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(ResolveJobs(jobs), n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+std::uint64_t SimFingerprint(const SimPreset& preset) {
+  static std::mutex mu;
+  static std::map<std::uint64_t, std::uint64_t> memo;
+  const std::uint64_t field_hash = PresetFieldHash(preset);
+  std::lock_guard<std::mutex> lock(mu);
+  if (const auto it = memo.find(field_hash); it != memo.end()) {
+    return it->second;
+  }
+  // Canary micro-simulations: fixed workload, seed and scale (environment
+  // scaling bypassed). The arch subset spans the major mechanisms — DDR4
+  // only, the Alloy/BEAR baselines, and the full RedCache policy (alpha,
+  // gamma, RCU, refresh bypass). Hashing every counter plus exec_cycles
+  // makes essentially any behavioral change visible.
+  std::uint64_t h = FnvU64(kFnvOffset, kCacheFormatVersion);
+  h = FnvU64(h, field_hash);
+  for (const Arch arch :
+       {Arch::kNoHbm, Arch::kAlloy, Arch::kBear, Arch::kRedCache}) {
+    RunSpec spec;
+    spec.arch = arch;
+    spec.workload = "RDX";
+    spec.preset = preset;
+    spec.scale = 0.01;
+    spec.ignore_env_scale = true;
+    spec.seed = 7;
+    const RunResult r = RunOne(spec);
+    h = FnvU64(h, r.exec_cycles);
+    for (const auto& [name, value] : r.stats.counters()) {
+      h = FnvStr(h, name);
+      h = FnvU64(h, value);
+    }
+  }
+  memo[field_hash] = h;
+  return h;
+}
+
+std::string CellKey(const CellSpec& cell) {
+  const RunSpec& spec = cell.spec;
+  std::string key = spec.preset.name;
+  key += '_';
+  key += ToString(spec.arch);
+  key += '_';
+  key += spec.workload;
+  key += '_';
+  key += FormatScale(EffectiveScale(spec.scale));
+  if (!cell.variant.empty()) {
+    key += '_';
+    key += cell.variant;
+  }
+  key += '_';
+  key += HexU64(PresetFieldHash(spec.preset));
+  return SanitizeKey(key);
+}
+
+RunResult RunCellCached(const CellSpec& cell) {
+  static std::mutex mu;
+  static std::map<std::string, std::shared_future<RunResult>> memo;
+
+  const std::string key = CellKey(cell);
+  std::shared_future<RunResult> future;
+  std::promise<RunResult> promise;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      future = promise.get_future().share();
+      memo.emplace(key, future);
+      owner = true;
+    } else {
+      future = it->second;
+    }
+  }
+  if (!owner) return future.get();
+
+  try {
+    RunResult result;
+    const char* cache_dir = std::getenv("REDCACHE_CACHE_DIR");
+    std::string path;
+    bool loaded = false;
+    std::uint64_t fingerprint = 0;
+    if (cache_dir != nullptr) {
+      fingerprint = SimFingerprint(cell.spec.preset);
+      path = std::string(cache_dir) + "/" + key + ".stats";
+      loaded = LoadCached(path, fingerprint, result);
+    }
+    if (!loaded) {
+      result = RunOne(cell.spec);
+      if (!path.empty() && result.completed) {
+        SaveCached(path, fingerprint, result);
+      }
+    } else {
+      // Energy is derived from counters; recompute instead of storing it.
+      const SimPreset& p = cell.spec.preset;
+      result.energy = EnergyModel().Compute(
+          result.stats, result.exec_cycles, p.hierarchy.num_cores,
+          p.mem.hbm.geometry.channels, p.mem.mainmem.geometry.channels);
+    }
+    promise.set_value(result);
+    return future.get();
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      // Do not pin the failure for later retries within the process.
+      std::lock_guard<std::mutex> lock(mu);
+      memo.erase(key);
+    }
+    throw;
+  }
+}
+
+std::vector<RunResult> RunCells(const std::vector<CellSpec>& cells,
+                                const BatchOptions& opts) {
+  return RunIndexed(
+      cells.size(), opts,
+      [&](std::size_t i) { return RunCellCached(cells[i]); },
+      [&](std::size_t i) { return DescribeSpec(cells[i].spec); });
+}
+
+}  // namespace redcache

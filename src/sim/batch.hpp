@@ -1,0 +1,81 @@
+// Parallel batch execution of simulations.
+//
+// The evaluation sweeps (Fig. 9/10/11, Table II, the ablations) are
+// embarrassingly parallel: every (architecture x workload) cell is an
+// independent simulation. RunBatch fans a spec list out over a fixed-size
+// worker pool; results land at the index of their spec, so output is
+// byte-identical regardless of worker count.
+//
+// Layered on top:
+//  - an in-process memo so shared cells (e.g. the Alloy baseline column
+//    every figure normalizes against) simulate once per process even when
+//    requested concurrently, and
+//  - a disk cache (REDCACHE_CACHE_DIR) whose entries carry a simulator
+//    *fingerprint* — a hash over canary micro-simulation outputs — so a
+//    stale entry written by a different simulator build or preset can never
+//    silently serve wrong numbers; it just misses and re-simulates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace redcache {
+
+struct BatchOptions {
+  /// Worker count. 0 resolves REDCACHE_JOBS, then hardware_concurrency.
+  unsigned jobs = 0;
+  /// Per-run progress/ETA lines on stderr. Also requires REDCACHE_PROGRESS
+  /// to not be "0".
+  bool progress = true;
+  /// Prefix for progress lines.
+  std::string label = "batch";
+};
+
+/// Resolve a worker count: `requested` if nonzero, else REDCACHE_JOBS,
+/// else std::thread::hardware_concurrency (at least 1).
+unsigned ResolveJobs(unsigned requested);
+
+/// Run every spec; `results[i]` is the result of `specs[i]` regardless of
+/// thread count or completion order. No caching.
+std::vector<RunResult> RunBatch(const std::vector<RunSpec>& specs,
+                                const BatchOptions& opts = {});
+
+/// Generic parallel index loop (profiler sweeps, trace batches). Calls
+/// fn(0..n-1) exactly once each, from up to `jobs` threads (resolved via
+/// ResolveJobs). fn must be thread-safe across distinct indices.
+void ParallelFor(std::size_t n, unsigned jobs,
+                 const std::function<void(std::size_t)>& fn);
+
+/// Behavioral fingerprint of (simulator build, preset): a hash over the
+/// full stats output of fixed-seed canary micro-simulations run with
+/// `preset` at a tiny fixed scale (REDCACHE_REFS_SCALE is ignored). Any
+/// change to simulator behavior or to a preset field that affects results
+/// changes the fingerprint. Memoized per preset in-process.
+std::uint64_t SimFingerprint(const SimPreset& preset);
+
+/// One evaluation cell: a spec plus a variant tag distinguishing custom
+/// preset configurations (e.g. fill granularity) in the cache key.
+struct CellSpec {
+  RunSpec spec;
+  std::string variant;
+};
+
+/// Stable cache key for a cell (filename-safe, includes preset name, arch,
+/// workload, effective scale, variant and a hash of the preset fields).
+std::string CellKey(const CellSpec& cell);
+
+/// Run one cell through the process-wide memo and, when REDCACHE_CACHE_DIR
+/// is set, the fingerprinted disk cache. Concurrent requests for the same
+/// key share a single simulation.
+RunResult RunCellCached(const CellSpec& cell);
+
+/// RunBatch over cells with memo + disk cache; duplicate keys (shared
+/// baselines) simulate once. `results[i]` corresponds to `cells[i]`.
+std::vector<RunResult> RunCells(const std::vector<CellSpec>& cells,
+                                const BatchOptions& opts = {});
+
+}  // namespace redcache

@@ -17,7 +17,7 @@ double EffectiveScale(double scale) {
 std::unique_ptr<System> BuildSystem(const RunSpec& spec) {
   WorkloadBuildParams wp;
   wp.num_cores = spec.preset.hierarchy.num_cores;
-  wp.scale = EffectiveScale(spec.scale);
+  wp.scale = spec.ignore_env_scale ? spec.scale : EffectiveScale(spec.scale);
   auto trace = MakeWorkload(spec.workload, wp);
   auto controller = MakeController(spec.arch, spec.preset.mem);
   if (spec.verify) {

