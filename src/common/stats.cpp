@@ -44,6 +44,20 @@ std::uint64_t Histogram::Quantile(double q) const {
   return buckets_.size() * bucket_width_;  // in overflow
 }
 
+void Histogram::RestoreState(std::uint64_t bucket_width,
+                             std::vector<std::uint64_t> buckets,
+                             std::uint64_t overflow,
+                             std::uint64_t total_samples,
+                             std::uint64_t total_weight, double weighted_sum) {
+  bucket_width_ = bucket_width == 0 ? 1 : bucket_width;
+  buckets_ = buckets.empty() ? std::vector<std::uint64_t>(1, 0)
+                             : std::move(buckets);
+  overflow_ = overflow;
+  total_samples_ = total_samples;
+  total_weight_ = total_weight;
+  weighted_sum_ = weighted_sum;
+}
+
 void Histogram::Clear() {
   for (auto& b : buckets_) b = 0;
   overflow_ = 0;

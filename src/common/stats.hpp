@@ -27,6 +27,14 @@ class Histogram {
   std::size_t num_buckets() const { return buckets_.size(); }
   std::uint64_t bucket_width() const { return bucket_width_; }
   std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  double weighted_sum() const { return weighted_sum_; }
+
+  /// Overwrite the full state from previously observed values (cache /
+  /// snapshot restore). `buckets` must be non-empty and `bucket_width` >= 1.
+  void RestoreState(std::uint64_t bucket_width,
+                    std::vector<std::uint64_t> buckets, std::uint64_t overflow,
+                    std::uint64_t total_samples, std::uint64_t total_weight,
+                    double weighted_sum);
 
   /// Mean of the weighted samples (0 if empty).
   double Mean() const;
@@ -60,6 +68,9 @@ class StatSet {
   const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
   }
+
+  /// All histograms, sorted by name.
+  const std::map<std::string, Histogram>& hists() const { return hists_; }
 
   /// this - other for every counter present in this (missing treated as 0).
   StatSet Diff(const StatSet& other) const;

@@ -5,11 +5,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "energy/model.hpp"
 
@@ -92,7 +94,8 @@ std::uint64_t PresetFieldHash(const SimPreset& p) {
 }
 
 // Bump when the cache file format or the canary definition changes.
-constexpr std::uint64_t kCacheFormatVersion = 1;
+// v2: per-workload canaries, histogram serialization, seed/max_cycles in key.
+constexpr std::uint64_t kCacheFormatVersion = 2;
 
 // ---------------------------------------------------------------------------
 // Progress reporting.
@@ -103,8 +106,10 @@ bool ProgressEnvEnabled() {
 }
 
 std::string FormatScale(double scale) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.4f", scale);
+  // %.17g round-trips every double exactly, so scales that differ anywhere
+  // in the value (1e-5 vs 2e-5, or past the fourth decimal) never alias.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", scale);
   return buf;
 }
 
@@ -126,10 +131,30 @@ std::string HexU64(std::uint64_t v) {
 // Disk cache (text format, one file per cell):
 //   fingerprint <hex>
 //   exec_cycles <n>
-//   <counter name> <value>
-//   ...
-// A fingerprint mismatch is treated as a miss; the entry is overwritten
-// after re-simulation.
+//   counters <k>
+//   <counter name> <value>            (k lines)
+//   hists <m>
+//   <hist name> <bucket_width> <num_buckets> <overflow> <total_samples>
+//       <total_weight> <weighted_sum as hex double bits>
+//   <bucket 0> ... <bucket num_buckets-1>
+//   (two lines per histogram, m times)
+// A fingerprint mismatch (including entries written by an older format
+// version — the version feeds the fingerprint) is treated as a miss; the
+// entry is overwritten after re-simulation. Energy is not stored: it is
+// derived from counters and recomputed on load.
+
+std::uint64_t DoubleBits(double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(std::uint64_t bits) {
+  double d = 0;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
 
 bool LoadCached(const std::string& path, std::uint64_t fingerprint,
                 RunResult& out) {
@@ -143,8 +168,32 @@ bool LoadCached(const std::string& path, std::uint64_t fingerprint,
   if (!(in >> name >> value) || name != "exec_cycles") return false;
   out.completed = true;
   out.exec_cycles = value;
-  while (in >> name >> value) {
+  std::size_t num_counters = 0;
+  if (!(in >> name >> num_counters) || name != "counters") return false;
+  for (std::size_t i = 0; i < num_counters; ++i) {
+    if (!(in >> name >> value)) return false;
     out.stats.Counter(name) = value;
+  }
+  std::size_t num_hists = 0;
+  if (!(in >> name >> num_hists) || name != "hists") return false;
+  for (std::size_t i = 0; i < num_hists; ++i) {
+    std::uint64_t bucket_width = 0, overflow = 0, samples = 0, weight = 0;
+    std::size_t num_buckets = 0;
+    std::string sum_hex;
+    if (!(in >> name >> bucket_width >> num_buckets >> overflow >> samples >>
+          weight >> sum_hex)) {
+      return false;
+    }
+    if (bucket_width == 0 || num_buckets == 0) return false;
+    std::vector<std::uint64_t> buckets(num_buckets);
+    for (auto& b : buckets) {
+      if (!(in >> b)) return false;
+    }
+    const std::uint64_t sum_bits =
+        std::strtoull(sum_hex.c_str(), nullptr, 16);
+    out.stats.Hist(name, bucket_width, num_buckets)
+        .RestoreState(bucket_width, std::move(buckets), overflow, samples,
+                      weight, DoubleFromBits(sum_bits));
   }
   return true;
 }
@@ -155,8 +204,18 @@ void SaveCached(const std::string& path, std::uint64_t fingerprint,
   if (!out) return;
   out << "fingerprint " << HexU64(fingerprint) << '\n';
   out << "exec_cycles " << r.exec_cycles << '\n';
+  out << "counters " << r.stats.counters().size() << '\n';
   for (const auto& [name, value] : r.stats.counters()) {
     out << name << ' ' << value << '\n';
+  }
+  out << "hists " << r.stats.hists().size() << '\n';
+  for (const auto& [name, h] : r.stats.hists()) {
+    out << name << ' ' << h.bucket_width() << ' ' << h.num_buckets() << ' '
+        << h.overflow() << ' ' << h.total_samples() << ' ' << h.total_weight()
+        << ' ' << HexU64(DoubleBits(h.weighted_sum())) << '\n';
+    for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+      out << h.bucket(i) << (i + 1 == h.num_buckets() ? '\n' : ' ');
+    }
   }
 }
 
@@ -175,12 +234,25 @@ std::vector<RunResult> RunIndexed(
   std::atomic<std::size_t> done{0};
   const auto start = std::chrono::steady_clock::now();
   std::mutex io_mu;
+  // A task() exception must not escape a worker thread (std::terminate);
+  // record the first one, drain the pool, and rethrow from the caller.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
 
   auto worker = [&]() {
     for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1);
       if (i >= n) return;
-      results[i] = task(i);
+      try {
+        results[i] = task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
       const std::size_t d = done.fetch_add(1) + 1;
       if (progress) {
         const double elapsed =
@@ -199,12 +271,13 @@ std::vector<RunResult> RunIndexed(
 
   if (jobs <= 1) {
     worker();
-    return results;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
   }
-  std::vector<std::thread> pool;
-  pool.reserve(jobs);
-  for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 
@@ -241,39 +314,56 @@ void ParallelFor(std::size_t n, unsigned jobs,
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
   auto worker = [&]() {
     for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1);
       if (i >= n) return;
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
-std::uint64_t SimFingerprint(const SimPreset& preset) {
+std::uint64_t SimFingerprint(const SimPreset& preset,
+                             const std::string& workload) {
   static std::mutex mu;
-  static std::map<std::uint64_t, std::uint64_t> memo;
+  static std::map<std::pair<std::uint64_t, std::string>, std::uint64_t> memo;
   const std::uint64_t field_hash = PresetFieldHash(preset);
+  const auto memo_key = std::make_pair(field_hash, workload);
   std::lock_guard<std::mutex> lock(mu);
-  if (const auto it = memo.find(field_hash); it != memo.end()) {
+  if (const auto it = memo.find(memo_key); it != memo.end()) {
     return it->second;
   }
-  // Canary micro-simulations: fixed workload, seed and scale (environment
-  // scaling bypassed). The arch subset spans the major mechanisms — DDR4
-  // only, the Alloy/BEAR baselines, and the full RedCache policy (alpha,
-  // gamma, RCU, refresh bypass). Hashing every counter plus exec_cycles
-  // makes essentially any behavioral change visible.
+  // Canary micro-simulations on the *cell's own workload* with fixed seed
+  // and scale (environment scaling bypassed), so a change confined to one
+  // workload's trace generator invalidates that workload's entries instead
+  // of hiding behind a shared canary. The arch subset spans the major
+  // mechanisms — DDR4 only, the Alloy/BEAR baselines, and the full RedCache
+  // policy (alpha, gamma, RCU, refresh bypass). Hashing every counter plus
+  // exec_cycles makes essentially any behavioral change visible.
   std::uint64_t h = FnvU64(kFnvOffset, kCacheFormatVersion);
   h = FnvU64(h, field_hash);
+  h = FnvStr(h, workload);
   for (const Arch arch :
        {Arch::kNoHbm, Arch::kAlloy, Arch::kBear, Arch::kRedCache}) {
     RunSpec spec;
     spec.arch = arch;
-    spec.workload = "RDX";
+    spec.workload = workload;
     spec.preset = preset;
     spec.scale = 0.01;
     spec.ignore_env_scale = true;
@@ -285,7 +375,7 @@ std::uint64_t SimFingerprint(const SimPreset& preset) {
       h = FnvU64(h, value);
     }
   }
-  memo[field_hash] = h;
+  memo[memo_key] = h;
   return h;
 }
 
@@ -297,13 +387,21 @@ std::string CellKey(const CellSpec& cell) {
   key += '_';
   key += spec.workload;
   key += '_';
-  key += FormatScale(EffectiveScale(spec.scale));
+  // Mirror RunOne: the key must name the scale the run actually uses.
+  key += FormatScale(spec.ignore_env_scale ? spec.scale
+                                           : EffectiveScale(spec.scale));
+  key += "_s";
+  key += std::to_string(spec.seed);
   if (!cell.variant.empty()) {
     key += '_';
     key += cell.variant;
   }
+  // The tail hash covers every remaining result-affecting input: the preset
+  // fields and the cycle cap (the seed is spelled out above for legibility).
+  std::uint64_t tail = PresetFieldHash(spec.preset);
+  tail = FnvU64(tail, spec.max_cycles);
   key += '_';
-  key += HexU64(PresetFieldHash(spec.preset));
+  key += HexU64(tail);
   return SanitizeKey(key);
 }
 
@@ -335,7 +433,7 @@ RunResult RunCellCached(const CellSpec& cell) {
     bool loaded = false;
     std::uint64_t fingerprint = 0;
     if (cache_dir != nullptr) {
-      fingerprint = SimFingerprint(cell.spec.preset);
+      fingerprint = SimFingerprint(cell.spec.preset, cell.spec.workload);
       path = std::string(cache_dir) + "/" + key + ".stats";
       loaded = LoadCached(path, fingerprint, result);
     }

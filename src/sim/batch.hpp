@@ -40,22 +40,28 @@ struct BatchOptions {
 unsigned ResolveJobs(unsigned requested);
 
 /// Run every spec; `results[i]` is the result of `specs[i]` regardless of
-/// thread count or completion order. No caching.
+/// thread count or completion order. No caching. If a run throws, the pool
+/// drains and the first exception is rethrown from the calling thread.
 std::vector<RunResult> RunBatch(const std::vector<RunSpec>& specs,
                                 const BatchOptions& opts = {});
 
 /// Generic parallel index loop (profiler sweeps, trace batches). Calls
-/// fn(0..n-1) exactly once each, from up to `jobs` threads (resolved via
-/// ResolveJobs). fn must be thread-safe across distinct indices.
+/// fn(0..n-1) at most once each, from up to `jobs` threads (resolved via
+/// ResolveJobs); every index runs exactly once unless fn throws, in which
+/// case remaining indices are skipped and the first exception is rethrown
+/// from the calling thread. fn must be thread-safe across distinct indices.
 void ParallelFor(std::size_t n, unsigned jobs,
                  const std::function<void(std::size_t)>& fn);
 
-/// Behavioral fingerprint of (simulator build, preset): a hash over the
-/// full stats output of fixed-seed canary micro-simulations run with
-/// `preset` at a tiny fixed scale (REDCACHE_REFS_SCALE is ignored). Any
-/// change to simulator behavior or to a preset field that affects results
-/// changes the fingerprint. Memoized per preset in-process.
-std::uint64_t SimFingerprint(const SimPreset& preset);
+/// Behavioral fingerprint of (simulator build, preset, workload): a hash
+/// over the full stats output of fixed-seed canary micro-simulations run
+/// with `preset` on `workload` at a tiny fixed scale (REDCACHE_REFS_SCALE
+/// is ignored). Any change to simulator behavior — including one confined
+/// to a single workload's trace generator — or to a preset field that
+/// affects results changes the fingerprint. Memoized per (preset, workload)
+/// in-process.
+std::uint64_t SimFingerprint(const SimPreset& preset,
+                             const std::string& workload);
 
 /// One evaluation cell: a spec plus a variant tag distinguishing custom
 /// preset configurations (e.g. fill granularity) in the cache key.
@@ -65,12 +71,14 @@ struct CellSpec {
 };
 
 /// Stable cache key for a cell (filename-safe, includes preset name, arch,
-/// workload, effective scale, variant and a hash of the preset fields).
+/// workload, effective scale, seed, variant and a hash of the preset fields
+/// and cycle cap).
 std::string CellKey(const CellSpec& cell);
 
 /// Run one cell through the process-wide memo and, when REDCACHE_CACHE_DIR
 /// is set, the fingerprinted disk cache. Concurrent requests for the same
-/// key share a single simulation.
+/// key share a single simulation. Disk entries store exec_cycles, counters
+/// and histograms; energy is derived from counters and recomputed on load.
 RunResult RunCellCached(const CellSpec& cell);
 
 /// RunBatch over cells with memo + disk cache; duplicate keys (shared

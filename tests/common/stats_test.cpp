@@ -27,6 +27,31 @@ TEST(Histogram, WeightedMean) {
   EXPECT_DOUBLE_EQ(h.Mean(), (2.0 * 3 + 8.0) / 4.0);
 }
 
+TEST(Histogram, RestoreStateReproducesObservedHistogram) {
+  Histogram orig(/*bucket_width=*/10, /*num_buckets=*/4);
+  orig.Add(5, 2);
+  orig.Add(25);
+  orig.Add(70, 3);  // overflow
+
+  Histogram restored;
+  std::vector<std::uint64_t> buckets(orig.num_buckets());
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] = orig.bucket(i);
+  restored.RestoreState(orig.bucket_width(), buckets, orig.overflow(),
+                        orig.total_samples(), orig.total_weight(),
+                        orig.weighted_sum());
+
+  ASSERT_EQ(restored.num_buckets(), orig.num_buckets());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    EXPECT_EQ(restored.bucket(i), orig.bucket(i));
+  }
+  EXPECT_EQ(restored.bucket_width(), orig.bucket_width());
+  EXPECT_EQ(restored.overflow(), orig.overflow());
+  EXPECT_EQ(restored.total_samples(), orig.total_samples());
+  EXPECT_EQ(restored.total_weight(), orig.total_weight());
+  EXPECT_DOUBLE_EQ(restored.Mean(), orig.Mean());
+  EXPECT_EQ(restored.Quantile(0.5), orig.Quantile(0.5));
+}
+
 TEST(Histogram, QuantileFindsMedianBucket) {
   Histogram h(1, 100);
   for (std::uint64_t v = 0; v < 100; ++v) h.Add(v);

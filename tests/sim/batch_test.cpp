@@ -7,9 +7,11 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -113,6 +115,23 @@ TEST(Batch, CellKeyDistinguishesEverythingThatMattersToResults) {
   e.spec.preset.mem.hbm.geometry.banks_per_rank *= 2;
   EXPECT_NE(CellKey(a), CellKey(e)) << "preset fields must feed the key";
 
+  CellSpec f = a;
+  f.spec.seed = a.spec.seed + 1;
+  EXPECT_NE(CellKey(a), CellKey(f))
+      << "the seed flows into trace generation and must feed the key";
+
+  CellSpec g = a;
+  g.spec.max_cycles = 12345;
+  EXPECT_NE(CellKey(a), CellKey(g)) << "the cycle cap truncates results";
+
+  CellSpec h1 = a, h2 = a;
+  h1.spec.scale = 1e-5;
+  h1.spec.ignore_env_scale = true;
+  h2.spec.scale = 2e-5;
+  h2.spec.ignore_env_scale = true;
+  EXPECT_NE(CellKey(h1), CellKey(h2))
+      << "scales differing below 1e-4 must not alias";
+
   // Keys are filenames: no separators or spaces.
   for (char ch : CellKey(a)) {
     EXPECT_TRUE(ch != '/' && ch != ' ') << "unsafe char in key";
@@ -121,12 +140,18 @@ TEST(Batch, CellKeyDistinguishesEverythingThatMattersToResults) {
 
 TEST(Batch, FingerprintTracksPresetBehavior) {
   const SimPreset base = EvalPreset();
-  const std::uint64_t fp = SimFingerprint(base);
-  EXPECT_EQ(fp, SimFingerprint(base)) << "must be stable within a process";
+  const std::uint64_t fp = SimFingerprint(base, "RDX");
+  EXPECT_EQ(fp, SimFingerprint(base, "RDX"))
+      << "must be stable within a process";
 
   SimPreset tweaked = base;
   tweaked.mem.hbm.timing.tRCD += 1;  // behaviorally meaningful change
-  EXPECT_NE(fp, SimFingerprint(tweaked));
+  EXPECT_NE(fp, SimFingerprint(tweaked, "RDX"));
+
+  // Per-workload canaries: a change confined to one workload's trace
+  // generator must not hide behind a shared canary workload.
+  EXPECT_NE(fp, SimFingerprint(base, "LU"));
+  EXPECT_NE(SimFingerprint(base, "LU"), SimFingerprint(base, "HIST"));
 }
 
 TEST(Batch, DiskCacheRoundTripsAndRejectsBadFingerprint) {
@@ -174,6 +199,91 @@ TEST(Batch, DiskCacheRoundTripsAndRejectsBadFingerprint) {
   std::remove(path.c_str());
   std::remove((dir + "/" + CellKey(cell2) + ".stats").c_str());
   ::rmdir(dir.c_str());
+}
+
+TEST(Batch, DiskCacheRoundTripsHistograms) {
+  // No current workload emits histograms, so exercise the load path with a
+  // hand-written entry in the documented v2 format: fingerprint, counters,
+  // plus one histogram. RunCellCached must serve it (memo-cold key) with
+  // the histogram restored exactly.
+  char tmpl[] = "/tmp/redcache_batch_hist_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  ASSERT_EQ(::setenv("REDCACHE_CACHE_DIR", dir.c_str(), 1), 0);
+
+  RunSpec s;
+  s.arch = Arch::kAlloy;
+  s.workload = "RDX";
+  s.scale = 0.02;
+  s.ignore_env_scale = true;
+  s.seed = 17;
+  CellSpec cell{s, "histrt"};
+
+  const std::uint64_t fp = SimFingerprint(s.preset, s.workload);
+  const double wsum = 123.625;  // exactly representable
+  std::uint64_t wsum_bits = 0;
+  std::memcpy(&wsum_bits, &wsum, sizeof(wsum_bits));
+  const std::string path = dir + "/" + CellKey(cell) + ".stats";
+  {
+    std::ofstream out(path);
+    char hex[20];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    out << "fingerprint " << hex << "\n";
+    out << "exec_cycles 4242\n";
+    out << "counters 1\n";
+    out << "hbm.reads 7\n";
+    out << "hists 1\n";
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(wsum_bits));
+    out << "lat 10 4 3 6 9 " << hex << "\n";
+    out << "1 2 3 0\n";
+  }
+
+  const RunResult r = RunCellCached(cell);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.exec_cycles, 4242u);
+  EXPECT_EQ(r.stats.GetCounter("hbm.reads"), 7u);
+  const Histogram* h = r.stats.FindHist("lat");
+  ASSERT_NE(h, nullptr) << "cache hits must not drop histograms";
+  EXPECT_EQ(h->bucket_width(), 10u);
+  ASSERT_EQ(h->num_buckets(), 4u);
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(1), 2u);
+  EXPECT_EQ(h->bucket(2), 3u);
+  EXPECT_EQ(h->bucket(3), 0u);
+  EXPECT_EQ(h->overflow(), 3u);
+  EXPECT_EQ(h->total_samples(), 6u);
+  EXPECT_EQ(h->total_weight(), 9u);
+  EXPECT_DOUBLE_EQ(h->weighted_sum(), wsum);
+
+  ::unsetenv("REDCACHE_CACHE_DIR");
+  std::remove(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(Batch, WorkerExceptionsPropagateToCaller) {
+  // A throwing cell must abort the batch with the exception rethrown on
+  // the calling thread — not std::terminate from a worker.
+  std::vector<RunSpec> specs(4);
+  for (auto& s : specs) {
+    s.arch = Arch::kNoHbm;
+    s.workload = "LU";
+    s.scale = 0.01;
+    s.ignore_env_scale = true;
+  }
+  specs[2].workload = "NO_SUCH_WORKLOAD";
+
+  BatchOptions par{4, false, "t"};
+  EXPECT_THROW(RunBatch(specs, par), std::invalid_argument);
+  BatchOptions serial{1, false, "t"};
+  EXPECT_THROW(RunBatch(specs, serial), std::invalid_argument);
+
+  EXPECT_THROW(ParallelFor(64, 8,
+                           [](std::size_t i) {
+                             if (i == 13) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
 }
 
 TEST(Batch, ParallelForHitsEveryIndexOnce) {
