@@ -6,6 +6,36 @@
 
 namespace redcache {
 
+bool NaturalNameLess(const std::string& a, const std::string& b) {
+  std::size_t i = 0, j = 0;
+  const auto digit = [](char c) { return c >= '0' && c <= '9'; };
+  while (i < a.size() && j < b.size()) {
+    if (digit(a[i]) && digit(b[j])) {
+      std::size_t ia = i, jb = j;
+      while (ia < a.size() && digit(a[ia])) ia++;
+      while (jb < b.size() && digit(b[jb])) jb++;
+      // Compare the digit runs by value: longer run of significant digits
+      // wins; equal lengths compare lexically (which is numeric here).
+      std::size_t pa = i, pb = j;
+      while (pa < ia && a[pa] == '0') pa++;
+      while (pb < jb && b[pb] == '0') pb++;
+      const std::size_t la = ia - pa, lb = jb - pb;
+      if (la != lb) return la < lb;
+      const int cmp = a.compare(pa, la, b, pb, lb);
+      if (cmp != 0) return cmp < 0;
+      // Equal values: fewer leading zeros first, for a total order.
+      if (ia - i != jb - j) return ia - i < jb - j;
+      i = ia;
+      j = jb;
+      continue;
+    }
+    if (a[i] != b[j]) return a[i] < b[j];
+    i++;
+    j++;
+  }
+  return a.size() - i < b.size() - j;
+}
+
 Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
     : bucket_width_(bucket_width == 0 ? 1 : bucket_width),
       buckets_(num_buckets == 0 ? 1 : num_buckets, 0) {}
@@ -116,9 +146,16 @@ void StatSet::Clear() {
 }
 
 std::string StatSet::ToString() const {
+  // Human-facing dump: natural order groups "chan2" before "chan10".
+  std::vector<const std::map<std::string, std::uint64_t>::value_type*> sorted;
+  sorted.reserve(counters_.size());
+  for (const auto& kv : counters_) sorted.push_back(&kv);
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    return NaturalNameLess(a->first, b->first);
+  });
   std::ostringstream os;
-  for (const auto& [name, value] : counters_) {
-    os << name << " = " << value << '\n';
+  for (const auto* kv : sorted) {
+    os << kv->first << " = " << kv->second << '\n';
   }
   return os.str();
 }

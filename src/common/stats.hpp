@@ -13,6 +13,13 @@
 
 namespace redcache {
 
+/// Numeric-aware name ordering: digit runs compare by value, so
+/// "hbm.chan2.act" sorts before "hbm.chan10.act" and hierarchical names
+/// group the way a human reads them. Used for dumps and telemetry output
+/// only — StatSet's internal map stays lexicographic, because snapshot
+/// serialization and fingerprint hashing depend on that iteration order.
+bool NaturalNameLess(const std::string& a, const std::string& b);
+
 /// A fixed-width bucketed histogram over uint64 samples.
 class Histogram {
  public:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace_macros.hpp"
+
 namespace redcache {
 
 namespace {
@@ -14,8 +16,10 @@ Cycle AlignUp(Cycle t) {
 }  // namespace
 
 DramChannel::DramChannel(const DramConfig& cfg, std::uint32_t channel_index)
-    : cfg_(cfg) {
-  (void)channel_index;
+    : cfg_(cfg),
+      channel_index_(static_cast<std::uint16_t>(channel_index)),
+      trace_device_(cfg.name == "hbm" ? obs::kTraceDeviceHbm
+                                      : obs::kTraceDeviceMainMem) {
   banks_.resize(std::size_t{cfg_.geometry.ranks_per_channel} *
                 cfg_.geometry.banks_per_rank);
   ranks_.resize(cfg_.geometry.ranks_per_channel);
@@ -237,6 +241,18 @@ void DramChannel::IssueColumn(std::int32_t slot, Cycle now) {
     observer_->OnColumnCommand({p.req.loc, is_write, now});
   }
 
+  REDCACHE_TRACE_EVENT(obs::TraceEvent{
+      .cycle = now,
+      .dur = static_cast<std::uint32_t>(t.tBL),
+      .type = is_write ? obs::TraceEventType::kCmdWrite
+                       : obs::TraceEventType::kCmdRead,
+      .device = trace_device_,
+      .rank = static_cast<std::uint8_t>(p.req.loc.rank),
+      .bank = static_cast<std::uint8_t>(p.req.loc.bank),
+      .channel = channel_index_,
+      .addr = p.req.addr,
+      .arg = p.req.loc.row});
+
   p.bursts_left--;
   if (p.bursts_left == 0) {
     pending_done_.push_back(
@@ -260,6 +276,16 @@ void DramChannel::IssueActivate(Pending& p, Cycle now) {
   next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
   counters_.activates++;
   counters_.row_misses++;
+  REDCACHE_TRACE_EVENT(obs::TraceEvent{
+      .cycle = now,
+      .dur = static_cast<std::uint32_t>(t.tRCD),
+      .type = obs::TraceEventType::kCmdActivate,
+      .device = trace_device_,
+      .rank = static_cast<std::uint8_t>(p.req.loc.rank),
+      .bank = static_cast<std::uint8_t>(p.req.loc.bank),
+      .channel = channel_index_,
+      .addr = p.req.addr,
+      .arg = p.req.loc.row});
   if (!p.first_command_issued) {
     p.first_command_issued = true;
     counters_.queue_wait_cycles += now - p.req.arrival;
@@ -269,10 +295,22 @@ void DramChannel::IssueActivate(Pending& p, Cycle now) {
 void DramChannel::IssuePrecharge(std::uint32_t bank_idx, Cycle now) {
   BankState& bank = banks_[bank_idx];
   bank_stamp_[bank_idx] = ++stamp_counter_;
+  const std::uint64_t closed_row = bank.open_row;
   bank.open_row = BankState::kNoRow;
   bank.next_activate = std::max(bank.next_activate, now + cfg_.timing.tRP);
   next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
   counters_.precharges++;
+  REDCACHE_TRACE_EVENT(obs::TraceEvent{
+      .cycle = now,
+      .dur = static_cast<std::uint32_t>(cfg_.timing.tRP),
+      .type = obs::TraceEventType::kCmdPrecharge,
+      .device = trace_device_,
+      .rank = static_cast<std::uint8_t>(bank_idx /
+                                        cfg_.geometry.banks_per_rank),
+      .bank = static_cast<std::uint8_t>(bank_idx %
+                                        cfg_.geometry.banks_per_rank),
+      .channel = channel_index_,
+      .arg = closed_row});
 }
 
 bool DramChannel::MaybeRefresh(Cycle now, Cycle& min_ready) {
@@ -322,6 +360,13 @@ bool DramChannel::MaybeRefresh(Cycle now, Cycle& min_ready) {
     }
     next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
     counters_.refreshes++;
+    REDCACHE_TRACE_EVENT(obs::TraceEvent{
+        .cycle = now,
+        .dur = static_cast<std::uint32_t>(cfg_.timing.tRFC),
+        .type = obs::TraceEventType::kCmdRefresh,
+        .device = trace_device_,
+        .rank = static_cast<std::uint8_t>(r),
+        .channel = channel_index_});
     return true;
   }
   refresh_wake_ = wake;

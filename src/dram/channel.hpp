@@ -188,6 +188,11 @@ class DramChannel {
 
   ChannelCounters counters_;
   ColumnCommandObserver* observer_ = nullptr;
+
+  // Trace identity (obs/trace.hpp): which Perfetto process and track group
+  // this channel's command events render under. Fixed at construction.
+  std::uint16_t channel_index_ = 0;
+  std::uint8_t trace_device_ = 0;
 };
 
 }  // namespace redcache

@@ -145,6 +145,30 @@ bool ControllerBase::Idle() const {
          mm_->inflight() == 0;
 }
 
+void ControllerBase::SampleTelemetry(StatSet& out) const {
+  out.Counter("gauge.input_queue_depth") = input_.size();
+  out.Counter("gauge.active_txns") = active_txns_;
+  out.Counter("gauge.deferred_device_ops") =
+      deferred_hbm_.size() + deferred_mm_.size();
+  const auto per_channel = [&out](const DramSystem& dev) {
+    const std::string& dev_name = dev.config().name;
+    for (std::uint32_t c = 0; c < dev.num_channels(); ++c) {
+      const ChannelCounters& cc = dev.channel_counters(c);
+      const std::string prefix =
+          dev_name + ".chan" + std::to_string(c) + ".";
+      out.Counter(prefix + "data_busy_cycles") = cc.data_busy_cycles;
+      out.Counter(prefix + "bytes_transferred") = cc.bytes_transferred;
+      out.Counter(prefix + "activates") = cc.activates;
+      out.Counter(prefix + "row_hits") = cc.row_hits;
+      out.Counter(prefix + "turnarounds") =
+          cc.turnarounds_rw + cc.turnarounds_wr;
+      out.Counter(prefix + "queue_wait_cycles") = cc.queue_wait_cycles;
+    }
+  };
+  if (hbm_ != nullptr) per_channel(*hbm_);
+  per_channel(*mm_);
+}
+
 void ControllerBase::ExportStats(StatSet& stats) const {
   if (hbm_ != nullptr) hbm_->ExportStats(stats);
   mm_->ExportStats(stats);

@@ -53,6 +53,13 @@ class MemController {
   /// True when no transaction is in flight anywhere below the L3.
   virtual bool Idle() const = 0;
 
+  /// Telemetry-only counters and gauges, kept separate from ExportStats so
+  /// enabling the epoch sampler cannot perturb golden-stats results. Names
+  /// with the "gauge." prefix are point-in-time values (queue depths, the
+  /// current gamma); the rest are cumulative and get differenced per epoch.
+  /// Called only when telemetry is enabled. Default: nothing.
+  virtual void SampleTelemetry(StatSet& /*out*/) const {}
+
   /// Attach a verification sink (see verify_hooks.hpp). Policies without
   /// instrumentation may ignore it; nullptr detaches.
   virtual void SetVerifySink(VerifySink* /*sink*/) {}
@@ -83,6 +90,7 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
   void ExportStats(StatSet& stats) const override;
   bool Idle() const override;
   void SetVerifySink(VerifySink* sink) override { verify_sink_ = sink; }
+  void SampleTelemetry(StatSet& out) const override;
 
   const DramSystem* hbm() const { return hbm_.get(); }
   const DramSystem* mainmem() const { return mm_.get(); }

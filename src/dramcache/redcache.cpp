@@ -2,7 +2,21 @@
 
 #include <cassert>
 
+#include "obs/trace_macros.hpp"
+
 namespace redcache {
+
+namespace {
+/// Policy-decision trace event (policy device renders on one track).
+obs::TraceEvent PolicyEvent(Cycle now, obs::TraceEventType type, Addr addr,
+                            std::uint64_t arg = 0) {
+  return obs::TraceEvent{.cycle = now,
+                         .type = type,
+                         .device = obs::kTraceDevicePolicy,
+                         .addr = addr,
+                         .arg = arg};
+}
+}  // namespace
 
 namespace {
 enum State {
@@ -69,6 +83,8 @@ void RedCacheController::Fill(Addr addr, bool dirty, Cycle now) {
     if (line.dirty && !opt_.testing_drop_victim_writeback) {
       // Victim data came back with the probe read; push it off-package.
       NotifyVictimWriteback(tags_.VictimAddr(set));
+      REDCACHE_TRACE_EVENT(PolicyEvent(
+          now, obs::TraceEventType::kVictimWriteback, tags_.VictimAddr(set)));
       SendMm(kPostedOp, tags_.VictimAddr(set), /*is_write=*/true, now);
       victim_writebacks_++;
     } else {
@@ -84,6 +100,8 @@ void RedCacheController::Fill(Addr addr, bool dirty, Cycle now) {
   line.r_count = 0;
   SendHbm(kPostedOp, tags_.HbmAddr(set, addr), /*is_write=*/true, now);
   fills_++;
+  REDCACHE_TRACE_EVENT(
+      PolicyEvent(now, obs::TraceEventType::kFill, addr, dirty ? 1 : 0));
 }
 
 void RedCacheController::RouteToMainMemory(Txn& txn, Cycle now) {
@@ -99,7 +117,7 @@ void RedCacheController::RouteToMainMemory(Txn& txn, Cycle now) {
 
 void RedCacheController::StartTxn(Txn& txn, Cycle now) {
   epoch_request_count_++;
-  MaybeRetune();
+  MaybeRetune(now);
 
   // --- Alpha counting: cold pages never touch the HBM cache. -------------
   if (opt_.alpha_enabled && !alpha_.OnRequest(txn.addr)) {
@@ -117,12 +135,16 @@ void RedCacheController::StartTxn(Txn& txn, Cycle now) {
       InvalidateBlock(cold_set, /*lifetime_sample=*/false);
       NotifyInvalidate(txn.addr);
       alpha_bypasses_++;
+      REDCACHE_TRACE_EVENT(PolicyEvent(
+          now, obs::TraceEventType::kAlphaBypass, txn.addr, alpha_.alpha()));
       SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
       FreeTxn(txn);
       return;
     }
     if (txn.is_writeback || !present || !cold_line.dirty) {
       alpha_bypasses_++;
+      REDCACHE_TRACE_EVENT(PolicyEvent(
+          now, obs::TraceEventType::kAlphaBypass, txn.addr, alpha_.alpha()));
       RouteToMainMemory(txn, now);
       return;
     }
@@ -142,6 +164,8 @@ void RedCacheController::StartTxn(Txn& txn, Cycle now) {
     if (opt_.gamma_enabled) gamma_.OnHit(r);
     rcu_.Insert(txn.addr, hbm_->mapper().Map(tags_.HbmAddr(set, txn.addr)));
     NotifyServeRead(txn, ServeSource::kRcuRam);
+    REDCACHE_TRACE_EVENT(
+        PolicyEvent(now, obs::TraceEventType::kRcuServe, txn.addr, r));
     CompleteRead(txn, now + kRcuServeLatency);
     FreeTxn(txn);
     return;
@@ -163,6 +187,8 @@ void RedCacheController::StartTxn(Txn& txn, Cycle now) {
         NotifyInvalidate(txn.addr);
       }
       refresh_bypasses_++;
+      REDCACHE_TRACE_EVENT(
+          PolicyEvent(now, obs::TraceEventType::kRefreshBypass, txn.addr));
       SendMm(kPostedOp, txn.addr, /*is_write=*/true, now);
       FreeTxn(txn);
       return;
@@ -170,6 +196,8 @@ void RedCacheController::StartTxn(Txn& txn, Cycle now) {
     if (!present || !line.dirty) {
       // Clean or absent: the main-memory copy is current.
       refresh_bypasses_++;
+      REDCACHE_TRACE_EVENT(
+          PolicyEvent(now, obs::TraceEventType::kRefreshBypass, txn.addr));
       txn.state = kDirectFetch;
       SendMm(TxnIndex(txn), txn.addr, /*is_write=*/false, now);
       return;
@@ -195,16 +223,19 @@ void RedCacheController::RecordReadHitUpdate(Addr block, std::uint64_t set,
     case RedCacheOptions::UpdateMode::kRcu: {
       const auto evicted = rcu_.Insert(
           block, hbm_->mapper().Map(tags_.HbmAddr(set, block)));
-      FlushRcuEntries(evicted, now);
+      FlushRcuEntries(evicted, now, obs::kRcuFlushCapacity);
       return;
     }
   }
 }
 
 void RedCacheController::FlushRcuEntries(
-    const std::vector<RcuManager::Entry>& entries, Cycle now) {
+    const std::vector<RcuManager::Entry>& entries, Cycle now,
+    std::uint64_t reason) {
   for (const RcuManager::Entry& e : entries) {
     const std::uint64_t set = tags_.SetOf(e.block);
+    REDCACHE_TRACE_EVENT(
+        PolicyEvent(now, obs::TraceEventType::kRcuFlush, e.block, reason));
     SendHbm(kPostedOp, tags_.HbmAddr(set, e.block), /*is_write=*/true, now);
   }
 }
@@ -227,6 +258,8 @@ void RedCacheController::HandleProbeResult(Txn& txn, const DramCompletion& c,
         // saving the HBM write, the future victim writeback and a bus
         // turnaround.
         gamma_invalidations_++;
+        REDCACHE_TRACE_EVENT(PolicyEvent(
+            now, obs::TraceEventType::kGammaInvalidate, txn.addr, r));
         rcu_.Remove(txn.addr);
         NotifyMmWrite(txn.addr);
         InvalidateBlock(set, /*lifetime_sample=*/false);
@@ -310,14 +343,14 @@ void RedCacheController::OnColumnCommand(const IssuedColumnCommand& cmd) {
 void RedCacheController::PolicyTick(Cycle now) {
   if (opt_.update_mode != RedCacheOptions::UpdateMode::kRcu) return;
   if (!pending_rcu_flushes_.empty()) {
-    FlushRcuEntries(pending_rcu_flushes_, now);
+    FlushRcuEntries(pending_rcu_flushes_, now, obs::kRcuFlushMerged);
     pending_rcu_flushes_.clear();
   }
   // Condition 2: drain parked updates into idle channels.
   if (rcu_.size() != 0) {
     for (std::uint32_t ch = 0; ch < hbm_->num_channels(); ++ch) {
       if (hbm_->ChannelTransactionQueueEmpty(ch)) {
-        FlushRcuEntries(rcu_.PopChannel(ch), now);
+        FlushRcuEntries(rcu_.PopChannel(ch), now, obs::kRcuFlushIdle);
       }
     }
   }
@@ -331,7 +364,7 @@ std::uint64_t RedCacheController::ResidentLines() const {
   return resident;
 }
 
-void RedCacheController::MaybeRetune() {
+void RedCacheController::MaybeRetune(Cycle now) {
   if (epoch_request_count_ < opt_.epoch_requests) return;
   epoch_request_count_ = 0;
   alpha_.AdvanceEpoch();
@@ -340,9 +373,21 @@ void RedCacheController::MaybeRetune() {
         static_cast<double>(epoch_dead_departures_) /
         static_cast<double>(epoch_departures_);
     alpha_.Retune(dead_fraction);
+    REDCACHE_TRACE_EVENT(PolicyEvent(now, obs::TraceEventType::kRetune,
+                                     /*addr=*/0, alpha_.alpha()));
   }
   epoch_departures_ = 0;
   epoch_dead_departures_ = 0;
+}
+
+void RedCacheController::SampleTelemetry(StatSet& out) const {
+  ControllerBase::SampleTelemetry(out);
+  out.Counter("gauge.gamma") = gamma_.gamma();
+  out.Counter("gauge.alpha") = alpha_.alpha();
+  out.Counter("gauge.alpha_pages_hot") = alpha_.pages_hot();
+  out.Counter("gauge.alpha_pages_tracked") = alpha_.pages_tracked();
+  out.Counter("gauge.rcu_depth") = rcu_.size();
+  out.Counter("gauge.resident_lines") = ResidentLines();
 }
 
 void RedCacheController::ExportOwnStats(StatSet& stats) const {

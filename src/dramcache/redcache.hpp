@@ -100,11 +100,15 @@ class RedCacheController : public ControllerBase {
   void ExportOwnStats(StatSet& stats) const override;
   void OnColumnCommand(const IssuedColumnCommand& cmd) override;
 
+ public:
+  void SampleTelemetry(StatSet& out) const override;
+
  private:
   void HandleProbeResult(Txn& txn, const DramCompletion& c, Cycle now);
   void RecordReadHitUpdate(Addr block, std::uint64_t set, Cycle now);
+  /// `reason` is an obs::kRcuFlush* constant, recorded in the event trace.
   void FlushRcuEntries(const std::vector<RcuManager::Entry>& entries,
-                       Cycle now);
+                       Cycle now, std::uint64_t reason);
   /// Drop the resident of `set`. `lifetime_sample` feeds the block's final
   /// r-count to gamma (true only for natural evictions — gamma's own kills
   /// are truncated lifetimes and must not be sampled).
@@ -114,7 +118,7 @@ class RedCacheController : public ControllerBase {
   void Fill(Addr addr, bool dirty, Cycle now);
   void RouteToMainMemory(Txn& txn, Cycle now);
   /// Mean r-count of blocks that left the cache this epoch.
-  void MaybeRetune();
+  void MaybeRetune(Cycle now);
   /// Valid lines currently resident (fills == departures + resident).
   std::uint64_t ResidentLines() const;
 

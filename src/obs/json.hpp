@@ -1,0 +1,40 @@
+// Minimal JSON support for the observability layer: string escaping for
+// the writers and a strict recursive-descent parser used to validate the
+// artifacts we emit (telemetry series, Chrome trace files) in tests and CI
+// without an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace redcache::obs {
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+/// A parsed JSON value. Objects preserve no duplicate keys (last wins).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Strict parse of a complete JSON document (trailing garbage rejected).
+/// On failure returns false and describes the problem in `error`.
+bool ParseJson(const std::string& text, JsonValue& out, std::string* error);
+
+}  // namespace redcache::obs

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <map>
@@ -14,6 +15,7 @@
 #include <utility>
 
 #include "energy/model.hpp"
+#include "obs/json.hpp"
 
 namespace redcache {
 
@@ -285,6 +287,26 @@ std::string DescribeSpec(const RunSpec& spec) {
   return std::string(ToString(spec.arch)) + "/" + spec.workload;
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// REDCACHE_CACHE_MAX_MB as bytes; 0 = unbounded (default).
+std::uint64_t DiskCacheMaxBytes() {
+  const char* env = std::getenv("REDCACHE_CACHE_MAX_MB");
+  if (env == nullptr) return 0;
+  return std::strtoull(env, nullptr, 10) * 1024ull * 1024ull;
+}
+
+/// Refresh mtime so LRU eviction sees this entry as recently used. Best
+/// effort: a failed touch only makes the entry evictable sooner.
+void TouchCacheEntry(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now(), ec);
+}
+
 }  // namespace
 
 unsigned ResolveJobs(unsigned requested) {
@@ -405,11 +427,58 @@ std::string CellKey(const CellSpec& cell) {
   return SanitizeKey(key);
 }
 
+void EnforceDiskCacheBound(const std::string& dir, std::uint64_t max_bytes) {
+  namespace fs = std::filesystem;
+  // One sweep at a time per process; cross-process races are benign (a
+  // concurrent remove just makes our remove a no-op).
+  static std::mutex sweep_mu;
+  std::lock_guard<std::mutex> lock(sweep_mu);
+
+  struct Entry {
+    fs::path path;
+    std::uint64_t size;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; ec.value() == 0 && it != end;
+       it.increment(ec)) {
+    if (it->path().extension() != ".stats") continue;
+    std::error_code fec;
+    if (!it->is_regular_file(fec) || fec) continue;
+    const std::uint64_t size = it->file_size(fec);
+    if (fec) continue;
+    const fs::file_time_type mtime = it->last_write_time(fec);
+    if (fec) continue;
+    entries.push_back({it->path(), size, mtime});
+    total += size;
+  }
+  if (total <= max_bytes) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& e : entries) {
+    if (total <= max_bytes) break;
+    std::error_code rec;
+    if (fs::remove(e.path, rec) && !rec) total -= e.size;
+  }
+}
+
 RunResult RunCellCached(const CellSpec& cell) {
+  return RunCellCached(cell, nullptr);
+}
+
+RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
   static std::mutex mu;
   static std::map<std::string, std::shared_future<RunResult>> memo;
 
+  const auto t_enter = std::chrono::steady_clock::now();
   const std::string key = CellKey(cell);
+  if (profile != nullptr) {
+    profile->key = key;
+    profile->arch = ToString(cell.spec.arch);
+    profile->workload = cell.spec.workload;
+  }
   std::shared_future<RunResult> future;
   std::promise<RunResult> promise;
   bool owner = false;
@@ -424,7 +493,15 @@ RunResult RunCellCached(const CellSpec& cell) {
       future = it->second;
     }
   }
-  if (!owner) return future.get();
+  if (!owner) {
+    const RunResult& shared = future.get();
+    if (profile != nullptr) {
+      profile->memo_hit = true;
+      profile->exec_cycles = shared.exec_cycles;
+      profile->wall_seconds = SecondsSince(t_enter);
+    }
+    return shared;
+  }
 
   try {
     RunResult result;
@@ -433,14 +510,25 @@ RunResult RunCellCached(const CellSpec& cell) {
     bool loaded = false;
     std::uint64_t fingerprint = 0;
     if (cache_dir != nullptr) {
+      const auto t_fp = std::chrono::steady_clock::now();
       fingerprint = SimFingerprint(cell.spec.preset, cell.spec.workload);
+      if (profile != nullptr) {
+        profile->fingerprint_seconds = SecondsSince(t_fp);
+      }
       path = std::string(cache_dir) + "/" + key + ".stats";
       loaded = LoadCached(path, fingerprint, result);
+      if (loaded) TouchCacheEntry(path);
     }
     if (!loaded) {
+      const auto t_sim = std::chrono::steady_clock::now();
       result = RunOne(cell.spec);
+      if (profile != nullptr) profile->sim_seconds = SecondsSince(t_sim);
       if (!path.empty() && result.completed) {
         SaveCached(path, fingerprint, result);
+        if (const std::uint64_t max_bytes = DiskCacheMaxBytes();
+            max_bytes != 0) {
+          EnforceDiskCacheBound(cache_dir, max_bytes);
+        }
       }
     } else {
       // Energy is derived from counters; recompute instead of storing it.
@@ -448,6 +536,11 @@ RunResult RunCellCached(const CellSpec& cell) {
       result.energy = EnergyModel().Compute(
           result.stats, result.exec_cycles, p.hierarchy.num_cores,
           p.mem.hbm.geometry.channels, p.mem.mainmem.geometry.channels);
+    }
+    if (profile != nullptr) {
+      profile->disk_hit = loaded;
+      profile->exec_cycles = result.exec_cycles;
+      profile->wall_seconds = SecondsSince(t_enter);
     }
     promise.set_value(result);
     return future.get();
@@ -462,12 +555,87 @@ RunResult RunCellCached(const CellSpec& cell) {
   }
 }
 
+std::string BatchReportJson(const BatchReport& report) {
+  std::size_t memo_hits = 0, disk_hits = 0, simulated = 0;
+  double fp_seconds = 0.0, sim_seconds = 0.0;
+  for (const CellProfile& c : report.cells) {
+    if (c.memo_hit) {
+      memo_hits++;
+    } else if (c.disk_hit) {
+      disk_hits++;
+    } else {
+      simulated++;
+    }
+    fp_seconds += c.fingerprint_seconds;
+    sim_seconds += c.sim_seconds;
+  }
+  std::string out = "{\"label\":\"" + obs::JsonEscape(report.label) + "\"";
+  char buf[64];
+  out += ",\"jobs\":" + std::to_string(report.jobs);
+  std::snprintf(buf, sizeof(buf), ",\"wall_seconds\":%.6f",
+                report.wall_seconds);
+  out += buf;
+  out += ",\"summary\":{\"cells\":" + std::to_string(report.cells.size());
+  out += ",\"simulated\":" + std::to_string(simulated);
+  out += ",\"memo_hits\":" + std::to_string(memo_hits);
+  out += ",\"disk_hits\":" + std::to_string(disk_hits);
+  std::snprintf(buf, sizeof(buf), ",\"fingerprint_seconds\":%.6f",
+                fp_seconds);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"sim_seconds\":%.6f}", sim_seconds);
+  out += buf;
+  out += ",\"cells\":[";
+  bool first = true;
+  for (const CellProfile& c : report.cells) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"key\":\"" + obs::JsonEscape(c.key) + "\"";
+    out += ",\"arch\":\"" + obs::JsonEscape(c.arch) + "\"";
+    out += ",\"workload\":\"" + obs::JsonEscape(c.workload) + "\"";
+    std::snprintf(buf, sizeof(buf), ",\"wall_seconds\":%.6f", c.wall_seconds);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"fingerprint_seconds\":%.6f",
+                  c.fingerprint_seconds);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"sim_seconds\":%.6f", c.sim_seconds);
+    out += buf;
+    out += ",\"memo_hit\":";
+    out += c.memo_hit ? "true" : "false";
+    out += ",\"disk_hit\":";
+    out += c.disk_hit ? "true" : "false";
+    out += ",\"exec_cycles\":" + std::to_string(c.exec_cycles);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteBatchReportJson(const std::string& path, const BatchReport& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << BatchReportJson(report) << '\n';
+  return static_cast<bool>(out);
+}
+
 std::vector<RunResult> RunCells(const std::vector<CellSpec>& cells,
                                 const BatchOptions& opts) {
-  return RunIndexed(
+  const auto t0 = std::chrono::steady_clock::now();
+  BatchReport* report = opts.report;
+  if (report != nullptr) {
+    report->label = opts.label;
+    report->jobs = ResolveJobs(opts.jobs);
+    report->cells.assign(cells.size(), CellProfile{});
+  }
+  std::vector<RunResult> results = RunIndexed(
       cells.size(), opts,
-      [&](std::size_t i) { return RunCellCached(cells[i]); },
+      [&](std::size_t i) {
+        // Distinct indices write distinct report slots: thread-safe.
+        return RunCellCached(cells[i],
+                             report != nullptr ? &report->cells[i] : nullptr);
+      },
       [&](std::size_t i) { return DescribeSpec(cells[i].spec); });
+  if (report != nullptr) report->wall_seconds = SecondsSince(t0);
+  return results;
 }
 
 }  // namespace redcache

@@ -25,6 +25,34 @@
 
 namespace redcache {
 
+/// Host-side profile of one cell's execution through RunCellCached: where
+/// the wall-clock went (fingerprint canaries vs. the simulation itself) and
+/// which cache layer served the result.
+struct CellProfile {
+  std::string key;        ///< CellKey (cache filename stem)
+  std::string arch;
+  std::string workload;
+  double wall_seconds = 0.0;         ///< total time inside RunCellCached
+  double fingerprint_seconds = 0.0;  ///< canary fingerprint computation
+  double sim_seconds = 0.0;          ///< RunOne (0 when served from cache)
+  bool memo_hit = false;  ///< served by the in-process memo (shared future)
+  bool disk_hit = false;  ///< served by the REDCACHE_CACHE_DIR entry
+  std::uint64_t exec_cycles = 0;
+};
+
+/// Aggregated profile of one RunCells invocation.
+struct BatchReport {
+  std::string label;
+  unsigned jobs = 0;
+  double wall_seconds = 0.0;  ///< end-to-end batch wall time
+  std::vector<CellProfile> cells;  ///< cells[i] profiles cells[i] of the call
+};
+
+/// Serialize a BatchReport as JSON (cells plus summary counts: simulated /
+/// memo_hits / disk_hits and summed phase times). False on I/O failure.
+bool WriteBatchReportJson(const std::string& path, const BatchReport& report);
+std::string BatchReportJson(const BatchReport& report);
+
 struct BatchOptions {
   /// Worker count. 0 resolves REDCACHE_JOBS, then hardware_concurrency.
   unsigned jobs = 0;
@@ -33,6 +61,8 @@ struct BatchOptions {
   bool progress = true;
   /// Prefix for progress lines.
   std::string label = "batch";
+  /// When set, RunCells fills in per-cell profiles and batch totals.
+  BatchReport* report = nullptr;
 };
 
 /// Resolve a worker count: `requested` if nonzero, else REDCACHE_JOBS,
@@ -79,7 +109,17 @@ std::string CellKey(const CellSpec& cell);
 /// is set, the fingerprinted disk cache. Concurrent requests for the same
 /// key share a single simulation. Disk entries store exec_cycles, counters
 /// and histograms; energy is derived from counters and recomputed on load.
+/// With REDCACHE_CACHE_MAX_MB set, the disk cache is bounded: a hit
+/// refreshes the entry's mtime and each store evicts least-recently-used
+/// entries until the directory fits. `profile`, when non-null, receives
+/// the host-side timing breakdown for this call.
 RunResult RunCellCached(const CellSpec& cell);
+RunResult RunCellCached(const CellSpec& cell, CellProfile* profile);
+
+/// Delete least-recently-used "*.stats" entries in `dir` (by mtime) until
+/// their total size is <= max_bytes. No-op when already within bound.
+/// Exposed for tests; RunCellCached calls it after each store.
+void EnforceDiskCacheBound(const std::string& dir, std::uint64_t max_bytes);
 
 /// RunBatch over cells with memo + disk cache; duplicate keys (shared
 /// baselines) simulate once. `results[i]` corresponds to `cells[i]`.

@@ -19,6 +19,10 @@ struct SimPreset {
   HierarchyConfig hierarchy;
   CoreParams core;
   MemControllerConfig mem;
+  /// Epoch-sampler period in CPU cycles (observability only; sampling never
+  /// changes simulation results, so this field is deliberately excluded
+  /// from the batch cache's preset-field hash).
+  Cycle telemetry_epoch_cycles = 250000;
 };
 
 /// Scaled evaluation preset (default): 8 MiB HBM cache, 256 MiB DDR4,

@@ -45,6 +45,11 @@ RunResult System::Run(Cycle max_cycles) {
   std::vector<char> poll(cores_.size(), 1);
 
   while (now <= max_cycles) {
+    // Telemetry epoch boundary (single predictable branch when detached).
+    if (telemetry_ != nullptr && telemetry_->Due(now)) {
+      telemetry_->Sample(now, TelemetrySnapshot(now));
+    }
+
     // Drain buffered L3 writebacks into the controller.
     while (!wb_queue_.empty() && controller_->CanAcceptWriteback()) {
       controller_->SubmitWriteback(wb_queue_.front(), now);
@@ -97,6 +102,10 @@ RunResult System::Run(Cycle max_cycles) {
   }
   result.exec_cycles = finish;
 
+  if (telemetry_ != nullptr) {
+    telemetry_->Finalize(finish, TelemetrySnapshot(finish));
+  }
+
   controller_->ExportStats(result.stats);
   ExportCoreStats(result.stats);
   result.stats.Counter("sys.exec_cycles") = finish;
@@ -115,6 +124,16 @@ RunResult System::Run(Cycle max_cycles) {
       result.stats, finish, static_cast<std::uint32_t>(cores_.size()),
       hbm_channels, ddr_channels);
   return result;
+}
+
+StatSet System::TelemetrySnapshot(Cycle now) const {
+  (void)now;
+  StatSet snap;
+  controller_->ExportStats(snap);
+  controller_->SampleTelemetry(snap);
+  ExportCoreStats(snap);
+  snap.Counter("gauge.wb_queue_depth") = wb_queue_.size();
+  return snap;
 }
 
 void System::ExportCoreStats(StatSet& stats) const {

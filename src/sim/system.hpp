@@ -14,6 +14,7 @@
 #include "cpu/core.hpp"
 #include "dramcache/controller.hpp"
 #include "energy/model.hpp"
+#include "obs/epoch_sampler.hpp"
 #include "sram/hierarchy.hpp"
 #include "workloads/trace.hpp"
 
@@ -49,6 +50,11 @@ class System : private MemoryPort {
   using RequestObserver = std::function<void(Addr addr, bool is_writeback)>;
   void SetRequestObserver(RequestObserver obs) { observer_ = std::move(obs); }
 
+  /// Attach an epoch sampler (owned by the caller; must outlive Run). When
+  /// attached, the run loop snapshots stats + telemetry gauges every
+  /// sampler-epoch; detached (default) the loop does no telemetry work.
+  void SetTelemetry(obs::EpochSampler* sampler) { telemetry_ = sampler; }
+
   /// Run to completion (or `max_cycles`). May be called once.
   RunResult Run(Cycle max_cycles = ~Cycle{0});
 
@@ -61,6 +67,8 @@ class System : private MemoryPort {
   void SubmitWriteback(Addr addr, Cycle now) override;
 
   void ExportCoreStats(StatSet& stats) const;
+  /// One cumulative snapshot for the epoch sampler (stats + gauges).
+  StatSet TelemetrySnapshot(Cycle now) const;
 
   CacheHierarchy hierarchy_;
   std::unique_ptr<MemController> controller_;
@@ -68,6 +76,7 @@ class System : private MemoryPort {
   std::vector<std::unique_ptr<Core>> cores_;
   std::deque<Addr> wb_queue_;
   RequestObserver observer_;
+  obs::EpochSampler* telemetry_ = nullptr;
   /// Writeback backlog beyond which cores are throttled.
   static constexpr std::size_t kWbThrottle = 256;
 };

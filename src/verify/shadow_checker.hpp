@@ -68,6 +68,9 @@ class ShadowChecker final : public MemController, public VerifySink {
     return inner_->NextEventHint(now);
   }
   void ExportStats(StatSet& stats) const override;
+  void SampleTelemetry(StatSet& out) const override {
+    inner_->SampleTelemetry(out);
+  }
   bool Idle() const override { return inner_->Idle(); }
   void SetVerifySink(VerifySink* sink) override;
   const MemController* underlying() const override {

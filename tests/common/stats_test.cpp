@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 namespace redcache {
 namespace {
 
@@ -150,6 +154,50 @@ TEST(StatSet, ToStringListsCounters) {
   const std::string out = s.ToString();
   EXPECT_NE(out.find("a = 2"), std::string::npos);
   EXPECT_NE(out.find("z = 1"), std::string::npos);
+}
+
+TEST(NaturalNameLess, OrdersDigitRunsByValue) {
+  EXPECT_TRUE(NaturalNameLess("hbm.chan2.act", "hbm.chan10.act"));
+  EXPECT_FALSE(NaturalNameLess("hbm.chan10.act", "hbm.chan2.act"));
+  EXPECT_TRUE(NaturalNameLess("chan9", "chan10"));
+  EXPECT_TRUE(NaturalNameLess("bank1.row99", "bank1.row100"));
+  // Non-digit segments stay lexicographic.
+  EXPECT_TRUE(NaturalNameLess("alpha", "beta"));
+  EXPECT_TRUE(NaturalNameLess("ctrl.hits", "ctrl.misses"));
+  // Prefix relationships.
+  EXPECT_TRUE(NaturalNameLess("chan1", "chan1.act"));
+  EXPECT_FALSE(NaturalNameLess("chan1", "chan1"));
+  // Equal numeric value: fewer leading zeros first, but a total order.
+  EXPECT_TRUE(NaturalNameLess("a1", "a01"));
+  EXPECT_FALSE(NaturalNameLess("a01", "a1"));
+  EXPECT_TRUE(NaturalNameLess("a01", "a2"));
+}
+
+TEST(NaturalNameLess, IsStrictWeakOrderOnHierarchicalNames) {
+  std::vector<std::string> names = {
+      "hbm.chan10.act", "hbm.chan2.act", "hbm.chan0.act", "ddr4.chan1.act",
+      "hbm.chan2.pre",  "ctrl.hits",     "hbm.chan10.pre"};
+  std::sort(names.begin(), names.end(), NaturalNameLess);
+  const std::vector<std::string> want = {
+      "ctrl.hits",      "ddr4.chan1.act", "hbm.chan0.act", "hbm.chan2.act",
+      "hbm.chan2.pre",  "hbm.chan10.act", "hbm.chan10.pre"};
+  EXPECT_EQ(names, want);
+}
+
+TEST(StatSet, ToStringGroupsChannelsNumerically) {
+  StatSet s;
+  s.Counter("hbm.chan10.act") = 1;
+  s.Counter("hbm.chan2.act") = 2;
+  s.Counter("hbm.chan0.act") = 3;
+  const std::string out = s.ToString();
+  const auto p0 = out.find("hbm.chan0.act");
+  const auto p2 = out.find("hbm.chan2.act");
+  const auto p10 = out.find("hbm.chan10.act");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  ASSERT_NE(p10, std::string::npos);
+  EXPECT_LT(p0, p2);
+  EXPECT_LT(p2, p10) << "chan10 must not sort between chan1 and chan2";
 }
 
 }  // namespace

@@ -1,0 +1,166 @@
+#include "obs/epoch_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace redcache::obs {
+namespace {
+
+StatSet Snap(std::uint64_t hits, std::uint64_t misses, std::uint64_t depth) {
+  StatSet s;
+  s.Counter("ctrl.cache_hits") = hits;
+  s.Counter("ctrl.cache_misses") = misses;
+  s.Counter("gauge.rcu_depth") = depth;
+  return s;
+}
+
+TEST(EpochSampler, DueFollowsActualSampleTime) {
+  EpochSampler sampler(100);
+  EXPECT_FALSE(sampler.Due(99));
+  EXPECT_TRUE(sampler.Due(100));
+  // Event-paced loop overshoots to 250; the next epoch is 250+100, not 300.
+  sampler.Sample(250, Snap(1, 0, 0));
+  EXPECT_FALSE(sampler.Due(300));
+  EXPECT_TRUE(sampler.Due(350));
+}
+
+TEST(EpochSampler, SplitsGaugesFromDeltas) {
+  EpochSampler sampler(100);
+  sampler.Sample(100, Snap(10, 5, 7));
+  sampler.Sample(200, Snap(25, 6, 3));
+  const auto& epochs = sampler.epochs();
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[0].begin, 0u);
+  EXPECT_EQ(epochs[0].end, 100u);
+  EXPECT_EQ(epochs[0].delta.at("ctrl.cache_hits"), 10);
+  EXPECT_EQ(epochs[1].delta.at("ctrl.cache_hits"), 15);
+  EXPECT_EQ(epochs[1].delta.at("ctrl.cache_misses"), 1);
+  // Gauges are raw point-in-time values, never differenced, prefix stripped.
+  EXPECT_EQ(epochs[0].gauges.at("rcu_depth"), 7u);
+  EXPECT_EQ(epochs[1].gauges.at("rcu_depth"), 3u);
+  EXPECT_EQ(epochs[1].delta.count("gauge.rcu_depth"), 0u);
+}
+
+TEST(EpochSampler, DeltasMayGoNegative) {
+  // Legacy gauge-like counters (ctrl.resident_lines) can shrink.
+  EpochSampler sampler(10);
+  StatSet a, b;
+  a.Counter("ctrl.resident_lines") = 100;
+  b.Counter("ctrl.resident_lines") = 40;
+  sampler.Sample(10, a);
+  sampler.Sample(20, b);
+  EXPECT_EQ(sampler.epochs()[1].delta.at("ctrl.resident_lines"), -60);
+}
+
+TEST(EpochSampler, DeltasTelescopeToFinalCumulative) {
+  EpochSampler sampler(50);
+  std::uint64_t hits = 0;
+  Cycle now = 0;
+  for (int i = 1; i <= 7; ++i) {
+    now += 50 + static_cast<Cycle>(i);  // irregular epoch spans
+    hits += static_cast<std::uint64_t>(i * i);
+    sampler.Sample(now, Snap(hits, 2 * hits, 1));
+  }
+  sampler.Finalize(now + 13, Snap(hits + 5, 2 * hits, 0));
+
+  std::int64_t sum = 0;
+  for (const EpochRecord& e : sampler.epochs()) {
+    sum += e.delta.at("ctrl.cache_hits");
+  }
+  EXPECT_EQ(sum, static_cast<std::int64_t>(hits + 5));
+  // Epochs tile the run: each begins where the previous ended.
+  for (std::size_t i = 1; i < sampler.epochs().size(); ++i) {
+    EXPECT_EQ(sampler.epochs()[i].begin, sampler.epochs()[i - 1].end);
+  }
+}
+
+TEST(EpochSampler, FinalizeOnSampleBoundaryRefreshesGaugesOnly) {
+  EpochSampler sampler(100);
+  sampler.Sample(100, Snap(10, 0, 9));
+  sampler.Finalize(100, Snap(10, 0, 0));
+  ASSERT_EQ(sampler.epochs().size(), 1u);
+  EXPECT_EQ(sampler.epochs()[0].gauges.at("rcu_depth"), 0u);
+  EXPECT_EQ(sampler.epochs()[0].delta.at("ctrl.cache_hits"), 10);
+}
+
+TEST(EpochSampler, CounterAppearingMidRunDeltasFromZero) {
+  EpochSampler sampler(10);
+  StatSet first;
+  first.Counter("ctrl.cache_hits") = 1;
+  sampler.Sample(10, first);
+  StatSet second = first;
+  second.Counter("late.counter") = 5;
+  sampler.Sample(20, second);
+  EXPECT_EQ(sampler.epochs()[0].delta.count("late.counter"), 0u);
+  EXPECT_EQ(sampler.epochs()[1].delta.at("late.counter"), 5);
+}
+
+TEST(TelemetryJson, ParsesAndCarriesDerivedMetrics) {
+  EpochSampler sampler(100);
+  StatSet s;
+  s.Counter("ctrl.cache_hits") = 30;
+  s.Counter("ctrl.cache_misses") = 10;
+  s.Counter("ctrl.alpha_bypasses") = 60;
+  s.Counter("hbm.bytes_transferred") = 6400;
+  s.Counter("gauge.gamma") = 8;
+  sampler.Sample(100, s);
+
+  const TelemetryMeta meta{.arch = "RedCache", .workload = "LU",
+                           .preset = "eval", .exec_cycles = 100};
+  const std::string json = TelemetryJson(sampler, meta);
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(json, doc, &err)) << err << "\n" << json;
+
+  const JsonValue* m = doc.Find("meta");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->Find("arch")->string, "RedCache");
+  EXPECT_DOUBLE_EQ(m->Find("num_epochs")->number, 1.0);
+
+  const JsonValue* epochs = doc.Find("epochs");
+  ASSERT_NE(epochs, nullptr);
+  ASSERT_EQ(epochs->array.size(), 1u);
+  const JsonValue& e = epochs->array[0];
+  const JsonValue* derived = e.Find("derived");
+  ASSERT_NE(derived, nullptr);
+  EXPECT_DOUBLE_EQ(derived->Find("hit_rate")->number, 0.3);
+  EXPECT_DOUBLE_EQ(derived->Find("bypass_rate")->number, 0.6);
+  EXPECT_DOUBLE_EQ(derived->Find("bw_bytes_per_cycle")->number, 64.0);
+  EXPECT_DOUBLE_EQ(e.Find("gauges")->Find("gamma")->number, 8.0);
+  EXPECT_DOUBLE_EQ(e.Find("delta")->Find("ctrl.cache_hits")->number, 30.0);
+}
+
+TEST(TelemetryCsv, HeaderUnionInNaturalOrderWithEmptyCells) {
+  EpochSampler sampler(10);
+  StatSet a;
+  a.Counter("hbm.chan2.activates") = 1;
+  sampler.Sample(10, a);
+  StatSet b = a;
+  b.Counter("hbm.chan10.activates") = 4;  // appears only in epoch 2
+  b.Counter("gauge.rcu_depth") = 2;
+  sampler.Sample(20, b);
+
+  const std::string csv =
+      TelemetryCsv(sampler, {.arch = "RedCache", .workload = "LU"});
+  std::istringstream is(csv);
+  std::string comment, header, row1, row2;
+  ASSERT_TRUE(std::getline(is, comment));
+  ASSERT_TRUE(std::getline(is, header));
+  ASSERT_TRUE(std::getline(is, row1));
+  ASSERT_TRUE(std::getline(is, row2));
+  EXPECT_EQ(comment.rfind("# arch=RedCache", 0), 0u);
+  EXPECT_EQ(header,
+            "begin,end,hit_rate,bypass_rate,bw_bytes_per_cycle,"
+            "gauge.rcu_depth,hbm.chan2.activates,hbm.chan10.activates");
+  // Epoch 1 has no gauge and no chan10 column value: empty cells.
+  EXPECT_EQ(row1, "0,10,0,0,0,,1,");
+  EXPECT_EQ(row2, "10,20,0,0,0,2,0,4");
+}
+
+}  // namespace
+}  // namespace redcache::obs

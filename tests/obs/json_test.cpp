@@ -1,0 +1,76 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redcache::obs {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndSpecialChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(ParseJson, Scalars) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(ParseJson("42", v, &err)) << err;
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.number, 42.0);
+
+  ASSERT_TRUE(ParseJson("-1.5e2", v, &err)) << err;
+  EXPECT_DOUBLE_EQ(v.number, -150.0);
+
+  ASSERT_TRUE(ParseJson("\"hi\\n\"", v, &err)) << err;
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.string, "hi\n");
+
+  ASSERT_TRUE(ParseJson("true", v, &err)) << err;
+  EXPECT_EQ(v.kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(v.boolean);
+
+  ASSERT_TRUE(ParseJson("null", v, &err)) << err;
+  EXPECT_EQ(v.kind, JsonValue::Kind::kNull);
+}
+
+TEST(ParseJson, NestedObjectAndFind) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(ParseJson(R"({"a":{"b":[1,2,3]},"c":"x"})", v, &err)) << err;
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  const JsonValue* b = a->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(b->array[1].number, 2.0);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_EQ(b->Find("not_an_object"), nullptr);
+}
+
+TEST(ParseJson, RejectsMalformedInput) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(ParseJson("", v, &err));
+  EXPECT_FALSE(ParseJson("{", v, &err));
+  EXPECT_FALSE(ParseJson("[1,2,]", v, &err));
+  EXPECT_FALSE(ParseJson("{\"a\":1,}", v, &err));
+  EXPECT_FALSE(ParseJson("{'a':1}", v, &err));
+  EXPECT_FALSE(ParseJson("1 2", v, &err)) << "trailing garbage must fail";
+  EXPECT_FALSE(ParseJson("\"unterminated", v, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(ParseJson, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(ParseJson(deep, v, &err));
+}
+
+}  // namespace
+}  // namespace redcache::obs

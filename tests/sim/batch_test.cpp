@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "sim/runner.hpp"
 
 namespace redcache {
@@ -294,6 +297,135 @@ TEST(Batch, ParallelForHitsEveryIndexOnce) {
   for (std::size_t i = 0; i < kN; ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
   }
+}
+
+TEST(Batch, EnforceDiskCacheBoundEvictsLeastRecentlyUsed) {
+  namespace fs = std::filesystem;
+  char tmpl[] = "/tmp/redcache_batch_lru_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const fs::path dir = tmpl;
+
+  const auto make = [&](const char* name, int age_minutes) {
+    const fs::path p = dir / name;
+    std::ofstream(p) << std::string(1000, 'x');
+    fs::last_write_time(
+        p, fs::file_time_type::clock::now() - std::chrono::minutes(age_minutes));
+    return p;
+  };
+  const fs::path oldest = make("a.stats", 30);
+  const fs::path middle = make("b.stats", 20);
+  const fs::path newest = make("c.stats", 10);
+  const fs::path other = make("not_a_cache_entry.txt", 40);
+
+  // Within bound: nothing evicted.
+  EnforceDiskCacheBound(dir.string(), 10000);
+  EXPECT_TRUE(fs::exists(oldest));
+
+  // 3000 bytes of entries, 2000 allowed: exactly the oldest goes.
+  EnforceDiskCacheBound(dir.string(), 2000);
+  EXPECT_FALSE(fs::exists(oldest));
+  EXPECT_TRUE(fs::exists(middle));
+  EXPECT_TRUE(fs::exists(newest));
+
+  // Shrinking further evicts in recency order; non-.stats files are never
+  // touched even though the oldest file in the directory.
+  EnforceDiskCacheBound(dir.string(), 500);
+  EXPECT_FALSE(fs::exists(middle));
+  EXPECT_FALSE(fs::exists(newest));
+  EXPECT_TRUE(fs::exists(other));
+
+  fs::remove_all(dir);
+}
+
+TEST(Batch, DiskCacheHitRefreshesRecencyAndProfilesAsDiskHit) {
+  namespace fs = std::filesystem;
+  char tmpl[] = "/tmp/redcache_batch_touch_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  ASSERT_EQ(::setenv("REDCACHE_CACHE_DIR", dir.c_str(), 1), 0);
+
+  RunSpec s;
+  s.arch = Arch::kAlloy;
+  s.workload = "RDX";
+  s.scale = 0.02;
+  s.ignore_env_scale = true;
+  s.seed = 19;
+  CellSpec cell{s, "lru_touch"};  // memo-cold key: must go to disk
+
+  const std::uint64_t fp = SimFingerprint(s.preset, s.workload);
+  const std::string path = dir + "/" + CellKey(cell) + ".stats";
+  {
+    std::ofstream out(path);
+    char hex[20];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    out << "fingerprint " << hex << "\n";
+    out << "exec_cycles 777\n";
+    out << "counters 1\n";
+    out << "hbm.reads 5\n";
+    out << "hists 0\n";
+  }
+  const auto stale = fs::file_time_type::clock::now() - std::chrono::hours(1);
+  fs::last_write_time(path, stale);
+
+  CellProfile prof;
+  const RunResult r = RunCellCached(cell, &prof);
+  EXPECT_EQ(r.exec_cycles, 777u);
+  EXPECT_TRUE(prof.disk_hit);
+  EXPECT_FALSE(prof.memo_hit);
+  EXPECT_DOUBLE_EQ(prof.sim_seconds, 0.0) << "served from disk, not simulated";
+  EXPECT_GT(prof.wall_seconds, 0.0);
+  EXPECT_EQ(prof.exec_cycles, 777u);
+  EXPECT_EQ(prof.key, CellKey(cell));
+  // The hit refreshed the entry's mtime so LRU eviction keeps it.
+  EXPECT_GT(fs::last_write_time(path), stale);
+
+  ::unsetenv("REDCACHE_CACHE_DIR");
+  fs::remove_all(fs::path(dir));
+}
+
+TEST(Batch, RunCellsFillsBatchReport) {
+  RunSpec s;
+  s.arch = Arch::kNoHbm;
+  s.workload = "HIST";
+  s.scale = 0.02;
+  s.ignore_env_scale = true;
+  s.seed = 23;
+  CellSpec a{s, "report_a"};
+  RunSpec s2 = s;
+  s2.workload = "LREG";
+  CellSpec b{s2, "report_b"};
+
+  BatchReport report;
+  BatchOptions opts{1, false, "report-test"};
+  opts.report = &report;
+  // Serial execution: the duplicate in slot 1 is guaranteed a memo hit.
+  const auto results = RunCells({a, a, b}, opts);
+  ASSERT_EQ(results.size(), 3u);
+
+  EXPECT_EQ(report.label, "report-test");
+  EXPECT_EQ(report.jobs, 1u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  ASSERT_EQ(report.cells.size(), 3u);
+  EXPECT_FALSE(report.cells[0].memo_hit);
+  EXPECT_GT(report.cells[0].sim_seconds, 0.0);
+  EXPECT_TRUE(report.cells[1].memo_hit);
+  EXPECT_DOUBLE_EQ(report.cells[1].sim_seconds, 0.0);
+  EXPECT_EQ(report.cells[0].exec_cycles, report.cells[1].exec_cycles);
+  EXPECT_EQ(report.cells[0].exec_cycles, results[0].exec_cycles);
+  EXPECT_EQ(report.cells[2].workload, "LREG");
+  EXPECT_EQ(report.cells[0].key, CellKey(a));
+
+  const std::string json = BatchReportJson(report);
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::ParseJson(json, doc, &err)) << err << "\n" << json;
+  const obs::JsonValue* summary = doc.Find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_DOUBLE_EQ(summary->Find("cells")->number, 3.0);
+  EXPECT_DOUBLE_EQ(summary->Find("memo_hits")->number, 1.0);
+  EXPECT_DOUBLE_EQ(summary->Find("simulated")->number, 2.0);
+  EXPECT_EQ(doc.Find("cells")->array.size(), 3u);
 }
 
 TEST(Batch, ResolveJobsHonorsEnvAndFloor) {

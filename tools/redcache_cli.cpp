@@ -5,7 +5,9 @@
 //   redcache_cli --arch RedCache --ways 4 --workload FT
 //   redcache_cli --footprint --workload HIST
 //   redcache_cli --capture lu.rctr --workload LU        # snapshot a trace
-//   redcache_cli --arch Bear --trace lu.rctr            # replay it
+//   redcache_cli --arch Bear --replay lu.rctr           # replay it
+//   redcache_cli --arch RedCache --workload LU
+//       --telemetry t.json --trace t.perfetto.json      # observability
 //   redcache_cli --sweep --jobs 4                       # full eval matrix
 //   redcache_cli --sweep --archs Alloy,RedCache --workloads LU,RDX
 //   redcache_cli --list
@@ -22,6 +24,8 @@
 #include "common/table.hpp"
 #include "dramcache/assoc_redcache.hpp"
 #include "dramcache/footprint.hpp"
+#include "obs/epoch_sampler.hpp"
+#include "obs/trace.hpp"
 #include "sim/batch.hpp"
 #include "verify/shadow_checker.hpp"
 #include "workloads/trace_file.hpp"
@@ -33,8 +37,12 @@ using namespace redcache;
 struct CliOptions {
   std::string arch = "RedCache";
   std::string workload = "LU";
-  std::optional<std::string> trace_path;
+  std::optional<std::string> replay_path;
   std::optional<std::string> capture_path;
+  std::optional<std::string> telemetry_path;  ///< epoch series (.csv or JSON)
+  std::optional<std::string> trace_out_path;  ///< Chrome trace-event JSON
+  std::optional<std::string> report_path;     ///< --sweep batch report JSON
+  std::optional<Cycle> epoch_cycles;          ///< telemetry epoch override
   double scale = 1.0;
   bool paper_preset = false;
   bool dump_stats = false;
@@ -58,8 +66,12 @@ void PrintUsage() {
       "  --arch NAME        No-HBM|IDEAL|Alloy|Bear|Red-Alpha|Red-Gamma|\n"
       "                     Red-Basic|Red-InSitu|RedCache (default RedCache)\n"
       "  --workload LABEL   Table II label (default LU)\n"
-      "  --trace FILE       replay a captured trace instead of a workload\n"
+      "  --replay FILE      replay a captured trace instead of a workload\n"
       "  --capture FILE     write the workload's trace to FILE and exit\n"
+      "  --telemetry FILE   write per-epoch time series (JSON; .csv => CSV)\n"
+      "  --trace FILE       write a Chrome trace-event JSON (Perfetto /\n"
+      "                     chrome://tracing) of DRAM commands + decisions\n"
+      "  --epoch N          telemetry epoch in CPU cycles (default preset)\n"
       "  --scale X          workload scale factor (default 1.0)\n"
       "  --paper            use the verbatim Table I preset (2 GiB HBM)\n"
       "  --hbm-mib N        override HBM cache capacity\n"
@@ -72,6 +84,8 @@ void PrintUsage() {
       "                     divergence from the reference memory model\n"
       "  --stats            dump every counter after the run\n"
       "  --sweep            run an (arch x workload) matrix on a worker pool\n"
+      "  --report FILE      write a host-side profiling report of --sweep\n"
+      "                     (per-cell wall time, cache layer, phases)\n"
       "  --archs A,B,..     architectures for --sweep (default: Fig. 9 set)\n"
       "  --workloads X,Y,.. workloads for --sweep (default: all Table II)\n"
       "  --jobs N           worker threads for --sweep (default: \n"
@@ -97,10 +111,26 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt.workload = v;
+    } else if (arg == "--replay") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.replay_path = v;
+    } else if (arg == "--telemetry") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.telemetry_path = v;
     } else if (arg == "--trace") {
       const char* v = value();
       if (v == nullptr) return false;
-      opt.trace_path = v;
+      opt.trace_out_path = v;
+    } else if (arg == "--report") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.report_path = v;
+    } else if (arg == "--epoch") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.epoch_cycles = std::strtoull(v, nullptr, 10);
     } else if (arg == "--capture") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -228,7 +258,17 @@ int RunSweep(const CliOptions& opt) {
   BatchOptions bopts;
   bopts.jobs = opt.jobs;
   bopts.label = "sweep";
+  BatchReport report;
+  if (opt.report_path) bopts.report = &report;
   const std::vector<RunResult> results = RunCells(cells, bopts);
+  if (opt.report_path) {
+    if (!WriteBatchReportJson(*opt.report_path, report)) {
+      std::fprintf(stderr, "failed to write report to %s\n",
+                   opt.report_path->c_str());
+      return 1;
+    }
+    std::printf("batch report written to %s\n", opt.report_path->c_str());
+  }
 
   std::vector<std::string> header = {"workload"};
   for (const Arch a : archs) header.push_back(ToString(a));
@@ -255,8 +295,8 @@ int Run(const CliOptions& opt) {
 
   // Trace source: captured file or synthetic workload.
   std::unique_ptr<TraceSource> trace;
-  if (opt.trace_path) {
-    trace = std::make_unique<FileTraceSource>(*opt.trace_path);
+  if (opt.replay_path) {
+    trace = std::make_unique<FileTraceSource>(*opt.replay_path);
   } else {
     WorkloadBuildParams wp;
     wp.num_cores = preset.hierarchy.num_cores;
@@ -301,7 +341,54 @@ int Run(const CliOptions& opt) {
 
   System system(preset.hierarchy, preset.core, std::move(ctrl),
                 std::move(trace), opt.seed);
+
+  // Observability: epoch sampler and/or command trace, both opt-in and
+  // inert (single branch per probe) when the flags are absent.
+  std::optional<obs::EpochSampler> sampler;
+  if (opt.telemetry_path) {
+    sampler.emplace(opt.epoch_cycles.value_or(preset.telemetry_epoch_cycles));
+    system.SetTelemetry(&*sampler);
+  }
+  obs::TraceBuffer trace_buffer;
+  std::optional<obs::TraceScope> trace_scope;
+  if (opt.trace_out_path) trace_scope.emplace(&trace_buffer);
+
   const RunResult r = system.Run();
+  trace_scope.reset();
+
+  if (opt.telemetry_path) {
+    obs::TelemetryMeta meta;
+    meta.arch = arch_label;
+    meta.workload = opt.replay_path ? *opt.replay_path : opt.workload;
+    meta.preset = preset.name;
+    meta.exec_cycles = r.exec_cycles;
+    const std::string& path = *opt.telemetry_path;
+    const bool csv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    const bool ok = csv ? obs::WriteTelemetryCsv(path, *sampler, meta)
+                        : obs::WriteTelemetryJson(path, *sampler, meta);
+    if (!ok) {
+      std::fprintf(stderr, "failed to write telemetry to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("telemetry: %zu epochs (every %llu cycles) -> %s\n",
+                sampler->epochs().size(),
+                static_cast<unsigned long long>(sampler->epoch_cycles()),
+                path.c_str());
+  }
+  if (opt.trace_out_path) {
+    if (!obs::WriteChromeTrace(*opt.trace_out_path, trace_buffer)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   opt.trace_out_path->c_str());
+      return 1;
+    }
+    std::printf(
+        "trace: %llu events (%llu dropped, ring %zu) -> %s "
+        "(load in Perfetto / chrome://tracing)\n",
+        static_cast<unsigned long long>(trace_buffer.emitted()),
+        static_cast<unsigned long long>(trace_buffer.dropped()),
+        trace_buffer.capacity(), opt.trace_out_path->c_str());
+  }
   if (!r.completed) {
     std::fprintf(stderr, "simulation did not complete\n");
     return 1;
@@ -323,7 +410,7 @@ int Run(const CliOptions& opt) {
       "%s on %s: %llu cycles (%.2f ms @3.2GHz), hit rate %.1f%%, "
       "HBM %.3f GB, DDR4 %.3f GB, system energy %.2f mJ\n",
       arch_label.c_str(),
-      opt.trace_path ? opt.trace_path->c_str() : opt.workload.c_str(),
+      opt.replay_path ? opt.replay_path->c_str() : opt.workload.c_str(),
       static_cast<unsigned long long>(r.exec_cycles),
       static_cast<double>(r.exec_cycles) / 3.2e9 * 1e3,
       hits + misses == 0
