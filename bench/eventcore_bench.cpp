@@ -1,0 +1,202 @@
+// Event-core economics bench: wall-clock cost of the wake-driven scheduler
+// against forced single-cycle stepping (REDCACHE_NO_SKIP=1), on
+//   * a loaded DRAM queue (busy channels, skip-ahead mostly inactive),
+//   * an idle-heavy sparse-traffic scenario (one read burst every few
+//     thousand cycles, where the wake list carries the run), and
+//   * one full RedCache evaluation cell.
+// Both modes of each scenario must produce identical simulation results
+// (the no-skip differential, re-asserted here); only wall time may differ.
+// Writes results/BENCH_eventcore.json for trend tracking.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "dram/dram_system.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace redcache;
+using namespace redcache::bench;
+
+double Seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct DramPass {
+  double seconds = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t visits = 0;
+};
+
+/// Sparse traffic over a DramSystem: one read per 6000-cycle window.
+/// `step` drives every cycle; otherwise the loop jumps to NextEventHint
+/// the way System::Run does.
+DramPass IdleSparsePass(bool step, std::uint64_t windows) {
+  DramSystem sys(HbmCacheConfig(8_MiB));
+  Cycle now = 0;
+  Addr addr = 0;
+  DramPass out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    if (sys.CanAccept(addr)) sys.Enqueue(addr, false, now);
+    addr = (addr + 4096) % 8_MiB;
+    const Cycle horizon = now + 6000;
+    while (now < horizon) {
+      sys.Tick(now);
+      out.completed += sys.completions().size();
+      sys.completions().clear();
+      now = step ? now + 1
+                 : std::min(horizon,
+                            std::max(now + 1, sys.NextEventHint(now)));
+      ++out.visits;
+    }
+  }
+  out.seconds = Seconds(t0, std::chrono::steady_clock::now());
+  return out;
+}
+
+/// Saturated queues: four fresh requests at every even cycle up to a fixed
+/// simulated horizon, so both modes do identical simulation work. Event
+/// pacing is clamped to the next enqueue slot; stepping visits the odd
+/// cycles too and must find them to be no-ops.
+DramPass LoadedPass(bool step, Cycle horizon) {
+  DramSystem sys(HbmCacheConfig(8_MiB));
+  Cycle now = 0;
+  std::uint64_t lcg = 12345;
+  DramPass out;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (now < horizon) {
+    if ((now & 1) == 0) {
+      for (int k = 0; k < 4; ++k) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        const Addr addr = ((lcg >> 16) % 8_MiB) & ~Addr{63};
+        if (sys.CanAccept(addr)) sys.Enqueue(addr, ((lcg >> 12) & 7) < 3, now);
+      }
+    }
+    sys.Tick(now);
+    out.completed += sys.completions().size();
+    sys.completions().clear();
+    const Cycle next_enqueue = (now & ~Cycle{1}) + 2;
+    now = step ? now + 1
+               : std::min(next_enqueue,
+                          std::max(now + 1, sys.NextEventHint(now)));
+    ++out.visits;
+  }
+  out.seconds = Seconds(t0, std::chrono::steady_clock::now());
+  return out;
+}
+
+struct CellPass {
+  double seconds = 0;
+  RunResult result;
+};
+
+CellPass FullSystemPass(bool no_skip) {
+  if (no_skip) {
+    ::setenv("REDCACHE_NO_SKIP", "1", 1);
+  } else {
+    ::unsetenv("REDCACHE_NO_SKIP");
+  }
+  RunSpec spec;
+  spec.arch = Arch::kRedCache;
+  spec.workload = "LU";
+  spec.scale = EffectiveScale(0.25 * DefaultScale());
+  spec.ignore_env_scale = true;
+  CellPass out;
+  const auto t0 = std::chrono::steady_clock::now();
+  out.result = RunOne(spec);
+  out.seconds = Seconds(t0, std::chrono::steady_clock::now());
+  ::unsetenv("REDCACHE_NO_SKIP");
+  return out;
+}
+
+double Speedup(double step_s, double event_s) {
+  return event_s > 0 ? step_s / event_s : 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("eventcore — wake-driven scheduler vs single-cycle stepping\n\n");
+
+  const DramPass idle_event = IdleSparsePass(false, 2000);
+  const DramPass idle_step = IdleSparsePass(true, 2000);
+  const DramPass loaded_event = LoadedPass(false, 800000);
+  const DramPass loaded_step = LoadedPass(true, 800000);
+  const CellPass cell_event = FullSystemPass(false);
+  const CellPass cell_step = FullSystemPass(true);
+
+  bool ok = true;
+  if (idle_event.completed != idle_step.completed ||
+      loaded_event.completed != loaded_step.completed) {
+    std::fprintf(stderr, "FAIL: DRAM passes disagree on completions\n");
+    ok = false;
+  }
+  if (cell_event.result.exec_cycles != cell_step.result.exec_cycles ||
+      cell_event.result.stats.counters() !=
+          cell_step.result.stats.counters()) {
+    std::fprintf(stderr, "FAIL: full-system skip vs no-skip stats differ\n");
+    ok = false;
+  }
+
+  const double idle_speedup = Speedup(idle_step.seconds, idle_event.seconds);
+  const double loaded_speedup =
+      Speedup(loaded_step.seconds, loaded_event.seconds);
+  const double cell_speedup = Speedup(cell_step.seconds, cell_event.seconds);
+  const std::uint64_t ticks = cell_event.result.ticks_executed;
+  const std::uint64_t skipped = cell_event.result.cycles_skipped;
+  const double skip_pct =
+      ticks + skipped > 0
+          ? 100.0 * static_cast<double>(skipped) /
+                static_cast<double>(ticks + skipped)
+          : 0;
+
+  TextTable table({"scenario", "stepped s", "event s", "speedup", "visits"});
+  table.AddRow({"dram idle-sparse", TextTable::Num(idle_step.seconds, 3),
+                TextTable::Num(idle_event.seconds, 3),
+                TextTable::Num(idle_speedup, 2),
+                std::to_string(idle_event.visits)});
+  table.AddRow({"dram loaded", TextTable::Num(loaded_step.seconds, 3),
+                TextTable::Num(loaded_event.seconds, 3),
+                TextTable::Num(loaded_speedup, 2),
+                std::to_string(loaded_event.visits)});
+  table.AddRow({"RedCache/LU cell", TextTable::Num(cell_step.seconds, 3),
+                TextTable::Num(cell_event.seconds, 3),
+                TextTable::Num(cell_speedup, 2),
+                std::to_string(ticks)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("cell skip ratio: %.1f%% of cycles skipped (%llu ticks, %llu "
+              "skipped)\n",
+              skip_pct, static_cast<unsigned long long>(ticks),
+              static_cast<unsigned long long>(skipped));
+
+  std::filesystem::create_directories("results");
+  std::ofstream json("results/BENCH_eventcore.json");
+  json << "{\n"
+       << "  \"bench\": \"eventcore\",\n"
+       << "  \"idle_sparse\": {\"stepped_seconds\": " << idle_step.seconds
+       << ", \"event_seconds\": " << idle_event.seconds
+       << ", \"speedup\": " << idle_speedup
+       << ", \"event_visits\": " << idle_event.visits
+       << ", \"stepped_visits\": " << idle_step.visits << "},\n"
+       << "  \"loaded\": {\"stepped_seconds\": " << loaded_step.seconds
+       << ", \"event_seconds\": " << loaded_event.seconds
+       << ", \"speedup\": " << loaded_speedup << "},\n"
+       << "  \"full_system\": {\"arch\": \"RedCache\", \"workload\": \"LU\","
+       << " \"stepped_seconds\": " << cell_step.seconds
+       << ", \"event_seconds\": " << cell_event.seconds
+       << ", \"speedup\": " << cell_speedup
+       << ", \"ticks_executed\": " << ticks
+       << ", \"cycles_skipped\": " << skipped
+       << ", \"skip_pct\": " << skip_pct << "},\n"
+       << "  \"identical_results\": " << (ok ? "true" : "false") << "\n"
+       << "}\n";
+  std::printf("wrote results/BENCH_eventcore.json\n");
+  return ok ? 0 : 1;
+}

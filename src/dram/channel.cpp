@@ -495,13 +495,28 @@ void DramChannel::Tick(Cycle now, std::vector<DramCompletion>& done) {
 Cycle DramChannel::NextEventHint(Cycle now) const {
   Cycle next = pending_done_min_;
   if (live_count_ != 0) {
-    next = std::min(next, std::max({now + 1, next_cmd_slot_, sleep_until_}));
+    // Exact, not conservative: commands issue only on DRAM command-slot
+    // boundaries and Tick returns on misalignment, so the poll term rounds
+    // up to the next slot — the cycles in between are provable no-ops.
+    next = std::min(next,
+                    std::max({AlignUp(now + 1), next_cmd_slot_, sleep_until_}));
   } else {
-    // Idle: the only future work is refresh bookkeeping.
-    for (const auto& r : ranks_) {
-      next = std::min(next, r.Refreshing(now) ? r.refreshing_until()
-                                              : r.next_refresh());
+    // Idle: the only future work is refresh bookkeeping. The rank walk is
+    // memoized: its result is constant until `now` reaches it (refresh
+    // starts/ends never fall inside the window — the minimum over the very
+    // terms that bound them) or until a command mutates rank state, which
+    // bumps stamp_counter_. A hint at or before `now` (refresh due but
+    // blocked) recomputes per call, exactly like the old walk.
+    if (idle_hint_stamp_ != stamp_counter_ || now >= idle_hint_) {
+      Cycle h = kNever;
+      for (const auto& r : ranks_) {
+        h = std::min(h, r.Refreshing(now) ? r.refreshing_until()
+                                          : r.next_refresh());
+      }
+      idle_hint_ = h;
+      idle_hint_stamp_ = stamp_counter_;
     }
+    next = std::min(next, idle_hint_);
   }
   return next;
 }

@@ -62,6 +62,15 @@ class DramChannel {
   /// Earliest future cycle at which calling Tick could have an effect.
   Cycle NextEventHint(Cycle now) const;
 
+  /// Wake bound valid immediately after an Enqueue, before any tick: the
+  /// scheduler cannot act before the command-bus slot frees, and pending
+  /// data deliveries are the only other effect. Unlike NextEventHint this
+  /// may be in the past ("due now") — the enqueue may precede this visit's
+  /// device tick, and the new request could issue at the current cycle.
+  Cycle EnqueueWake() const {
+    return std::min(pending_done_min_, next_cmd_slot_);
+  }
+
  private:
   /// Queue entries live in a fixed slot pool (`slots_`, sized queue_depth)
   /// threaded into an arrival-order doubly-linked list, so retiring a
@@ -184,6 +193,12 @@ class DramChannel {
 
   Cycle sleep_until_ = 0;  ///< no scheduling work possible before this
   Cycle refresh_wake_ = 0;  ///< earliest cycle refresh bookkeeping matters
+  /// Idle-branch NextEventHint memo: min over ranks of refreshing_until /
+  /// next_refresh. Valid while the stamp matches stamp_counter_ and
+  /// now < idle_hint_ (see NextEventHint for why the value is constant on
+  /// that window). kNeverSig marks "never computed".
+  mutable Cycle idle_hint_ = 0;
+  mutable std::uint64_t idle_hint_stamp_ = kNeverSig;
   std::uint32_t write_count_ = 0;  ///< writes currently in the queue
 
   ChannelCounters counters_;

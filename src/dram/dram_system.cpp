@@ -11,6 +11,7 @@ DramSystem::DramSystem(const DramConfig& cfg)
   for (std::uint32_t c = 0; c < cfg_.geometry.channels; ++c) {
     channels_.push_back(std::make_unique<DramChannel>(cfg_, c));
   }
+  wakes_.Reset(channels_.size());
 }
 
 RequestId DramSystem::Enqueue(Addr addr, bool is_write, Cycle now,
@@ -26,16 +27,21 @@ RequestId DramSystem::Enqueue(Addr addr, bool is_write, Cycle now,
   assert(channels_[req.loc.channel]->CanAccept());
   channels_[req.loc.channel]->Enqueue(req);
   inflight_++;
-  hint_valid_ = false;
+  // New work re-arms the channel's wake. EnqueueWake (not NextEventHint):
+  // when the enqueue lands before this visit's device tick the channel may
+  // issue at `now` itself, so a future-only hint would be too late. The
+  // other channels' stored wakes are unaffected.
+  wakes_.Set(req.loc.channel, channels_[req.loc.channel]->EnqueueWake());
   return req.id;
 }
 
 void DramSystem::Tick(Cycle now) {
-  if (hint_valid_ && now < cached_hint_) return;  // nothing can happen yet
-  hint_valid_ = false;
+  if (wakes_.NoneDue(now)) return;  // nothing can happen yet
   const std::size_t before = completions_.size();
-  for (auto& ch : channels_) {
-    ch->Tick(now, completions_);
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    if (!wakes_.Due(c, now)) continue;
+    channels_[c]->Tick(now, completions_);
+    wakes_.Set(c, channels_[c]->NextEventHint(now));
   }
   inflight_ -= completions_.size() - before;
 }
@@ -94,14 +100,13 @@ void DramSystem::ExportStats(StatSet& stats) const {
 }
 
 Cycle DramSystem::NextEventHint(Cycle now) const {
-  if (hint_valid_ && cached_hint_ > now) return cached_hint_;
-  Cycle next = ~Cycle{0};
-  for (const auto& ch : channels_) {
-    next = std::min(next, ch->NextEventHint(now));
-  }
-  cached_hint_ = next;
-  hint_valid_ = true;
-  return next;
+  // The stored per-channel wakes are exact hints: each was computed from the
+  // channel's current state (refreshed after every tick and on enqueue), and
+  // channel state cannot change between ticks. A stored wake at or before
+  // `now` means a not-yet-ticked channel; returning it (<= now) tells the
+  // caller to keep visiting, exactly like the old fresh recomputation.
+  (void)now;
+  return wakes_.Min();
 }
 
 }  // namespace redcache

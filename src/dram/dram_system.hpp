@@ -17,6 +17,7 @@
 #include "dram/channel.hpp"
 #include "dram/request.hpp"
 #include "dram/timing.hpp"
+#include "sim/event_core.hpp"
 
 namespace redcache {
 
@@ -91,10 +92,12 @@ class DramSystem {
   std::vector<DramCompletion> completions_;
   RequestId next_id_ = 1;
   std::uint64_t inflight_ = 0;
-  /// Cached NextEventHint; lets Tick skip all channel work while nothing
-  /// can happen. Invalidated by Enqueue and by ticks that do work.
-  mutable Cycle cached_hint_ = 0;
-  mutable bool hint_valid_ = false;
+  /// Per-channel wake cycles (event core): Tick visits only channels whose
+  /// wake is due, and NextEventHint is the stored minimum. A channel's wake
+  /// is refreshed from its NextEventHint after every real tick and on
+  /// Enqueue; between those, channel state cannot change, so the stored
+  /// hint stays exact.
+  WakeList wakes_;
 };
 
 }  // namespace redcache

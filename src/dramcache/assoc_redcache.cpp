@@ -255,6 +255,21 @@ void AssocRedCacheController::PolicyTick(Cycle now) {
   }
 }
 
+Cycle AssocRedCacheController::PolicyWake(Cycle now) const {
+  if (opt_.update_mode != RedCacheOptions::UpdateMode::kRcu) {
+    return kNeverWake;
+  }
+  // Same contract as RedCacheController::PolicyWake: parked updates with an
+  // idle channel available must keep the run loop visiting.
+  if (!pending_rcu_flushes_.empty()) return now + 1;
+  if (rcu_.size() != 0) {
+    for (std::uint32_t ch = 0; ch < hbm_->num_channels(); ++ch) {
+      if (hbm_->ChannelTransactionQueueEmpty(ch)) return now + 1;
+    }
+  }
+  return kNeverWake;
+}
+
 void AssocRedCacheController::ExportOwnStats(StatSet& stats) const {
   stats.Counter("ctrl.cache_hits") = hits_;
   stats.Counter("ctrl.cache_misses") = misses_;

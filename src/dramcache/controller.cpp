@@ -109,7 +109,7 @@ void ControllerBase::RouteCompletions(DramSystem& dev, bool from_hbm,
   list.clear();
 }
 
-void ControllerBase::Tick(Cycle now) {
+Cycle ControllerBase::Tick(Cycle now) {
   PumpDeferred(now);
   if (hbm_ != nullptr) hbm_->Tick(now);
   mm_->Tick(now);
@@ -124,10 +124,11 @@ void ControllerBase::Tick(Cycle now) {
     StartTxn(t, now);
   }
   PumpDeferred(now);
+  return NextEventHint(now);
 }
 
 Cycle ControllerBase::NextEventHint(Cycle now) const {
-  Cycle next = ~Cycle{0};
+  Cycle next = kNeverWake;
   if (hbm_ != nullptr) next = std::min(next, hbm_->NextEventHint(now));
   next = std::min(next, mm_->NextEventHint(now));
   // Fresh input needs a prompt tick only while transaction slots are free;
@@ -136,6 +137,9 @@ Cycle ControllerBase::NextEventHint(Cycle now) const {
   if (!input_.empty() && !free_txns_.empty()) {
     next = std::min(next, now + 1);
   }
+  // Policy-registered work (e.g. parked RCU updates waiting for an idle
+  // channel) is not visible through any device or input term.
+  next = std::min(next, PolicyWake(now));
   return next;
 }
 

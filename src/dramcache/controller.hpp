@@ -46,8 +46,14 @@ class MemController {
   virtual bool CanAcceptWriteback() const = 0;
   virtual void SubmitRead(Addr addr, std::uint64_t tag, Cycle now) = 0;
   virtual void SubmitWriteback(Addr addr, Cycle now) = 0;
-  virtual void Tick(Cycle now) = 0;
+  /// Advance to `now` and return the controller's next wake: the earliest
+  /// cycle at which a future Tick could have any effect, assuming no new
+  /// input is submitted in between (a Submit* re-arms the caller's wake).
+  /// Ticking earlier is harmless — wakes are lower bounds, not appointments.
+  virtual Cycle Tick(Cycle now) = 0;
   virtual std::vector<ReadCompletion>& read_completions() = 0;
+  /// The same wake, computed without advancing state (const query); equals
+  /// the value the last Tick returned while no input arrived since.
   virtual Cycle NextEventHint(Cycle now) const = 0;
   virtual void ExportStats(StatSet& stats) const = 0;
   /// True when no transaction is in flight anywhere below the L3.
@@ -82,7 +88,7 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
   }
   void SubmitRead(Addr addr, std::uint64_t tag, Cycle now) override;
   void SubmitWriteback(Addr addr, Cycle now) override;
-  void Tick(Cycle now) override;
+  Cycle Tick(Cycle now) override;
   std::vector<ReadCompletion>& read_completions() override {
     return read_completions_;
   }
@@ -108,6 +114,7 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
   };
 
   static constexpr std::uint32_t kPostedOp = ~std::uint32_t{0};
+  static constexpr Cycle kNeverWake = ~Cycle{0};
 
   /// Queue a device operation; issued to the device as channels free up.
   /// `txn` routes the completion back (kPostedOp = fire and forget).
@@ -133,6 +140,11 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
                                 const DramCompletion& c, Cycle now) = 0;
   /// Per-tick policy work (RCU drain etc.). Default: nothing.
   virtual void PolicyTick(Cycle /*now*/) {}
+  /// Wake the policy registers for PolicyTick work that is not driven by a
+  /// device or input event — e.g. RCU entries parked until a channel goes
+  /// idle. Folded into NextEventHint so the run loop keeps visiting while
+  /// such state exists instead of polling every cycle. Default: never.
+  virtual Cycle PolicyWake(Cycle /*now*/) const { return kNeverWake; }
   /// Extra counters under "ctrl.".
   virtual void ExportOwnStats(StatSet& /*stats*/) const {}
   /// Column-command observation (RedCache RCU). Default: ignore.

@@ -356,6 +356,25 @@ void RedCacheController::PolicyTick(Cycle now) {
   }
 }
 
+Cycle RedCacheController::PolicyWake(Cycle now) const {
+  if (opt_.update_mode != RedCacheOptions::UpdateMode::kRcu) {
+    return kNeverWake;
+  }
+  // Updates parked after this tick's drain (RCU-served reads insert during
+  // admission) can flush on the very next cycle if a channel is idle; keep
+  // the run loop visiting while that condition holds. Merged flushes
+  // (pending_rcu_flushes_) never persist across ticks — the observer fills
+  // them during the device tick and PolicyTick drains them — but guard them
+  // anyway so a future reordering cannot silently strand one.
+  if (!pending_rcu_flushes_.empty()) return now + 1;
+  if (rcu_.size() != 0) {
+    for (std::uint32_t ch = 0; ch < hbm_->num_channels(); ++ch) {
+      if (hbm_->ChannelTransactionQueueEmpty(ch)) return now + 1;
+    }
+  }
+  return kNeverWake;
+}
+
 std::uint64_t RedCacheController::ResidentLines() const {
   std::uint64_t resident = 0;
   for (std::uint64_t s = 0; s < tags_.num_sets(); ++s) {

@@ -97,6 +97,7 @@ class RedCacheController : public ControllerBase {
   void OnDeviceComplete(Txn& txn, bool from_hbm, const DramCompletion& c,
                         Cycle now) override;
   void PolicyTick(Cycle now) override;
+  Cycle PolicyWake(Cycle now) const override;
   void ExportOwnStats(StatSet& stats) const override;
   void OnColumnCommand(const IssuedColumnCommand& cmd) override;
 

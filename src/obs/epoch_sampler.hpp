@@ -41,14 +41,21 @@ struct EpochRecord {
 class EpochSampler {
  public:
   /// `epoch_cycles` >= 1: nominal sampling period in simulated CPU cycles.
-  /// The event-paced run loop can overshoot a boundary; the record then
-  /// covers the actual [begin, end) span (end - begin >= epoch_cycles).
+  /// The event-paced run loop clamps its time jumps to next_due(), so when
+  /// attached to System::Run every record covers exactly epoch_cycles
+  /// (except the Finalize residual). Driven by other loops a boundary may
+  /// still be overshot; the record then covers the actual [begin, end).
   explicit EpochSampler(Cycle epoch_cycles);
 
   Cycle epoch_cycles() const { return epoch_cycles_; }
 
   /// Cheap inline check for the run loop.
   bool Due(Cycle now) const { return now >= next_due_; }
+
+  /// Next epoch boundary. The event loop clamps its time jumps to this so
+  /// epochs stay exact under skip-ahead (a clamped visit samples and
+  /// re-derives the same wake; it cannot perturb simulation state).
+  Cycle next_due() const { return next_due_; }
 
   /// Record the epoch ending at `now` from the cumulative snapshot.
   void Sample(Cycle now, const StatSet& cumulative);

@@ -540,6 +540,8 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
     if (profile != nullptr) {
       profile->disk_hit = loaded;
       profile->exec_cycles = result.exec_cycles;
+      profile->ticks_executed = result.ticks_executed;
+      profile->cycles_skipped = result.cycles_skipped;
       profile->wall_seconds = SecondsSince(t_enter);
     }
     promise.set_value(result);
@@ -558,6 +560,7 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
 std::string BatchReportJson(const BatchReport& report) {
   std::size_t memo_hits = 0, disk_hits = 0, simulated = 0;
   double fp_seconds = 0.0, sim_seconds = 0.0;
+  std::uint64_t ticks = 0, skipped = 0;
   for (const CellProfile& c : report.cells) {
     if (c.memo_hit) {
       memo_hits++;
@@ -568,6 +571,8 @@ std::string BatchReportJson(const BatchReport& report) {
     }
     fp_seconds += c.fingerprint_seconds;
     sim_seconds += c.sim_seconds;
+    ticks += c.ticks_executed;
+    skipped += c.cycles_skipped;
   }
   std::string out = "{\"label\":\"" + obs::JsonEscape(report.label) + "\"";
   char buf[64];
@@ -582,8 +587,10 @@ std::string BatchReportJson(const BatchReport& report) {
   std::snprintf(buf, sizeof(buf), ",\"fingerprint_seconds\":%.6f",
                 fp_seconds);
   out += buf;
-  std::snprintf(buf, sizeof(buf), ",\"sim_seconds\":%.6f}", sim_seconds);
+  std::snprintf(buf, sizeof(buf), ",\"sim_seconds\":%.6f", sim_seconds);
   out += buf;
+  out += ",\"ticks_executed\":" + std::to_string(ticks);
+  out += ",\"cycles_skipped\":" + std::to_string(skipped) + "}";
   out += ",\"cells\":[";
   bool first = true;
   for (const CellProfile& c : report.cells) {
@@ -604,6 +611,8 @@ std::string BatchReportJson(const BatchReport& report) {
     out += ",\"disk_hit\":";
     out += c.disk_hit ? "true" : "false";
     out += ",\"exec_cycles\":" + std::to_string(c.exec_cycles);
+    out += ",\"ticks_executed\":" + std::to_string(c.ticks_executed);
+    out += ",\"cycles_skipped\":" + std::to_string(c.cycles_skipped);
     out += "}";
   }
   out += "]}";

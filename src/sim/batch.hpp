@@ -38,6 +38,10 @@ struct CellProfile {
   bool memo_hit = false;  ///< served by the in-process memo (shared future)
   bool disk_hit = false;  ///< served by the REDCACHE_CACHE_DIR entry
   std::uint64_t exec_cycles = 0;
+  /// Event-loop economics of the run (0 when served from a cache layer,
+  /// which stores only the simulation results).
+  std::uint64_t ticks_executed = 0;
+  std::uint64_t cycles_skipped = 0;
 };
 
 /// Aggregated profile of one RunCells invocation.

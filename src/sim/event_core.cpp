@@ -1,0 +1,17 @@
+#include "sim/event_core.hpp"
+
+#include <cstdlib>
+
+namespace redcache {
+
+bool NoSkipRequested() {
+  // REDCACHE_NO_SKIP=1 forces single-cycle stepping: the run loop still
+  // computes wakes but advances `now` by one cycle at a time, visiting every
+  // cycle the event loop would have skipped. Stats must be identical either
+  // way (tests/sim/noskip_differential_test.cpp); the switch exists to prove
+  // that and to debug suspected wake-contract violations.
+  const char* env = std::getenv("REDCACHE_NO_SKIP");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+}  // namespace redcache

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/event_core.hpp"
+
 namespace redcache {
 
 System::System(const HierarchyConfig& hierarchy_cfg,
@@ -27,6 +29,7 @@ bool System::TrySubmitRead(Addr addr, std::uint64_t tag, Cycle now) {
   if (wb_queue_.size() > kWbThrottle) return false;
   if (!controller_->CanAcceptRead()) return false;
   controller_->SubmitRead(addr, tag, now);
+  input_submitted_ = true;
   if (observer_) observer_(addr, /*is_writeback=*/false);
   return true;
 }
@@ -39,13 +42,25 @@ void System::SubmitWriteback(Addr addr, Cycle now) {
 
 RunResult System::Run(Cycle max_cycles) {
   RunResult result;
+  const bool no_skip = NoSkipRequested();
   Cycle now = 0;
   std::vector<Cycle> hints(cores_.size(), 0);
   // A core is re-polled when its hint comes due or a completion arrived.
   std::vector<char> poll(cores_.size(), 1);
 
+  // The controller's stored wake: the value its last Tick returned. Between
+  // visits the controller is quiescent unless new input arrives, so ticking
+  // it strictly before `ctrl_wake` with `input_submitted_` clear would be a
+  // provable no-op (DESIGN.md section 10) and is skipped.
+  Cycle ctrl_wake = 0;
+  ticks_executed_ = 0;
+  cycles_skipped_ = 0;
+
   while (now <= max_cycles) {
+    ticks_executed_++;
     // Telemetry epoch boundary (single predictable branch when detached).
+    // Time jumps are clamped to the next boundary below, so this samples
+    // exactly at the epoch edge even under skip-ahead.
     if (telemetry_ != nullptr && telemetry_->Due(now)) {
       telemetry_->Sample(now, TelemetrySnapshot(now));
     }
@@ -54,9 +69,13 @@ RunResult System::Run(Cycle max_cycles) {
     while (!wb_queue_.empty() && controller_->CanAcceptWriteback()) {
       controller_->SubmitWriteback(wb_queue_.front(), now);
       wb_queue_.pop_front();
+      input_submitted_ = true;
     }
 
-    controller_->Tick(now);
+    if (input_submitted_ || now >= ctrl_wake) {
+      ctrl_wake = controller_->Tick(now);
+      input_submitted_ = false;
+    }
 
     auto& completions = controller_->read_completions();
     for (const ReadCompletion& c : completions) {
@@ -71,13 +90,19 @@ RunResult System::Run(Cycle max_cycles) {
     Cycle next = Core::kWaiting;
     for (std::size_t i = 0; i < cores_.size(); ++i) {
       if (cores_[i]->Finished()) continue;
-      all_done = false;
       if (poll[i] == 0 && hints[i] > now) {
+        all_done = false;
         next = std::min(next, hints[i]);
         continue;
       }
       hints[i] = cores_[i]->Progress(now);
       poll[i] = 0;
+      // Re-check after Progress: a core that retired its last reference this
+      // visit must not hold the loop open, or the exit test only passes one
+      // visit later — which under skip-ahead can be a refresh interval away
+      // and inflates exec_cycles past the true quiesce point.
+      if (cores_[i]->Finished()) continue;
+      all_done = false;
       next = std::min(next, hints[i]);
     }
 
@@ -86,15 +111,30 @@ RunResult System::Run(Cycle max_cycles) {
       break;
     }
 
-    Cycle ctrl_next = controller_->NextEventHint(now);
+    // Pacing. If a core submitted reads during Progress the stored wake
+    // predates that input, so ask for a fresh hint; otherwise the stored
+    // wake is already exact.
+    Cycle ctrl_next =
+        input_submitted_ ? controller_->NextEventHint(now) : ctrl_wake;
     if (!wb_queue_.empty()) ctrl_next = std::min(ctrl_next, now + 1);
     next = std::min(next, ctrl_next);
     if (next == Core::kWaiting) {
       throw std::logic_error(
           "simulation deadlock: nothing can make progress");
     }
-    now = std::max(now + 1, next);
+    Cycle target = no_skip ? now + 1 : std::max(now + 1, next);
+    // Clamp jumps to the next telemetry epoch boundary so epochs stay
+    // exact. A clamped visit finds nothing due and re-derives the same
+    // pacing, so attaching telemetry cannot perturb simulation state.
+    if (telemetry_ != nullptr && target > telemetry_->next_due()) {
+      target = std::max(now + 1, telemetry_->next_due());
+    }
+    cycles_skipped_ += target - now - 1;
+    now = target;
   }
+
+  result.ticks_executed = ticks_executed_;
+  result.cycles_skipped = cycles_skipped_;
 
   Cycle finish = now;
   for (const auto& c : cores_) {
@@ -133,6 +173,13 @@ StatSet System::TelemetrySnapshot(Cycle now) const {
   controller_->SampleTelemetry(snap);
   ExportCoreStats(snap);
   snap.Counter("gauge.wb_queue_depth") = wb_queue_.size();
+  // Event-loop economics. The cumulative counters become per-epoch deltas
+  // in the series; the gauge is the running skip percentage so far.
+  snap.Counter("sys.ticks_executed") = ticks_executed_;
+  snap.Counter("sys.cycles_skipped") = cycles_skipped_;
+  const std::uint64_t elapsed = ticks_executed_ + cycles_skipped_;
+  snap.Counter("gauge.skip_pct") =
+      elapsed == 0 ? 0 : cycles_skipped_ * 100 / elapsed;
   return snap;
 }
 

@@ -26,6 +26,11 @@ struct RunResult {
   Cycle exec_cycles = 0;
   StatSet stats;              ///< devices + controller + core counters
   EnergyBreakdown energy;
+  /// Event-loop economics: iterations actually executed vs cycles jumped
+  /// over by skip-ahead. Kept out of `stats` so golden comparisons and the
+  /// skip/no-skip differential stay mode-independent.
+  std::uint64_t ticks_executed = 0;
+  std::uint64_t cycles_skipped = 0;
 
   // Convenience accessors over `stats`.
   std::uint64_t HbmBytes() const { return stats.GetCounter("hbm.bytes_transferred"); }
@@ -77,6 +82,12 @@ class System : private MemoryPort {
   std::deque<Addr> wb_queue_;
   RequestObserver observer_;
   obs::EpochSampler* telemetry_ = nullptr;
+  /// Set by TrySubmitRead / the writeback drain: the controller's stored
+  /// wake predates the new input, so it must be ticked at the next visit
+  /// and the pacing hint recomputed fresh.
+  bool input_submitted_ = false;
+  std::uint64_t ticks_executed_ = 0;
+  std::uint64_t cycles_skipped_ = 0;
   /// Writeback backlog beyond which cores are throttled.
   static constexpr std::size_t kWbThrottle = 256;
 };

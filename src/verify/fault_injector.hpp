@@ -47,8 +47,8 @@ class FaultInjector final : public MemController {
     }
     inner_->SubmitWriteback(addr, now);
   }
-  void Tick(Cycle now) override {
-    inner_->Tick(now);
+  Cycle Tick(Cycle now) override {
+    const Cycle wake = inner_->Tick(now);
     if (opt_.duplicate_every_nth_completion != 0) {
       auto& done = inner_->read_completions();
       const std::size_t n = done.size();
@@ -59,6 +59,7 @@ class FaultInjector final : public MemController {
         }
       }
     }
+    return wake;
   }
   std::vector<ReadCompletion>& read_completions() override {
     return inner_->read_completions();

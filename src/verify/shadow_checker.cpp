@@ -70,10 +70,11 @@ void ShadowChecker::SubmitWriteback(Addr addr, Cycle now) {
   DrainModelDivergences();
 }
 
-void ShadowChecker::Tick(Cycle now) {
-  inner_->Tick(now);
+Cycle ShadowChecker::Tick(Cycle now) {
+  const Cycle wake = inner_->Tick(now);
   ValidateCompletions();
   DrainModelDivergences();
+  return wake;
 }
 
 void ShadowChecker::ValidateCompletions() {

@@ -60,7 +60,7 @@ class ShadowChecker final : public MemController, public VerifySink {
   }
   void SubmitRead(Addr addr, std::uint64_t tag, Cycle now) override;
   void SubmitWriteback(Addr addr, Cycle now) override;
-  void Tick(Cycle now) override;
+  Cycle Tick(Cycle now) override;
   std::vector<ReadCompletion>& read_completions() override {
     return completions_;
   }

@@ -419,6 +419,14 @@ int Run(const CliOptions& opt) {
                 static_cast<double>(hits + misses),
       static_cast<double>(r.HbmBytes()) / 1e9,
       static_cast<double>(r.MmBytes()) / 1e9, r.energy.SystemNj() / 1e6);
+  const std::uint64_t span = r.ticks_executed + r.cycles_skipped;
+  std::printf("event loop: %llu ticks executed, %llu cycles skipped "
+              "(%.1f%%)\n",
+              static_cast<unsigned long long>(r.ticks_executed),
+              static_cast<unsigned long long>(r.cycles_skipped),
+              span == 0 ? 0.0
+                        : 100.0 * static_cast<double>(r.cycles_skipped) /
+                              static_cast<double>(span));
 
   if (opt.dump_stats) {
     std::printf("%s", r.stats.ToString().c_str());
