@@ -51,16 +51,17 @@ int main(int argc, char** argv) {
   }
   if (jobs == 0) jobs = 1;
 
-  // Fixed cell set: the Fig. 9 architectures over three contrasting
-  // workloads, small enough to finish quickly at any REDCACHE_REFS_SCALE.
-  const std::vector<Arch> archs = {Arch::kNoHbm, Arch::kAlloy, Arch::kBear,
-                                   Arch::kRedCache};
+  // Fixed cell set: the Fig. 9 architectures plus the rival registry
+  // policies over three contrasting workloads, small enough to finish
+  // quickly at any REDCACHE_REFS_SCALE.
+  const std::vector<std::string> policies = {"No-HBM", "Alloy", "Bear",
+                                             "RedCache", "Banshee", "TicToc"};
   const std::vector<std::string> wls = {"LU", "RDX", "HIST"};
   std::vector<RunSpec> specs;
-  for (const Arch a : archs) {
+  for (const std::string& p : policies) {
     for (const std::string& wl : wls) {
       RunSpec s;
-      s.arch = a;
+      s.policy = p;
       s.workload = wl;
       s.scale = EffectiveScale(0.25 * DefaultScale());
       s.ignore_env_scale = true;  // scale already resolved above

@@ -2,7 +2,33 @@
 
 #include <cassert>
 
+#include "dramcache/policy_registry.hpp"
+
 namespace redcache {
+
+namespace {
+PolicyInfo AssocInfo(std::string name, std::uint32_t ways,
+                     const char* display) {
+  return {.name = std::move(name),
+          .summary = std::to_string(ways) +
+                     "-way LRU RedCache (R-Cache direction extension)",
+          .family = "redcache",
+          .differential = false,
+          .golden = false,
+          .sweep = false,
+          .make = [ways, display](const MemControllerConfig& cfg) {
+            return std::make_unique<AssocRedCacheController>(
+                cfg, RedCacheOptions::Full(), ways, display);
+          }};
+}
+}  // namespace
+
+REDCACHE_REGISTER_POLICY(redcache_2way,
+                         (AssocInfo("RedCache-2way", 2, "redcache-2way")));
+REDCACHE_REGISTER_POLICY(redcache_4way,
+                         (AssocInfo("RedCache-4way", 4, "redcache-4way")));
+REDCACHE_REGISTER_POLICY(redcache_8way,
+                         (AssocInfo("RedCache-8way", 8, "redcache-8way")));
 
 namespace {
 enum State {

@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "dramcache/policy_registry.hpp"
+
 namespace redcache {
+
+REDCACHE_REGISTER_POLICY(
+    bear, {.name = "Bear",
+           .summary = "ISCA'15 BEAR: Alloy + bandwidth-aware bypass, "
+                      "presence filter, write-miss bypass",
+           .family = "alloy",
+           .differential = true,
+           .golden = true,
+           .sweep = true,
+           .make = [](const MemControllerConfig& cfg) {
+             return std::make_unique<BearController>(cfg);
+           }});
 
 namespace {
 enum State {

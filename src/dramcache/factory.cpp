@@ -2,11 +2,7 @@
 
 #include <stdexcept>
 
-#include "dramcache/alloy.hpp"
-#include "dramcache/bear.hpp"
-#include "dramcache/ideal.hpp"
-#include "dramcache/no_hbm.hpp"
-#include "dramcache/redcache.hpp"
+#include "dramcache/policy_registry.hpp"
 
 namespace redcache {
 
@@ -45,32 +41,9 @@ const std::vector<Arch>& EvaluationArchs() {
 
 std::unique_ptr<MemController> MakeController(Arch arch,
                                               const MemControllerConfig& cfg) {
-  switch (arch) {
-    case Arch::kNoHbm:
-      return std::make_unique<NoHbmController>(cfg);
-    case Arch::kIdeal:
-      return std::make_unique<IdealController>(cfg);
-    case Arch::kAlloy:
-      return std::make_unique<AlloyController>(cfg);
-    case Arch::kBear:
-      return std::make_unique<BearController>(cfg);
-    case Arch::kRedAlpha:
-      return std::make_unique<RedCacheController>(
-          cfg, RedCacheOptions::AlphaOnly(), "red-alpha");
-    case Arch::kRedGamma:
-      return std::make_unique<RedCacheController>(
-          cfg, RedCacheOptions::GammaOnly(), "red-gamma");
-    case Arch::kRedBasic:
-      return std::make_unique<RedCacheController>(
-          cfg, RedCacheOptions::Basic(), "red-basic");
-    case Arch::kRedInSitu:
-      return std::make_unique<RedCacheController>(
-          cfg, RedCacheOptions::InSitu(), "red-insitu");
-    case Arch::kRedCache:
-      return std::make_unique<RedCacheController>(
-          cfg, RedCacheOptions::Full(), "redcache");
-  }
-  throw std::invalid_argument("unhandled architecture");
+  // Every enum arch is also a registered policy under its ToString name;
+  // construction goes through the registry so both paths stay in sync.
+  return MakePolicy(ToString(arch), cfg);
 }
 
 }  // namespace redcache

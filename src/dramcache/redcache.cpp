@@ -2,9 +2,73 @@
 
 #include <cassert>
 
+#include "dramcache/policy_registry.hpp"
 #include "obs/trace_macros.hpp"
 
 namespace redcache {
+
+REDCACHE_REGISTER_POLICY(
+    red_alpha, {.name = "Red-Alpha",
+                .summary = "direct-mapped cache + alpha admission only",
+                .family = "redcache",
+                .differential = false,
+                .golden = false,
+                .sweep = true,
+                .make = [](const MemControllerConfig& cfg) {
+                  return std::make_unique<RedCacheController>(
+                      cfg, RedCacheOptions::AlphaOnly(), "red-alpha");
+                }});
+
+REDCACHE_REGISTER_POLICY(
+    red_gamma, {.name = "Red-Gamma",
+                .summary = "Alloy + in-DRAM gamma last-write counting only",
+                .family = "redcache",
+                .differential = false,
+                .golden = false,
+                .sweep = true,
+                .make = [](const MemControllerConfig& cfg) {
+                  return std::make_unique<RedCacheController>(
+                      cfg, RedCacheOptions::GammaOnly(), "red-gamma");
+                }});
+
+REDCACHE_REGISTER_POLICY(
+    red_basic, {.name = "Red-Basic",
+                .summary = "alpha + gamma with immediate r-count updates "
+                           "(no RCU)",
+                .family = "redcache",
+                .differential = true,
+                .golden = false,
+                .sweep = true,
+                .make = [](const MemControllerConfig& cfg) {
+                  return std::make_unique<RedCacheController>(
+                      cfg, RedCacheOptions::Basic(), "red-basic");
+                }});
+
+REDCACHE_REGISTER_POLICY(
+    red_insitu, {.name = "Red-InSitu",
+                 .summary = "alpha + gamma with free in-DRAM updates "
+                            "(upper bound)",
+                 .family = "redcache",
+                 .differential = false,
+                 .golden = false,
+                 .sweep = true,
+                 .make = [](const MemControllerConfig& cfg) {
+                   return std::make_unique<RedCacheController>(
+                       cfg, RedCacheOptions::InSitu(), "red-insitu");
+                 }});
+
+REDCACHE_REGISTER_POLICY(
+    redcache_full, {.name = "RedCache",
+                    .summary = "full proposal: alpha + gamma + RCU + "
+                               "bypass-on-refresh",
+                    .family = "redcache",
+                    .differential = true,
+                    .golden = true,
+                    .sweep = true,
+                    .make = [](const MemControllerConfig& cfg) {
+                      return std::make_unique<RedCacheController>(
+                          cfg, RedCacheOptions::Full(), "redcache");
+                    }});
 
 namespace {
 /// Policy-decision trace event (policy device renders on one track).

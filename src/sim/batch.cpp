@@ -12,6 +12,7 @@
 #include <map>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "energy/model.hpp"
@@ -284,7 +285,7 @@ std::vector<RunResult> RunIndexed(
 }
 
 std::string DescribeSpec(const RunSpec& spec) {
-  return std::string(ToString(spec.arch)) + "/" + spec.workload;
+  return PolicyNameOf(spec) + "/" + spec.workload;
 }
 
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
@@ -362,29 +363,44 @@ void ParallelFor(std::size_t n, unsigned jobs,
 }
 
 std::uint64_t SimFingerprint(const SimPreset& preset,
-                             const std::string& workload) {
+                             const std::string& workload,
+                             const std::string& policy) {
+  // Canary micro-simulations on the *cell's own workload* with fixed seed
+  // and scale (environment scaling bypassed), so a change confined to one
+  // workload's trace generator invalidates that workload's entries instead
+  // of hiding behind a shared canary. The base policy set spans the major
+  // mechanisms — DDR4 only, the Alloy/BEAR baselines, and the full RedCache
+  // policy (alpha, gamma, RCU, refresh bypass); cells running any other
+  // registry policy add a canary of that policy so plugin changes guard
+  // their own cached cells. Hashing every counter plus exec_cycles makes
+  // essentially any behavioral change visible.
+  static const char* kBaseCanaries[] = {"No-HBM", "Alloy", "Bear", "RedCache"};
+  std::vector<std::string> canaries(std::begin(kBaseCanaries),
+                                    std::end(kBaseCanaries));
+  if (!policy.empty() &&
+      std::find(canaries.begin(), canaries.end(), policy) == canaries.end()) {
+    canaries.push_back(policy);
+  }
+
   static std::mutex mu;
-  static std::map<std::pair<std::uint64_t, std::string>, std::uint64_t> memo;
+  static std::map<std::tuple<std::uint64_t, std::string, std::size_t>,
+                  std::uint64_t>
+      memo;
   const std::uint64_t field_hash = PresetFieldHash(preset);
-  const auto memo_key = std::make_pair(field_hash, workload);
+  // Two policies never collide in the memo: the extra canary slot is either
+  // absent (base set) or determined by the (keyed) canary count + hash.
+  const auto memo_key =
+      std::make_tuple(field_hash, workload + '\0' + policy, canaries.size());
   std::lock_guard<std::mutex> lock(mu);
   if (const auto it = memo.find(memo_key); it != memo.end()) {
     return it->second;
   }
-  // Canary micro-simulations on the *cell's own workload* with fixed seed
-  // and scale (environment scaling bypassed), so a change confined to one
-  // workload's trace generator invalidates that workload's entries instead
-  // of hiding behind a shared canary. The arch subset spans the major
-  // mechanisms — DDR4 only, the Alloy/BEAR baselines, and the full RedCache
-  // policy (alpha, gamma, RCU, refresh bypass). Hashing every counter plus
-  // exec_cycles makes essentially any behavioral change visible.
   std::uint64_t h = FnvU64(kFnvOffset, kCacheFormatVersion);
   h = FnvU64(h, field_hash);
   h = FnvStr(h, workload);
-  for (const Arch arch :
-       {Arch::kNoHbm, Arch::kAlloy, Arch::kBear, Arch::kRedCache}) {
+  for (const std::string& canary : canaries) {
     RunSpec spec;
-    spec.arch = arch;
+    spec.policy = canary;
     spec.workload = workload;
     spec.preset = preset;
     spec.scale = 0.01;
@@ -405,7 +421,7 @@ std::string CellKey(const CellSpec& cell) {
   const RunSpec& spec = cell.spec;
   std::string key = spec.preset.name;
   key += '_';
-  key += ToString(spec.arch);
+  key += PolicyNameOf(spec);  // == ToString(spec.arch) for enum-based cells
   key += '_';
   key += spec.workload;
   key += '_';
@@ -511,7 +527,8 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
     std::uint64_t fingerprint = 0;
     if (cache_dir != nullptr) {
       const auto t_fp = std::chrono::steady_clock::now();
-      fingerprint = SimFingerprint(cell.spec.preset, cell.spec.workload);
+      fingerprint = SimFingerprint(cell.spec.preset, cell.spec.workload,
+                                   PolicyNameOf(cell.spec));
       if (profile != nullptr) {
         profile->fingerprint_seconds = SecondsSince(t_fp);
       }

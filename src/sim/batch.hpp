@@ -92,10 +92,14 @@ void ParallelFor(std::size_t n, unsigned jobs,
 /// with `preset` on `workload` at a tiny fixed scale (REDCACHE_REFS_SCALE
 /// is ignored). Any change to simulator behavior — including one confined
 /// to a single workload's trace generator — or to a preset field that
-/// affects results changes the fingerprint. Memoized per (preset, workload)
-/// in-process.
+/// affects results changes the fingerprint. Memoized per (preset, workload,
+/// policy) in-process. `policy` names the registry policy the caller's cell
+/// runs; registry policies outside the fixed canary set (No-HBM, Alloy,
+/// Bear, RedCache) get an extra canary of their own so a behavioral change
+/// in a plugin policy invalidates that policy's cached cells.
 std::uint64_t SimFingerprint(const SimPreset& preset,
-                             const std::string& workload);
+                             const std::string& workload,
+                             const std::string& policy = "");
 
 /// One evaluation cell: a spec plus a variant tag distinguishing custom
 /// preset configurations (e.g. fill granularity) in the cache key.

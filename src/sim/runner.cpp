@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "dramcache/policy_registry.hpp"
 #include "verify/shadow_checker.hpp"
 
 namespace redcache {
@@ -14,12 +15,16 @@ double EffectiveScale(double scale) {
   return scale;
 }
 
+std::string PolicyNameOf(const RunSpec& spec) {
+  return spec.policy.empty() ? ToString(spec.arch) : spec.policy;
+}
+
 std::unique_ptr<System> BuildSystem(const RunSpec& spec) {
   WorkloadBuildParams wp;
   wp.num_cores = spec.preset.hierarchy.num_cores;
   wp.scale = spec.ignore_env_scale ? spec.scale : EffectiveScale(spec.scale);
   auto trace = MakeWorkload(spec.workload, wp);
-  auto controller = MakeController(spec.arch, spec.preset.mem);
+  auto controller = MakePolicy(PolicyNameOf(spec), spec.preset.mem);
   if (spec.verify) {
     ShadowChecker::Options opts;
     opts.strict = true;

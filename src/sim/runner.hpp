@@ -13,6 +13,10 @@ namespace redcache {
 
 struct RunSpec {
   Arch arch = Arch::kAlloy;
+  /// Registry policy name (see dramcache/policy_registry.hpp). When empty
+  /// the policy is derived from `arch` via ToString, so existing enum-based
+  /// call sites (and their cache/golden keys) behave exactly as before.
+  std::string policy;
   std::string workload = "LU";
   SimPreset preset = EvalPreset();
   /// Workload size multiplier. Benches also honor the REDCACHE_REFS_SCALE
@@ -32,6 +36,10 @@ struct RunSpec {
 
 /// `scale` combined with the REDCACHE_REFS_SCALE environment variable.
 double EffectiveScale(double scale);
+
+/// The registry policy name this spec resolves to: `spec.policy`, or
+/// ToString(spec.arch) when the policy field is empty.
+std::string PolicyNameOf(const RunSpec& spec);
 
 /// Build and run one simulation.
 RunResult RunOne(const RunSpec& spec);

@@ -1,0 +1,57 @@
+// Regression corpus for the differential fuzzer.
+//
+// A corpus case is a named, replayable DifferentialParams: the fuzz-trace
+// generator parameters plus the policy list and cycle cap, serialized as a
+// line-based `key = value` file. Two sources feed the corpus:
+//
+//   * hand-crafted adversarial cases checked into tests/verify/corpus/
+//     (one per policy family's known worst pattern), and
+//   * counterexamples the fuzzer finds: when a campaign trace fails,
+//     PersistCounterexample writes the trace file so the failure replays
+//     as a named regression test forever after.
+//
+// The format is deliberately trivial — `#` comments, one field per line —
+// so a failing case can be read, minimized and re-run by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/differential.hpp"
+
+namespace redcache {
+
+struct CorpusCase {
+  std::string name;  ///< file stem, e.g. "banshee_page_thrash"
+  std::string note;  ///< free-form description (file header comment)
+  DifferentialParams params;
+};
+
+/// Serialize `c` into the corpus text format.
+std::string SerializeCorpusCase(const CorpusCase& c);
+
+/// Parse the corpus text format. Unknown keys are errors (they indicate a
+/// format skew between the writer and this reader). Missing keys keep the
+/// field's default. Returns false and sets `error` on malformed input.
+bool ParseCorpusCase(const std::string& text, CorpusCase& out,
+                     std::string& error);
+
+/// Read one `.trace` corpus file; the case name is the file stem.
+bool ReadCorpusFile(const std::string& path, CorpusCase& out,
+                    std::string& error);
+
+/// Write `c` to `<dir>/<c.name>.trace`. Returns the path, or "" on failure.
+std::string WriteCorpusFile(const std::string& dir, const CorpusCase& c);
+
+/// All `.trace` files under `dir`, sorted by name (deterministic replay
+/// order). Missing or empty directories yield an empty list.
+std::vector<std::string> ListCorpusFiles(const std::string& dir);
+
+/// Persist a fuzzer-found failure as a replayable corpus case named
+/// "fuzz_seed<seed>". `errors` (the differential failure messages) are
+/// embedded in the header comment. Returns the written path, "" on failure.
+std::string PersistCounterexample(const DifferentialParams& params,
+                                  const std::vector<std::string>& errors,
+                                  const std::string& dir);
+
+}  // namespace redcache

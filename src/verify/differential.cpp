@@ -3,23 +3,20 @@
 #include <memory>
 #include <utility>
 
+#include "dramcache/policy_registry.hpp"
 #include "sim/system.hpp"
 #include "verify/shadow_checker.hpp"
 
 namespace redcache {
 
-const std::vector<Arch>& DifferentialArchs() {
-  static const std::vector<Arch> kArchs = {
-      Arch::kNoHbm, Arch::kIdeal,    Arch::kAlloy,
-      Arch::kBear,  Arch::kRedBasic, Arch::kRedCache,
-  };
-  return kArchs;
+std::vector<std::string> DifferentialPolicies() {
+  return PolicyRegistry::Instance().DifferentialNames();
 }
 
 namespace {
 
-std::string Where(Arch arch, std::uint64_t seed) {
-  return std::string(ToString(arch)) + "/seed=" + std::to_string(seed) + ": ";
+std::string Where(const std::string& policy, std::uint64_t seed) {
+  return policy + "/seed=" + std::to_string(seed) + ": ";
 }
 
 }  // namespace
@@ -27,9 +24,9 @@ std::string Where(Arch arch, std::uint64_t seed) {
 DifferentialResult RunDifferential(const DifferentialParams& params) {
   DifferentialResult result;
 
-  for (Arch arch : params.archs) {
+  for (const std::string& policy : params.policies) {
     auto checker = std::make_unique<ShadowChecker>(
-        MakeController(arch, params.preset.mem));
+        MakePolicy(policy, params.preset.mem));
     ShadowChecker* shadow = checker.get();
 
     FuzzTraceParams tp = params.trace;
@@ -39,9 +36,9 @@ DifferentialResult RunDifferential(const DifferentialParams& params) {
                   /*seed=*/params.trace.seed);
     const RunResult run = system.Run(params.max_cycles);
 
-    const std::string at = Where(arch, params.trace.seed);
+    const std::string at = Where(policy, params.trace.seed);
     DifferentialOutcome out;
-    out.arch = arch;
+    out.policy = policy;
     out.completed = run.completed;
     if (!run.completed) {
       result.errors.push_back(at + "run hit the cycle limit before draining");
@@ -98,14 +95,14 @@ DifferentialResult RunDifferential(const DifferentialParams& params) {
     }
   }
 
-  // Every architecture must consume the identical reference stream.
+  // Every policy must consume the identical reference stream.
   for (std::size_t i = 1; i < result.outcomes.size(); ++i) {
     const auto& a = result.outcomes.front();
     const auto& b = result.outcomes[i];
     if (a.core_refs != b.core_refs) {
       result.errors.push_back(
-          Where(b.arch, params.trace.seed) + "processed " +
-          std::to_string(b.core_refs) + " refs while " + ToString(a.arch) +
+          Where(b.policy, params.trace.seed) + "processed " +
+          std::to_string(b.core_refs) + " refs while " + a.policy +
           " processed " + std::to_string(a.core_refs) +
           " from the same trace");
     }

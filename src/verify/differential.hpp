@@ -1,42 +1,44 @@
 // Differential fuzz driver: run one adversarial trace through several
-// architectures, each wrapped in a ShadowChecker, and cross-check the
+// cache policies, each wrapped in a ShadowChecker, and cross-check the
 // outcomes.
 //
-// Per architecture it verifies that the run completed, that the checker and
+// Per policy it verifies that the run completed, that the checker and
 // reference model saw no divergence, that the drain audit passes, and that
 // the counters conserve traffic:
 //   core.refs  == l1_hits + l2_hits + l3_hits + misses
 //   ctrl.reads == core.misses          (every L3 miss reaches the controller)
 //   reads checked by the shadow == ctrl.reads (every read completed once)
 //   ctrl.fills == ctrl.evictions + ctrl.resident_lines   (where exported)
-// Across architectures it verifies every policy consumed the identical
-// reference stream (same core.refs) — the data-equality proxy in a
-// simulator that carries no data payloads.
+// Across policies it verifies every one consumed the identical reference
+// stream (same core.refs) — the data-equality proxy in a simulator that
+// carries no data payloads.
+//
+// The policy list defaults to every registry entry whose PolicyInfo opts
+// into differential testing, so a newly registered plugin joins the N-policy
+// harness without touching this file.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "dramcache/factory.hpp"
 #include "sim/presets.hpp"
 #include "verify/fuzz_trace.hpp"
 
 namespace redcache {
 
-/// Architectures the differential fuzzer drives by default: the six
-/// distinct policy mechanisms (the remaining archs are option ablations of
-/// RedCacheController and add no new machinery).
-const std::vector<Arch>& DifferentialArchs();
+/// Registry policies the differential fuzzer drives by default: every
+/// registered policy with `PolicyInfo::differential == true`.
+std::vector<std::string> DifferentialPolicies();
 
 struct DifferentialParams {
   FuzzTraceParams trace;
   SimPreset preset = EvalPreset();
-  std::vector<Arch> archs = DifferentialArchs();
+  std::vector<std::string> policies = DifferentialPolicies();
   Cycle max_cycles = 80'000'000;
 };
 
 struct DifferentialOutcome {
-  Arch arch = Arch::kNoHbm;
+  std::string policy;
   bool completed = false;
   std::uint64_t core_refs = 0;
   std::uint64_t divergences = 0;
@@ -56,7 +58,7 @@ struct DifferentialResult {
   }
 };
 
-/// Run `params.trace` through every architecture in `params.archs` under a
+/// Run `params.trace` through every policy in `params.policies` under a
 /// ShadowChecker and collect all failures (never throws on divergence).
 DifferentialResult RunDifferential(const DifferentialParams& params);
 

@@ -26,9 +26,10 @@ const std::vector<std::string>& GoldenTrackedCounters() {
 std::string GoldenKey(const RunSpec& spec) {
   char scale[32];
   std::snprintf(scale, sizeof scale, "%g", spec.scale);
-  return std::string(ToString(spec.arch)) + "/" + spec.workload + "/" +
-         spec.preset.name + "@scale=" + scale +
-         ",seed=" + std::to_string(spec.seed);
+  // PolicyNameOf == ToString(spec.arch) for enum-based specs, so keys of
+  // pre-existing golden entries are unchanged by the policy registry.
+  return PolicyNameOf(spec) + "/" + spec.workload + "/" + spec.preset.name +
+         "@scale=" + scale + ",seed=" + std::to_string(spec.seed);
 }
 
 GoldenRecord CollectGolden(const RunSpec& spec) {

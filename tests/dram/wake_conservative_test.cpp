@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "dram/dram_system.hpp"
-#include "dramcache/factory.hpp"
+#include "dramcache/policy_registry.hpp"
 #include "sim/presets.hpp"
 #include "verify/fuzz_trace.hpp"
 
@@ -130,7 +130,8 @@ TEST(WakeConservative, DramSystemMatchesPerCycleReference) {
   EXPECT_EQ(stats_ref.counters(), stats_sub.counters());
 }
 
-class ControllerWakeConservative : public ::testing::TestWithParam<Arch> {};
+class ControllerWakeConservative
+    : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(ControllerWakeConservative, MatchesPerCycleReference) {
   MemControllerConfig cfg;
@@ -138,8 +139,8 @@ TEST_P(ControllerWakeConservative, MatchesPerCycleReference) {
   cfg.mainmem = MainMemoryConfig(64_MiB);
   const auto refs = BuildSchedule(/*seed=*/11, /*addr_mod=*/32_MiB);
 
-  auto ref = MakeController(GetParam(), cfg);
-  auto sub = MakeController(GetParam(), cfg);
+  auto ref = MakePolicy(GetParam(), cfg);
+  auto sub = MakePolicy(GetParam(), cfg);
   std::vector<ReadCompletion> done_ref, done_sub;
   Cycle sub_wake = 0;
   std::uint64_t sub_ticks = 0;
@@ -201,21 +202,20 @@ TEST_P(ControllerWakeConservative, MatchesPerCycleReference) {
   EXPECT_LT(sub_ticks, now / 2) << "wake gating never skipped a cycle";
 }
 
-INSTANTIATE_TEST_SUITE_P(Policies, ControllerWakeConservative,
-                         ::testing::Values(Arch::kAlloy, Arch::kBear,
-                                           Arch::kRedBasic, Arch::kRedCache),
-                         [](const ::testing::TestParamInfo<Arch>& info) {
-                           std::string name = ToString(info.param);
-                           name.erase(std::remove_if(name.begin(), name.end(),
-                                                     [](char c) {
-                                                       return !std::isalnum(
-                                                           static_cast<
-                                                               unsigned char>(
-                                                               c));
-                                                     }),
-                                      name.end());
-                           return name;
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ControllerWakeConservative,
+    ::testing::Values("Alloy", "Bear", "Red-Basic", "RedCache", "Banshee",
+                      "TicToc"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      name.erase(std::remove_if(name.begin(), name.end(),
+                                [](char c) {
+                                  return !std::isalnum(
+                                      static_cast<unsigned char>(c));
+                                }),
+                 name.end());
+      return name;
+    });
 
 }  // namespace
 }  // namespace redcache

@@ -1,0 +1,140 @@
+#include "dramcache/banshee.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller_harness.hpp"
+
+namespace redcache {
+namespace {
+
+// SmallMemConfig gives a 1 MiB HBM cache: 512 sets of 2 KiB pages, so two
+// addresses 1 MiB apart share a set with different page tags.
+constexpr Addr kPageA = 0x10000;
+constexpr Addr kPageB = kPageA + 1_MiB;
+
+std::unique_ptr<BansheeController> MakeBanshee() {
+  return std::make_unique<BansheeController>(SmallMemConfig());
+}
+
+TEST(Banshee, ColdReadInstallsThenHits) {
+  ControllerHarness h(MakeBanshee());
+  h.Read(kPageA);
+  h.RunToIdle();
+  h.Read(kPageA);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.cache_misses"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.fills"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.read_hits"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.resident_lines"), 1u);
+  EXPECT_EQ(h.completions.size(), 2u);
+}
+
+TEST(Banshee, TagsLiveInSramSoHitsSkipProbeTraffic) {
+  ControllerHarness h(MakeBanshee());
+  h.Read(kPageA);
+  h.RunToIdle();
+  const auto hbm_before = h.Stats().GetCounter("hbm.read_bursts");
+  h.Read(kPageA);
+  h.RunToIdle();
+  // One data read, no tag probe.
+  EXPECT_EQ(h.Stats().GetCounter("hbm.read_bursts"), hbm_before + 1);
+}
+
+TEST(Banshee, FootprintWidensOneBlockAtATime) {
+  ControllerHarness h(MakeBanshee());
+  h.Read(kPageA);
+  h.RunToIdle();
+  h.Read(kPageA + 64);  // page hit, block absent: fetch just this block
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.cache_misses"), 2u);
+  EXPECT_EQ(s.GetCounter("ctrl.fills"), 2u);
+  EXPECT_EQ(s.GetCounter("ctrl.resident_lines"), 2u);
+  EXPECT_EQ(s.GetCounter("ddr4.read_bursts"), 2u);  // block-granular fetches
+}
+
+TEST(Banshee, StreamingPageMustEarnItsSlot) {
+  ControllerHarness h(MakeBanshee());
+  h.Read(kPageA);  // install; resident freq seeded to 1
+  h.RunToIdle();
+  h.Read(kPageA);  // hit; freq -> 2
+  h.RunToIdle();
+
+  // Challenger B needs its count to exceed the resident's frequency: the
+  // first two conflicting reads bypass, the third wins the set.
+  h.Read(kPageB);
+  h.RunToIdle();
+  h.Read(kPageB);
+  h.RunToIdle();
+  StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.page_replacements"), 0u);
+  EXPECT_EQ(s.GetCounter("ctrl.read_bypasses"), 2u);
+
+  h.Read(kPageB);
+  h.RunToIdle();
+  s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.page_replacements"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.evictions"), 1u);  // A's lone clean block
+  EXPECT_EQ(s.GetCounter("ctrl.victim_writebacks"), 0u);
+  EXPECT_EQ(h.completions.size(), 5u);
+}
+
+TEST(Banshee, DirtyBlocksStreamOutOnReplacement) {
+  ControllerHarness h(MakeBanshee());
+  h.Read(kPageA);
+  h.RunToIdle();
+  h.Writeback(kPageA);  // dirty the resident block
+  h.RunToIdle();
+  const auto mm_writes_before = h.Stats().GetCounter("ddr4.write_bursts");
+
+  for (int i = 0; i < 3; ++i) {  // displace A via the frequency gate
+    h.Read(kPageB);
+    h.RunToIdle();
+  }
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.page_replacements"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.victim_writebacks"), 1u);
+  EXPECT_EQ(s.GetCounter("ddr4.write_bursts"), mm_writes_before + 1);
+}
+
+TEST(Banshee, WritebackPageMissBypassesToMainMemory) {
+  ControllerHarness h(MakeBanshee());
+  h.Writeback(kPageA);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.write_bypasses"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.resident_lines"), 0u);  // writes never allocate
+  EXPECT_EQ(s.GetCounter("ddr4.write_bursts"), 1u);
+  EXPECT_EQ(s.GetCounter("hbm.write_bursts"), 0u);
+}
+
+TEST(Banshee, WritebackOnPageHitInstallsTheBlock) {
+  ControllerHarness h(MakeBanshee());
+  h.Read(kPageA);
+  h.RunToIdle();
+  h.Writeback(kPageA + 64);  // page hit, absent block: install dirty
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.fills"), 2u);
+  EXPECT_EQ(s.GetCounter("ctrl.resident_lines"), 2u);
+  EXPECT_EQ(s.GetCounter("ddr4.write_bursts"), 0u);  // absorbed in HBM
+}
+
+TEST(Banshee, FillConservationHolds) {
+  ControllerHarness h(MakeBanshee());
+  for (int round = 0; round < 4; ++round) {
+    for (Addr base : {kPageA, kPageB}) {
+      h.Read(base + Addr{64} * static_cast<Addr>(round));
+      h.Writeback(base + 128);
+    }
+  }
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.fills"),
+            s.GetCounter("ctrl.evictions") +
+                s.GetCounter("ctrl.resident_lines"));
+}
+
+}  // namespace
+}  // namespace redcache

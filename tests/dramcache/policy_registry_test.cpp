@@ -1,0 +1,120 @@
+#include "dramcache/policy_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "controller_harness.hpp"
+#include "dramcache/factory.hpp"
+
+namespace redcache {
+namespace {
+
+bool Contains(const std::vector<std::string>& names, const std::string& n) {
+  return std::find(names.begin(), names.end(), n) != names.end();
+}
+
+TEST(PolicyRegistry, AllBuiltinsRegistered) {
+  const auto names = PolicyRegistry::Instance().Names();
+  for (const char* expected :
+       {"No-HBM", "IDEAL", "Alloy", "Bear", "Red-Alpha", "Red-Gamma",
+        "Red-Basic", "Red-InSitu", "RedCache", "RedCache-2way",
+        "RedCache-4way", "RedCache-8way", "Footprint-2KB", "Banshee",
+        "TicToc"}) {
+    EXPECT_TRUE(Contains(names, expected)) << expected << " not registered";
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(PolicyRegistry, EveryRegisteredPolicyServesTrivialTraffic) {
+  for (const std::string& name : PolicyRegistry::Instance().Names()) {
+    ControllerHarness h(MakePolicy(name, SmallMemConfig()));
+    EXPECT_STRNE(h.ctrl().name(), "") << name;
+    h.Read(0x1000);
+    h.Writeback(0x2000);
+    h.Read(0x1000);
+    h.RunToIdle();
+    EXPECT_EQ(h.completions.size(), 2u) << name;
+  }
+}
+
+TEST(PolicyRegistry, UnknownNameErrorListsEveryPolicy) {
+  try {
+    MakePolicy("bogus-policy", SmallMemConfig());
+    FAIL() << "unknown policy name must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus-policy"), std::string::npos) << msg;
+    for (const std::string& name : PolicyRegistry::Instance().Names()) {
+      EXPECT_NE(msg.find(name), std::string::npos)
+          << "error message omits registered policy " << name << ": " << msg;
+    }
+  }
+}
+
+TEST(PolicyRegistry, DuplicateRegistrationRejected) {
+  PolicyInfo dup;
+  dup.name = "Alloy";  // already taken by the builtin
+  dup.make = [](const MemControllerConfig& cfg) {
+    return MakePolicy("Alloy", cfg);
+  };
+  EXPECT_THROW(PolicyRegistry::Instance().Register(dup),
+               std::invalid_argument);
+}
+
+TEST(PolicyRegistry, InvalidInfosRejected) {
+  PolicyInfo no_factory;
+  no_factory.name = "test-only-no-factory";
+  EXPECT_THROW(PolicyRegistry::Instance().Register(no_factory),
+               std::invalid_argument);
+
+  PolicyInfo no_name;
+  no_name.make = [](const MemControllerConfig& cfg) {
+    return MakePolicy("Alloy", cfg);
+  };
+  EXPECT_THROW(PolicyRegistry::Instance().Register(no_name),
+               std::invalid_argument);
+}
+
+TEST(PolicyRegistry, CapabilitySetsAreConsistentSubsets) {
+  const auto& reg = PolicyRegistry::Instance();
+  const auto names = reg.Names();
+  for (const auto& subset :
+       {reg.DifferentialNames(), reg.GoldenNames(), reg.SweepNames()}) {
+    EXPECT_TRUE(std::is_sorted(subset.begin(), subset.end()));
+    for (const std::string& n : subset) {
+      EXPECT_TRUE(Contains(names, n)) << n;
+    }
+  }
+  // Golden pinning without differential coverage would let a policy drift
+  // from the reference model while still matching its own stale numbers.
+  for (const std::string& n : reg.GoldenNames()) {
+    EXPECT_TRUE(Contains(reg.DifferentialNames(), n))
+        << n << " is golden-pinned but not differentially checked";
+  }
+}
+
+TEST(PolicyRegistry, RivalFamiliesAreFullyEnrolled) {
+  const auto& reg = PolicyRegistry::Instance();
+  for (const char* rival : {"Banshee", "TicToc"}) {
+    const PolicyInfo info = reg.Get(rival);
+    EXPECT_TRUE(info.differential) << rival;
+    EXPECT_TRUE(info.golden) << rival;
+    EXPECT_TRUE(info.sweep) << rival;
+    EXPECT_FALSE(info.summary.empty()) << rival;
+  }
+}
+
+TEST(PolicyRegistry, ArchFactoryDelegatesToRegistry) {
+  for (Arch a : EvaluationArchs()) {
+    auto via_arch = MakeController(a, SmallMemConfig());
+    auto via_name = MakePolicy(ToString(a), SmallMemConfig());
+    ASSERT_NE(via_arch, nullptr);
+    ASSERT_NE(via_name, nullptr);
+    EXPECT_STREQ(via_arch->name(), via_name->name()) << ToString(a);
+  }
+}
+
+}  // namespace
+}  // namespace redcache

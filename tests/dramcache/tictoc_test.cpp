@@ -1,0 +1,138 @@
+#include "dramcache/tictoc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller_harness.hpp"
+
+namespace redcache {
+namespace {
+
+std::unique_ptr<TicTocController> MakeTicToc() {
+  return std::make_unique<TicTocController>(SmallMemConfig());
+}
+
+TEST(TicToc, MissFillsLikeAlloyAtFullDuty) {
+  ControllerHarness h(MakeTicToc());
+  h.Read(0x4000);
+  h.RunToIdle();
+  h.Read(0x4000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.cache_misses"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.fills"), 1u);  // duty starts at 8/8
+  EXPECT_EQ(s.GetCounter("ctrl.cache_hits"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.bypassed_fills"), 0u);
+  EXPECT_EQ(h.completions.size(), 2u);
+}
+
+TEST(TicToc, HitPaysMetadataWriteAtHighDuty) {
+  ControllerHarness h(MakeTicToc());
+  h.Read(0x4000);
+  h.RunToIdle();
+  const auto hbm_writes_fill = h.Stats().GetCounter("hbm.write_bursts");
+  h.Read(0x4000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.metadata_updates"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.metadata_skips"), 0u);
+  // The reuse-counter update is a real modeled HBM write.
+  EXPECT_EQ(s.GetCounter("hbm.write_bursts"), hbm_writes_fill + 1);
+}
+
+TEST(TicToc, WriteMissNeverAllocates) {
+  ControllerHarness h(MakeTicToc());
+  h.Writeback(0x9000);
+  h.RunToIdle();
+  h.Read(0x9000);
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.write_bypasses"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.cache_misses"), 2u);  // the read missed too
+  EXPECT_GE(s.GetCounter("ddr4.write_bursts"), 1u);
+}
+
+TEST(TicToc, EarlyWritesAbsorbedInCache) {
+  ControllerHarness h(MakeTicToc());
+  h.Read(0x4000);  // install; r_count = 0
+  h.RunToIdle();
+  h.Writeback(0x4000);  // below the last-write threshold
+  h.RunToIdle();
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.absorbed_writes"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.last_write_routes"), 0u);
+  EXPECT_EQ(s.GetCounter("ddr4.write_bursts"), 0u);
+}
+
+TEST(TicToc, ReusedLineRoutesLastWriteToMainMemory) {
+  ControllerHarness h(MakeTicToc());
+  h.Read(0x4000);  // install
+  h.RunToIdle();
+  for (int i = 0; i < 4; ++i) {  // hit reads push r_count to the threshold
+    h.Read(0x4000);
+    h.RunToIdle();
+  }
+  h.Writeback(0x4000);  // predicted last write
+  h.RunToIdle();
+  StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.last_write_routes"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.absorbed_writes"), 0u);
+  EXPECT_GE(s.GetCounter("ddr4.write_bursts"), 1u);
+  EXPECT_EQ(s.GetCounter("ctrl.resident_lines"), 0u);  // copy dropped
+
+  h.Read(0x4000);  // the invalidated line must miss again
+  h.RunToIdle();
+  s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.cache_misses"), 2u);
+  EXPECT_EQ(s.GetCounter("ctrl.victim_writebacks"), 0u);  // it left clean
+}
+
+TEST(TicToc, DutyDropsWhenHbmIsTheBottleneck) {
+  ControllerHarness h(MakeTicToc());
+  auto* tictoc = dynamic_cast<TicTocController*>(&h.ctrl());
+  ASSERT_NE(tictoc, nullptr);
+  EXPECT_EQ(tictoc->fill_duty(), 8u);
+
+  // An all-hit loop moves HBM bursts only (probe + metadata), so each
+  // 4096-request window votes to shed optional HBM traffic.
+  h.Read(0x4000);
+  h.RunToIdle();
+  for (int i = 0; i < 4096; ++i) h.Read(0x4000);
+  h.RunToIdle();
+  EXPECT_LT(tictoc->fill_duty(), 8u);
+  const StatSet s = h.Stats();
+  EXPECT_EQ(s.GetCounter("ctrl.fill_duty"), tictoc->fill_duty());
+}
+
+TEST(TicToc, LowDutySkipsFillsAndMetadata) {
+  ControllerHarness h(MakeTicToc());
+  auto* tictoc = dynamic_cast<TicTocController*>(&h.ctrl());
+  // Drive the duty to the floor with pure-hit windows.
+  h.Read(0x4000);
+  h.RunToIdle();
+  int i = 0;
+  while (tictoc->fill_duty() > 1 && i < 8 * 4096) {
+    h.Read(0x4000);
+    ++i;
+  }
+  h.RunToIdle();
+  ASSERT_EQ(tictoc->fill_duty(), 1u);
+
+  const auto skips_before = h.Stats().GetCounter("ctrl.metadata_skips");
+  h.Read(0x4000);
+  h.RunToIdle();
+  EXPECT_GT(h.Stats().GetCounter("ctrl.metadata_skips"), skips_before);
+
+  // At duty 1/8 most conflicting read misses serve without installing.
+  const auto fills_before = h.Stats().GetCounter("ctrl.fills");
+  for (int j = 0; j < 8; ++j) {
+    h.Read(0x4000 + 1_MiB);  // same set, different tag: guaranteed miss mix
+    h.Read(0x4000 + 2_MiB);
+    h.RunToIdle();
+  }
+  const StatSet s = h.Stats();
+  EXPECT_GT(s.GetCounter("ctrl.bypassed_fills"), 0u);
+  EXPECT_LT(s.GetCounter("ctrl.fills") - fills_before, 16u);
+}
+
+}  // namespace
+}  // namespace redcache

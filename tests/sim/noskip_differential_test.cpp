@@ -7,6 +7,7 @@
 // every Table II workload, for a representative controller of each family.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdlib>
 #include <string>
 #include <tuple>
@@ -23,13 +24,13 @@ class ScopedNoSkip {
   ~ScopedNoSkip() { ::unsetenv("REDCACHE_NO_SKIP"); }
 };
 
-using Param = std::tuple<Arch, std::string>;
+using Param = std::tuple<std::string, std::string>;
 
 class NoSkipDifferential : public ::testing::TestWithParam<Param> {};
 
-RunSpec Spec(Arch arch, const std::string& wl) {
+RunSpec Spec(const std::string& policy, const std::string& wl) {
   RunSpec spec;
-  spec.arch = arch;
+  spec.policy = policy;
   spec.workload = wl;
   spec.scale = 0.02;
   spec.ignore_env_scale = true;
@@ -39,15 +40,15 @@ RunSpec Spec(Arch arch, const std::string& wl) {
 }
 
 TEST_P(NoSkipDifferential, IdenticalStats) {
-  const auto [arch, wl] = GetParam();
+  const auto [policy, wl] = GetParam();
 
-  const RunResult skip = RunOne(Spec(arch, wl));
+  const RunResult skip = RunOne(Spec(policy, wl));
   ASSERT_TRUE(skip.completed);
 
   RunResult step;
   {
     ScopedNoSkip no_skip;
-    step = RunOne(Spec(arch, wl));
+    step = RunOne(Spec(policy, wl));
   }
   ASSERT_TRUE(step.completed);
 
@@ -65,12 +66,16 @@ TEST_P(NoSkipDifferential, IdenticalStats) {
 
 INSTANTIATE_TEST_SUITE_P(
     TableII, NoSkipDifferential,
-    ::testing::Combine(::testing::Values(Arch::kAlloy, Arch::kBear,
-                                         Arch::kRedCache),
+    ::testing::Combine(::testing::Values("Alloy", "Bear", "RedCache",
+                                         "Banshee", "TicToc"),
                        ::testing::ValuesIn(WorkloadLabels())),
     [](const ::testing::TestParamInfo<Param>& info) {
-      return std::string(ToString(std::get<0>(info.param))) + "_" +
-             std::get<1>(info.param);
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
     });
 
 }  // namespace

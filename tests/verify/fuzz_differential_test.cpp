@@ -1,15 +1,21 @@
-// Differential fuzzing: seeded adversarial traces through all six policy
-// mechanisms under the shadow checker.
+// Differential fuzzing: seeded adversarial traces through every registry
+// policy that opts into differential testing, under the shadow checker.
 //
 // The tier-1 run covers a modest number of seeds so the suite stays fast;
 // set REDCACHE_FUZZ_TRACES=1000 (or run `ctest -C soak`) for the full
-// campaign.
+// campaign. A failing trace is persisted as a replayable corpus case (set
+// REDCACHE_CORPUS_OUT to choose the directory) so it can be checked in
+// under tests/verify/corpus/ as a permanent regression test.
 #include "verify/differential.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
+
+#include "dramcache/policy_registry.hpp"
+#include "verify/corpus.hpp"
 
 namespace redcache {
 namespace {
@@ -47,17 +53,44 @@ std::string Join(const std::vector<std::string>& lines) {
   return out.str();
 }
 
+/// Save a failing trace as a corpus case and name the file in the failure
+/// message so it can be replayed and checked in.
+std::string Persist(const DifferentialParams& params,
+                    const std::vector<std::string>& errors) {
+  const char* dir = std::getenv("REDCACHE_CORPUS_OUT");
+  const std::string path = PersistCounterexample(
+      params, errors, dir != nullptr ? dir : "fuzz_counterexamples");
+  return path.empty() ? "(corpus write failed)"
+                      : "counterexample saved to " + path;
+}
+
+TEST(FuzzDifferential, RegistryExportsAtLeastSixPolicies) {
+  // The N-policy harness enumerates the registry; the seed's six mechanisms
+  // plus the Banshee and TicToc families must all be opted in.
+  const std::vector<std::string> policies = DifferentialPolicies();
+  EXPECT_GE(policies.size(), 8u);
+  for (const char* required :
+       {"No-HBM", "IDEAL", "Alloy", "Bear", "Red-Basic", "RedCache",
+        "Banshee", "TicToc"}) {
+    EXPECT_NE(std::find(policies.begin(), policies.end(), required),
+              policies.end())
+        << required << " missing from the differential set";
+  }
+}
+
 TEST(FuzzDifferential, AllPoliciesAgreeOverSeededTraces) {
   const std::uint64_t traces = TraceCount();
   std::uint64_t total_events = 0;
   for (std::uint64_t seed = 1; seed <= traces; ++seed) {
-    const DifferentialResult res = RunDifferential(SmallParams(seed));
-    ASSERT_TRUE(res.ok()) << "seed " << seed << ":\n" << Join(res.errors);
-    ASSERT_EQ(res.outcomes.size(), DifferentialArchs().size());
+    const DifferentialParams params = SmallParams(seed);
+    const DifferentialResult res = RunDifferential(params);
+    ASSERT_TRUE(res.ok()) << "seed " << seed << ":\n"
+                          << Join(res.errors) << Persist(params, res.errors);
+    ASSERT_EQ(res.outcomes.size(), DifferentialPolicies().size());
     for (const auto& o : res.outcomes) {
-      EXPECT_TRUE(o.completed) << ToString(o.arch) << " seed " << seed;
-      EXPECT_EQ(o.divergences, 0u) << ToString(o.arch) << " seed " << seed;
-      EXPECT_GT(o.reads_checked, 0u) << ToString(o.arch) << " seed " << seed;
+      EXPECT_TRUE(o.completed) << o.policy << " seed " << seed;
+      EXPECT_EQ(o.divergences, 0u) << o.policy << " seed " << seed;
+      EXPECT_GT(o.reads_checked, 0u) << o.policy << " seed " << seed;
     }
     total_events += res.total_model_events();
   }

@@ -1,6 +1,7 @@
-// Golden-stats regression: every Table II workload under Alloy, BEAR and
-// RedCache is pinned to the exact counters recorded in
-// tests/verify/golden/golden_stats.json.
+// Golden-stats regression: every Table II workload under every registry
+// policy that opts in (PolicyInfo::golden — Alloy, BEAR, RedCache, plus
+// the Banshee and TicToc rival families) is pinned to the exact counters
+// recorded in tests/verify/golden/golden_stats.json.
 //
 // Intentional behaviour changes regenerate the file with
 //   REDCACHE_UPDATE_GOLDEN=1 ctest -R Golden
@@ -9,24 +10,25 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <tuple>
+
+#include "dramcache/policy_registry.hpp"
 
 namespace redcache {
 namespace {
 
 constexpr double kGoldenScale = 0.02;
 
-const std::vector<Arch>& GoldenArchs() {
-  static const std::vector<Arch> kArchs = {Arch::kAlloy, Arch::kBear,
-                                           Arch::kRedCache};
-  return kArchs;
+std::vector<std::string> GoldenPolicies() {
+  return PolicyRegistry::Instance().GoldenNames();
 }
 
-RunSpec SpecFor(Arch arch, const std::string& workload) {
+RunSpec SpecFor(const std::string& policy, const std::string& workload) {
   RunSpec spec;
-  spec.arch = arch;
+  spec.policy = policy;
   spec.workload = workload;
   spec.scale = kGoldenScale;
   spec.seed = 1;
@@ -45,6 +47,16 @@ bool UpdateMode() {
 /// The golden numbers are absolute, so the ambient scale override must not
 /// leak in.
 void NeutralizeScaleEnv() { ::unsetenv("REDCACHE_REFS_SCALE"); }
+
+TEST(GoldenStats, RegistryExportsExpectedPolicies) {
+  const std::vector<std::string> policies = GoldenPolicies();
+  for (const char* required :
+       {"Alloy", "Bear", "RedCache", "Banshee", "TicToc"}) {
+    EXPECT_NE(std::find(policies.begin(), policies.end(), required),
+              policies.end())
+        << required << " missing from the golden set";
+  }
+}
 
 TEST(GoldenStats, SerializationRoundTrips) {
   GoldenTable table;
@@ -70,7 +82,7 @@ TEST(GoldenStats, ParserRejectsMalformedInput) {
 
 TEST(GoldenStats, CollectionIsDeterministic) {
   NeutralizeScaleEnv();
-  const RunSpec spec = SpecFor(Arch::kAlloy, "IS");
+  const RunSpec spec = SpecFor("Alloy", "IS");
   const GoldenRecord a = CollectGolden(spec);
   const GoldenRecord b = CollectGolden(spec);
   EXPECT_EQ(a, b);
@@ -85,9 +97,9 @@ TEST(GoldenStats, Regenerate) {
   }
   NeutralizeScaleEnv();
   GoldenTable table;
-  for (Arch arch : GoldenArchs()) {
+  for (const std::string& policy : GoldenPolicies()) {
     for (const std::string& wl : WorkloadLabels()) {
-      const RunSpec spec = SpecFor(arch, wl);
+      const RunSpec spec = SpecFor(policy, wl);
       table[GoldenKey(spec)] = CollectGolden(spec);
     }
   }
@@ -97,20 +109,21 @@ TEST(GoldenStats, Regenerate) {
 }
 
 class GoldenCompare
-    : public ::testing::TestWithParam<std::tuple<Arch, std::string>> {};
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
 
 TEST_P(GoldenCompare, MatchesGoldenFile) {
   if (UpdateMode()) {
     GTEST_SKIP() << "regeneration run; comparisons are meaningless";
   }
   NeutralizeScaleEnv();
-  const auto [arch, workload] = GetParam();
+  const auto [policy, workload] = GetParam();
   GoldenTable golden;
   std::string error;
   ASSERT_TRUE(ReadGoldenFile(GoldenPath(), golden, error))
       << error << " — regenerate with REDCACHE_UPDATE_GOLDEN=1";
 
-  const RunSpec spec = SpecFor(arch, workload);
+  const RunSpec spec = SpecFor(policy, workload);
   const std::string key = GoldenKey(spec);
   auto it = golden.find(key);
   ASSERT_NE(it, golden.end())
@@ -128,8 +141,7 @@ TEST_P(GoldenCompare, MatchesGoldenFile) {
 
 std::string CompareName(
     const ::testing::TestParamInfo<GoldenCompare::ParamType>& info) {
-  std::string name = std::string(ToString(std::get<0>(info.param))) + "_" +
-                     std::get<1>(info.param);
+  std::string name = std::get<0>(info.param) + "_" + std::get<1>(info.param);
   for (char& c : name) {
     if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   }
@@ -138,7 +150,7 @@ std::string CompareName(
 
 INSTANTIATE_TEST_SUITE_P(
     AllConfigs, GoldenCompare,
-    ::testing::Combine(::testing::ValuesIn(GoldenArchs()),
+    ::testing::Combine(::testing::ValuesIn(GoldenPolicies()),
                        ::testing::ValuesIn(WorkloadLabels())),
     CompareName);
 

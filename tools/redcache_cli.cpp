@@ -14,6 +14,7 @@
 //
 // Exit code 0 on success; prints a one-line summary plus optional full
 // counter dump.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "common/table.hpp"
 #include "dramcache/assoc_redcache.hpp"
 #include "dramcache/footprint.hpp"
+#include "dramcache/policy_registry.hpp"
 #include "obs/epoch_sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/batch.hpp"
@@ -63,8 +65,8 @@ struct CliOptions {
 void PrintUsage() {
   std::printf(
       "usage: redcache_cli [options]\n"
-      "  --arch NAME        No-HBM|IDEAL|Alloy|Bear|Red-Alpha|Red-Gamma|\n"
-      "                     Red-Basic|Red-InSitu|RedCache (default RedCache)\n"
+      "  --policy NAME      registered cache policy (--list shows them;\n"
+      "                     default RedCache). --arch is an alias.\n"
       "  --workload LABEL   Table II label (default LU)\n"
       "  --replay FILE      replay a captured trace instead of a workload\n"
       "  --capture FILE     write the workload's trace to FILE and exit\n"
@@ -86,11 +88,12 @@ void PrintUsage() {
       "  --sweep            run an (arch x workload) matrix on a worker pool\n"
       "  --report FILE      write a host-side profiling report of --sweep\n"
       "                     (per-cell wall time, cache layer, phases)\n"
-      "  --archs A,B,..     architectures for --sweep (default: Fig. 9 set)\n"
+      "  --policies A,B,..  policies for --sweep (default: every policy\n"
+      "                     registered with sweep=true). --archs is an alias.\n"
       "  --workloads X,Y,.. workloads for --sweep (default: all Table II)\n"
       "  --jobs N           worker threads for --sweep (default: \n"
       "                     REDCACHE_JOBS, then hardware concurrency)\n"
-      "  --list             list architectures and workloads\n");
+      "  --list             list registered policies and workloads\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions& opt) {
@@ -103,7 +106,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       }
       return argv[++i];
     };
-    if (arg == "--arch") {
+    if (arg == "--policy" || arg == "--arch") {
       const char* v = value();
       if (v == nullptr) return false;
       opt.arch = v;
@@ -167,7 +170,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       opt.verify = true;
     } else if (arg == "--sweep") {
       opt.sweep = true;
-    } else if (arg == "--archs") {
+    } else if (arg == "--policies" || arg == "--archs") {
       const char* v = value();
       if (v == nullptr) return false;
       opt.sweep_archs = v;
@@ -227,14 +230,29 @@ std::vector<std::string> SplitCommas(const std::string& list) {
 
 /// --sweep: the (arch x workload) evaluation matrix on the batch engine.
 /// Cells go through the fingerprinted cache when REDCACHE_CACHE_DIR is set.
+/// Default sweep columns: the paper's seven evaluation archs in their
+/// canonical order, then every other registry policy with sweep=true
+/// (rival families like Banshee and TicToc) in registry order.
+std::vector<std::string> DefaultSweepPolicies() {
+  std::vector<std::string> policies;
+  for (const Arch a : EvaluationArchs()) policies.push_back(ToString(a));
+  for (const std::string& name : PolicyRegistry::Instance().SweepNames()) {
+    if (std::find(policies.begin(), policies.end(), name) == policies.end()) {
+      policies.push_back(name);
+    }
+  }
+  return policies;
+}
+
 int RunSweep(const CliOptions& opt) {
   const SimPreset preset = opt.paper_preset ? PaperPreset() : EvalPreset();
-  std::vector<Arch> archs;
+  std::vector<std::string> policies;
   if (opt.sweep_archs.empty()) {
-    archs = EvaluationArchs();
+    policies = DefaultSweepPolicies();
   } else {
     for (const std::string& name : SplitCommas(opt.sweep_archs)) {
-      archs.push_back(ArchFromString(name));
+      PolicyRegistry::Instance().Get(name);  // fail fast with the full list
+      policies.push_back(name);
     }
   }
   const std::vector<std::string> workloads = opt.sweep_workloads.empty()
@@ -242,11 +260,11 @@ int RunSweep(const CliOptions& opt) {
                                                  : SplitCommas(opt.sweep_workloads);
 
   std::vector<CellSpec> cells;
-  cells.reserve(archs.size() * workloads.size());
+  cells.reserve(policies.size() * workloads.size());
   for (const std::string& wl : workloads) {
-    for (const Arch a : archs) {
+    for (const std::string& p : policies) {
       CellSpec cell;
-      cell.spec.arch = a;
+      cell.spec.policy = p;
       cell.spec.workload = wl;
       cell.spec.scale = opt.scale;
       cell.spec.preset = preset;
@@ -271,12 +289,12 @@ int RunSweep(const CliOptions& opt) {
   }
 
   std::vector<std::string> header = {"workload"};
-  for (const Arch a : archs) header.push_back(ToString(a));
+  for (const std::string& p : policies) header.push_back(p);
   TextTable table(header);
   std::size_t idx = 0;
   for (const std::string& wl : workloads) {
     std::vector<std::string> row = {wl};
-    for (std::size_t a = 0; a < archs.size(); ++a) {
+    for (std::size_t a = 0; a < policies.size(); ++a) {
       row.push_back(TextTable::Num(
           static_cast<double>(results[idx++].exec_cycles) / 1e6, 1));
     }
@@ -329,7 +347,9 @@ int Run(const CliOptions& opt) {
                                                 "redcache-pinned");
     arch_label = "RedCache-pinned";
   } else {
-    ctrl = MakeController(ArchFromString(opt.arch), preset.mem);
+    // Unknown names fail here with a message listing every registered
+    // policy (see PolicyRegistry::Get).
+    ctrl = MakePolicy(opt.arch, preset.mem);
   }
 
   ShadowChecker* shadow = nullptr;
@@ -443,13 +463,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (opt.list) {
-    std::printf("architectures:");
-    for (Arch a : {Arch::kNoHbm, Arch::kIdeal, Arch::kAlloy, Arch::kBear,
-                   Arch::kRedAlpha, Arch::kRedGamma, Arch::kRedBasic,
-                   Arch::kRedInSitu, Arch::kRedCache}) {
-      std::printf(" %s", ToString(a));
+    std::printf("registered policies:\n");
+    TextTable table({"name", "family", "diff", "golden", "sweep", "summary"});
+    for (const PolicyInfo& info : PolicyRegistry::Instance().Infos()) {
+      table.AddRow({info.name, info.family, info.differential ? "y" : "-",
+                    info.golden ? "y" : "-", info.sweep ? "y" : "-",
+                    info.summary});
     }
-    std::printf("\nworkloads:");
+    std::printf("%s", table.Render().c_str());
+    std::printf("workloads:");
     for (const std::string& wl : WorkloadLabels()) {
       std::printf(" %s", wl.c_str());
     }
