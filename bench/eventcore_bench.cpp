@@ -6,13 +6,21 @@
 //   * one full RedCache evaluation cell.
 // Both modes of each scenario must produce identical simulation results
 // (the no-skip differential, re-asserted here); only wall time may differ.
-// Writes results/BENCH_eventcore.json for trend tracking.
+//
+// Every section runs REDCACHE_BENCH_REPS repetitions (default 5), with the
+// stepped and event variants interleaved so frequency drift and background
+// load hit both sides alike, and reports p50/p95 wall times per variant.
+// Speedups quoted (and written to results/BENCH_eventcore.json) are ratios
+// of the p50s, so a single noisy sample cannot fake or hide a regression.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "dram/dram_system.hpp"
@@ -27,6 +35,43 @@ double Seconds(std::chrono::steady_clock::time_point t0,
                std::chrono::steady_clock::time_point t1) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
+
+int Reps() {
+  const char* env = std::getenv("REDCACHE_BENCH_REPS");
+  const int reps = env != nullptr ? std::atoi(env) : 5;
+  return reps > 0 ? reps : 5;
+}
+
+/// Nearest-rank percentile over a small sample (p in [0, 100]).
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= xs.size()) idx = xs.size() - 1;
+  return xs[idx];
+}
+
+struct SampleSet {
+  std::vector<double> stepped;
+  std::vector<double> event;
+  double stepped_p50() const { return Percentile(stepped, 50); }
+  double stepped_p95() const { return Percentile(stepped, 95); }
+  double event_p50() const { return Percentile(event, 50); }
+  double event_p95() const { return Percentile(event, 95); }
+  double speedup() const {
+    const double e = event_p50();
+    return e > 0 ? stepped_p50() / e : 0;
+  }
+  void EmitJson(std::ofstream& json) const {
+    json << "\"stepped_seconds_p50\": " << stepped_p50()
+         << ", \"stepped_seconds_p95\": " << stepped_p95()
+         << ", \"event_seconds_p50\": " << event_p50()
+         << ", \"event_seconds_p95\": " << event_p95()
+         << ", \"speedup\": " << speedup();
+  }
+};
 
 struct DramPass {
   double seconds = 0;
@@ -116,84 +161,91 @@ CellPass FullSystemPass(bool no_skip) {
   return out;
 }
 
-double Speedup(double step_s, double event_s) {
-  return event_s > 0 ? step_s / event_s : 0;
-}
-
 }  // namespace
 
 int main() {
-  std::printf("eventcore — wake-driven scheduler vs single-cycle stepping\n\n");
+  const int reps = Reps();
+  std::printf(
+      "eventcore — wake-driven scheduler vs single-cycle stepping "
+      "(%d reps, interleaved)\n\n",
+      reps);
 
-  const DramPass idle_event = IdleSparsePass(false, 2000);
-  const DramPass idle_step = IdleSparsePass(true, 2000);
-  const DramPass loaded_event = LoadedPass(false, 800000);
-  const DramPass loaded_step = LoadedPass(true, 800000);
-  const CellPass cell_event = FullSystemPass(false);
-  const CellPass cell_step = FullSystemPass(true);
-
+  SampleSet idle, loaded, cell;
+  std::uint64_t idle_event_visits = 0, idle_stepped_visits = 0;
+  std::uint64_t cell_ticks = 0, cell_skipped = 0;
   bool ok = true;
-  if (idle_event.completed != idle_step.completed ||
-      loaded_event.completed != loaded_step.completed) {
-    std::fprintf(stderr, "FAIL: DRAM passes disagree on completions\n");
-    ok = false;
+
+  for (int r = 0; r < reps; ++r) {
+    const DramPass ie = IdleSparsePass(false, 2000);
+    const DramPass is = IdleSparsePass(true, 2000);
+    idle.event.push_back(ie.seconds);
+    idle.stepped.push_back(is.seconds);
+    idle_event_visits = ie.visits;
+    idle_stepped_visits = is.visits;
+    if (ie.completed != is.completed) ok = false;
+
+    const DramPass le = LoadedPass(false, 800000);
+    const DramPass ls = LoadedPass(true, 800000);
+    loaded.event.push_back(le.seconds);
+    loaded.stepped.push_back(ls.seconds);
+    if (le.completed != ls.completed) ok = false;
+
+    const CellPass ce = FullSystemPass(false);
+    const CellPass cs = FullSystemPass(true);
+    cell.event.push_back(ce.seconds);
+    cell.stepped.push_back(cs.seconds);
+    cell_ticks = ce.result.ticks_executed;
+    cell_skipped = ce.result.cycles_skipped;
+    if (ce.result.exec_cycles != cs.result.exec_cycles ||
+        ce.result.stats.counters() != cs.result.stats.counters()) {
+      ok = false;
+    }
   }
-  if (cell_event.result.exec_cycles != cell_step.result.exec_cycles ||
-      cell_event.result.stats.counters() !=
-          cell_step.result.stats.counters()) {
-    std::fprintf(stderr, "FAIL: full-system skip vs no-skip stats differ\n");
-    ok = false;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: skip vs no-skip results differ in some repetition\n");
   }
 
-  const double idle_speedup = Speedup(idle_step.seconds, idle_event.seconds);
-  const double loaded_speedup =
-      Speedup(loaded_step.seconds, loaded_event.seconds);
-  const double cell_speedup = Speedup(cell_step.seconds, cell_event.seconds);
-  const std::uint64_t ticks = cell_event.result.ticks_executed;
-  const std::uint64_t skipped = cell_event.result.cycles_skipped;
   const double skip_pct =
-      ticks + skipped > 0
-          ? 100.0 * static_cast<double>(skipped) /
-                static_cast<double>(ticks + skipped)
+      cell_ticks + cell_skipped > 0
+          ? 100.0 * static_cast<double>(cell_skipped) /
+                static_cast<double>(cell_ticks + cell_skipped)
           : 0;
 
-  TextTable table({"scenario", "stepped s", "event s", "speedup", "visits"});
-  table.AddRow({"dram idle-sparse", TextTable::Num(idle_step.seconds, 3),
-                TextTable::Num(idle_event.seconds, 3),
-                TextTable::Num(idle_speedup, 2),
-                std::to_string(idle_event.visits)});
-  table.AddRow({"dram loaded", TextTable::Num(loaded_step.seconds, 3),
-                TextTable::Num(loaded_event.seconds, 3),
-                TextTable::Num(loaded_speedup, 2),
-                std::to_string(loaded_event.visits)});
-  table.AddRow({"RedCache/LU cell", TextTable::Num(cell_step.seconds, 3),
-                TextTable::Num(cell_event.seconds, 3),
-                TextTable::Num(cell_speedup, 2),
-                std::to_string(ticks)});
+  TextTable table({"scenario", "stepped p50", "p95", "event p50", "p95",
+                   "speedup"});
+  const auto row = [&table](const char* name, const SampleSet& s) {
+    table.AddRow({name, TextTable::Num(s.stepped_p50(), 3),
+                  TextTable::Num(s.stepped_p95(), 3),
+                  TextTable::Num(s.event_p50(), 3),
+                  TextTable::Num(s.event_p95(), 3),
+                  TextTable::Num(s.speedup(), 2)});
+  };
+  row("dram idle-sparse", idle);
+  row("dram loaded", loaded);
+  row("RedCache/LU cell", cell);
   std::printf("%s\n", table.Render().c_str());
   std::printf("cell skip ratio: %.1f%% of cycles skipped (%llu ticks, %llu "
               "skipped)\n",
-              skip_pct, static_cast<unsigned long long>(ticks),
-              static_cast<unsigned long long>(skipped));
+              skip_pct, static_cast<unsigned long long>(cell_ticks),
+              static_cast<unsigned long long>(cell_skipped));
 
   std::filesystem::create_directories("results");
   std::ofstream json("results/BENCH_eventcore.json");
   json << "{\n"
        << "  \"bench\": \"eventcore\",\n"
-       << "  \"idle_sparse\": {\"stepped_seconds\": " << idle_step.seconds
-       << ", \"event_seconds\": " << idle_event.seconds
-       << ", \"speedup\": " << idle_speedup
-       << ", \"event_visits\": " << idle_event.visits
-       << ", \"stepped_visits\": " << idle_step.visits << "},\n"
-       << "  \"loaded\": {\"stepped_seconds\": " << loaded_step.seconds
-       << ", \"event_seconds\": " << loaded_event.seconds
-       << ", \"speedup\": " << loaded_speedup << "},\n"
-       << "  \"full_system\": {\"arch\": \"RedCache\", \"workload\": \"LU\","
-       << " \"stepped_seconds\": " << cell_step.seconds
-       << ", \"event_seconds\": " << cell_event.seconds
-       << ", \"speedup\": " << cell_speedup
-       << ", \"ticks_executed\": " << ticks
-       << ", \"cycles_skipped\": " << skipped
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"idle_sparse\": {";
+  idle.EmitJson(json);
+  json << ", \"event_visits\": " << idle_event_visits
+       << ", \"stepped_visits\": " << idle_stepped_visits << "},\n"
+       << "  \"loaded\": {";
+  loaded.EmitJson(json);
+  json << "},\n"
+       << "  \"full_system\": {\"arch\": \"RedCache\", \"workload\": \"LU\", ";
+  cell.EmitJson(json);
+  json << ", \"ticks_executed\": " << cell_ticks
+       << ", \"cycles_skipped\": " << cell_skipped
        << ", \"skip_pct\": " << skip_pct << "},\n"
        << "  \"identical_results\": " << (ok ? "true" : "false") << "\n"
        << "}\n";

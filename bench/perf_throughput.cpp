@@ -1,14 +1,19 @@
 // Batch-engine throughput bench: simulated references per wall-clock
-// second over a fixed evaluation cell set, serial (jobs=1) vs parallel
-// (jobs=N). Writes results/BENCH_perf.json for trend tracking.
+// second over a fixed evaluation cell set, swept over worker-pool sizes
+// jobs ∈ {1, 2, hw_threads} so batch-engine scaling is visible in the
+// trajectory (a single "parallel" pass at an env-pinned jobs=1 measured
+// nothing). Writes results/BENCH_perf.json for trend tracking.
 //
-// Uses RunBatch (no memo, no disk cache) so both passes do the full work
-// and the speedup reflects only the worker pool.
+// Uses RunBatch (no memo, no disk cache) so every pass does the full work
+// and the speedups reflect only the worker pool.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -19,6 +24,7 @@ using namespace redcache;
 using namespace redcache::bench;
 
 struct PassResult {
+  unsigned jobs = 0;
   double seconds = 0;
   std::uint64_t refs = 0;
   std::uint64_t cycles = 0;
@@ -32,6 +38,7 @@ PassResult TimedPass(const std::vector<RunSpec>& specs, unsigned jobs) {
   const auto results = RunBatch(specs, opts);
   const auto t1 = std::chrono::steady_clock::now();
   PassResult out;
+  out.jobs = jobs;
   out.seconds = std::chrono::duration<double>(t1 - t0).count();
   for (const auto& r : results) {
     out.refs += r.stats.GetCounter("core.refs");
@@ -43,13 +50,20 @@ PassResult TimedPass(const std::vector<RunSpec>& specs, unsigned jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  unsigned jobs = ResolveJobs(0);
+  unsigned max_jobs = std::thread::hardware_concurrency();
   for (int i = 1; i < argc - 1; ++i) {
     if (std::string(argv[i]) == "--jobs") {
-      jobs = static_cast<unsigned>(std::atoi(argv[i + 1]));
+      max_jobs = static_cast<unsigned>(std::atoi(argv[i + 1]));
     }
   }
-  if (jobs == 0) jobs = 1;
+  if (max_jobs == 0) max_jobs = 1;
+
+  // jobs sweep: serial baseline, minimal parallelism, full machine. The
+  // jobs=2 pass always runs (even on a 1-thread box, where it measures
+  // oversubscription and still exercises the pool's determinism) so the
+  // recorded trajectory has more than one point everywhere.
+  std::vector<unsigned> sweep = {1, 2};
+  if (max_jobs > 2) sweep.push_back(max_jobs);
 
   // Fixed cell set: the Fig. 9 architectures plus the rival registry
   // policies over three contrasting workloads, small enough to finish
@@ -69,41 +83,39 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("perf_throughput — %zu cells, jobs=1 vs jobs=%u\n\n",
-              specs.size(), jobs);
+  std::printf("perf_throughput — %zu cells, jobs sweep {", specs.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::printf("%s%u", i > 0 ? ", " : "", sweep[i]);
+  }
+  std::printf("}\n\n");
 
-  const PassResult serial = TimedPass(specs, 1);
-  const PassResult parallel = TimedPass(specs, jobs);
-  const double serial_rps =
-      serial.seconds > 0 ? static_cast<double>(serial.refs) / serial.seconds
-                         : 0;
-  const double parallel_rps =
-      parallel.seconds > 0
-          ? static_cast<double>(parallel.refs) / parallel.seconds
-          : 0;
-  const double speedup =
-      parallel.seconds > 0 ? serial.seconds / parallel.seconds : 0;
+  std::vector<PassResult> passes;
+  for (const unsigned jobs : sweep) passes.push_back(TimedPass(specs, jobs));
+  const PassResult& serial = passes.front();
 
   TextTable table({"pass", "wall s", "refs", "refs/s", "speedup"});
-  table.AddRow({"jobs=1", TextTable::Num(serial.seconds, 2),
-                std::to_string(serial.refs), TextTable::Num(serial_rps, 0),
-                "1.00"});
-  table.AddRow({"jobs=" + std::to_string(jobs),
-                TextTable::Num(parallel.seconds, 2),
-                std::to_string(parallel.refs),
-                TextTable::Num(parallel_rps, 0),
-                TextTable::Num(speedup, 2)});
+  for (const PassResult& p : passes) {
+    const double rps =
+        p.seconds > 0 ? static_cast<double>(p.refs) / p.seconds : 0;
+    const double speedup = p.seconds > 0 ? serial.seconds / p.seconds : 0;
+    table.AddRow({"jobs=" + std::to_string(p.jobs),
+                  TextTable::Num(p.seconds, 2), std::to_string(p.refs),
+                  TextTable::Num(rps, 0), TextTable::Num(speedup, 2)});
+  }
   std::printf("%s\n", table.Render().c_str());
 
-  if (serial.refs != parallel.refs || serial.cycles != parallel.cycles) {
-    std::fprintf(stderr,
-                 "FAIL: passes disagree (refs %llu vs %llu, cycles %llu vs "
-                 "%llu) — batch execution must be deterministic\n",
-                 static_cast<unsigned long long>(serial.refs),
-                 static_cast<unsigned long long>(parallel.refs),
-                 static_cast<unsigned long long>(serial.cycles),
-                 static_cast<unsigned long long>(parallel.cycles));
-    return 1;
+  for (const PassResult& p : passes) {
+    if (p.refs != serial.refs || p.cycles != serial.cycles) {
+      std::fprintf(stderr,
+                   "FAIL: jobs=%u disagrees with serial (refs %llu vs %llu, "
+                   "cycles %llu vs %llu) — batch execution must be "
+                   "deterministic\n",
+                   p.jobs, static_cast<unsigned long long>(p.refs),
+                   static_cast<unsigned long long>(serial.refs),
+                   static_cast<unsigned long long>(p.cycles),
+                   static_cast<unsigned long long>(serial.cycles));
+      return 1;
+    }
   }
 
   std::filesystem::create_directories("results");
@@ -111,13 +123,19 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"bench\": \"perf_throughput\",\n"
        << "  \"cells\": " << specs.size() << ",\n"
-       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n"
        << "  \"simulated_refs\": " << serial.refs << ",\n"
-       << "  \"serial_seconds\": " << serial.seconds << ",\n"
-       << "  \"parallel_seconds\": " << parallel.seconds << ",\n"
-       << "  \"serial_refs_per_sec\": " << serial_rps << ",\n"
-       << "  \"parallel_refs_per_sec\": " << parallel_rps << ",\n"
-       << "  \"speedup\": " << speedup << "\n"
+       << "  \"passes\": [\n";
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    const PassResult& p = passes[i];
+    const double rps =
+        p.seconds > 0 ? static_cast<double>(p.refs) / p.seconds : 0;
+    const double speedup = p.seconds > 0 ? serial.seconds / p.seconds : 0;
+    json << "    {\"jobs\": " << p.jobs << ", \"seconds\": " << p.seconds
+         << ", \"refs_per_sec\": " << rps << ", \"speedup\": " << speedup
+         << "}" << (i + 1 < passes.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n"
        << "}\n";
   std::printf("wrote results/BENCH_perf.json\n");
   return 0;

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a google-benchmark JSON run of the loaded-queue
+microbench against the checked-in baseline (bench/perf_smoke_baseline.json)
+and fail if CPU ns/op regressed beyond the baseline's tolerance.
+
+Usage:
+  # after: ./build/bench/micro_components \
+  #          --benchmark_filter=BM_DramChannelLoadedQueue \
+  #          --benchmark_min_time=0.2 --benchmark_repetitions=5 \
+  #          --benchmark_format=json > bench_out.json
+  scripts/check_perf_smoke.py bench_out.json            # gate (CI)
+  scripts/check_perf_smoke.py bench_out.json --update   # rewrite baseline
+
+The measured value is the median across repetitions (the *_median aggregate
+when present, else the median of the raw repetition samples), using CPU time
+rather than wall time so background load on the runner matters less.
+Cross-machine absolute ns/op is inherently coarse — the tolerance is wide
+(default 15%) and the gate exists to catch order-of-magnitude mistakes
+(e.g. reintroducing a per-bank pointer chase), not 2% drift.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "perf_smoke_baseline.json"
+
+
+def measured_ns_per_op(bench_json: dict, name: str) -> float:
+    """Median CPU ns/op for benchmark `name` from google-benchmark JSON."""
+    entries = bench_json.get("benchmarks", [])
+    for b in entries:
+        if b.get("name") == f"{name}_median":
+            if b.get("time_unit") != "ns":
+                raise SystemExit(f"unexpected time_unit {b.get('time_unit')}")
+            return float(b["cpu_time"])
+    samples = [
+        float(b["cpu_time"])
+        for b in entries
+        if b.get("name") == name and b.get("run_type", "iteration") == "iteration"
+    ]
+    if not samples:
+        raise SystemExit(
+            f"benchmark {name!r} not found in JSON (ran with the right "
+            f"--benchmark_filter?)"
+        )
+    return statistics.median(samples)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json", help="google-benchmark --benchmark_format=json output")
+    ap.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline's ns/op to the measured value instead of gating",
+    )
+    args = ap.parse_args()
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    name = baseline["benchmark"]
+    measured = measured_ns_per_op(json.loads(Path(args.bench_json).read_text()), name)
+
+    if args.update:
+        baseline["baseline_ns_per_op"] = round(measured, 1)
+        Path(args.baseline).write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline updated: {name} = {measured:.1f} ns/op")
+        return 0
+
+    base = float(baseline["baseline_ns_per_op"])
+    tol = float(baseline.get("tolerance_pct", 15)) / 100.0
+    limit = base * (1.0 + tol)
+    delta_pct = 100.0 * (measured - base) / base
+    print(
+        f"{name}: measured {measured:.1f} ns/op vs baseline {base:.1f} "
+        f"({delta_pct:+.1f}%, limit {limit:.1f})"
+    )
+    if measured > limit:
+        print(
+            f"FAIL: regression beyond {baseline.get('tolerance_pct', 15)}% "
+            f"tolerance. If intentional, rerun with --update and commit the "
+            f"new baseline.",
+            file=sys.stderr,
+        )
+        return 1
+    if measured < base * (1.0 - tol):
+        print(
+            "note: measurement is far below baseline — consider refreshing "
+            "the baseline with --update so the gate stays tight."
+        )
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,11 +8,7 @@
 namespace redcache {
 
 namespace {
-/// Round `t` up to the next DRAM command slot boundary.
-Cycle AlignUp(Cycle t) {
-  const Cycle rem = t % kCpuCyclesPerDramCycle;
-  return rem == 0 ? t : t + (kCpuCyclesPerDramCycle - rem);
-}
+constexpr Cycle AlignUp(Cycle t) { return TimingLanes::AlignUp(t); }
 }  // namespace
 
 DramChannel::DramChannel(const DramConfig& cfg, std::uint32_t channel_index)
@@ -20,21 +16,33 @@ DramChannel::DramChannel(const DramConfig& cfg, std::uint32_t channel_index)
       channel_index_(static_cast<std::uint16_t>(channel_index)),
       trace_device_(cfg.name == "hbm" ? obs::kTraceDeviceHbm
                                       : obs::kTraceDeviceMainMem) {
-  banks_.resize(std::size_t{cfg_.geometry.ranks_per_channel} *
-                cfg_.geometry.banks_per_rank);
-  ranks_.resize(cfg_.geometry.ranks_per_channel);
-  for (std::uint32_t r = 0; r < cfg_.geometry.ranks_per_channel; ++r) {
-    ranks_[r].Init(cfg_.timing, r);
-  }
-  slots_.resize(cfg_.controller.queue_depth);
-  free_slots_.reserve(cfg_.controller.queue_depth);
-  for (std::uint32_t s = cfg_.controller.queue_depth; s-- > 0;) {
+  lanes_.Init(cfg_.timing, cfg_.geometry.ranks_per_channel,
+              cfg_.geometry.banks_per_rank);
+  const std::uint32_t depth = cfg_.controller.queue_depth;
+  slots_.resize(depth);
+  free_slots_.reserve(depth);
+  for (std::uint32_t s = depth; s-- > 0;) {
     free_slots_.push_back(static_cast<std::int32_t>(s));
   }
-  row_demand_.resize(banks_.size());
-  ready_memo_.resize(banks_.size());
-  bank_stamp_.assign(banks_.size(), 0);
-  rank_stamp_.assign(ranks_.size(), 0);
+  q_bank_.reserve(depth);
+  q_rank_.reserve(depth);
+  q_row_.reserve(depth);
+  q_write_.reserve(depth);
+  q_arrival_.reserve(depth);
+  q_slot_.reserve(depth);
+  row_demand_.resize(lanes_.num_banks());
+  demand_count_.assign(lanes_.num_banks(), 0);
+  open_reads_.assign(lanes_.num_banks(), 0);
+  open_writes_.assign(lanes_.num_banks(), 0);
+  bank_due_.assign(lanes_.num_banks(), 0);
+  bank_summary_.assign(lanes_.num_banks(), 0);  // selector 0: no demand
+  active_banks_.reserve(lanes_.num_banks());
+  active_pos_.assign(lanes_.num_banks(), -1);
+  rank_lut_base_.resize(lanes_.num_banks());
+  for (std::uint32_t b = 0; b < lanes_.num_banks(); ++b) {
+    rank_lut_base_[b] = lanes_.rank_of(b) * 8;
+  }
+  summary_lut_.assign(std::size_t{lanes_.num_ranks()} * 8, 0);
 }
 
 void DramChannel::Enqueue(const DramRequest& req) {
@@ -44,56 +52,82 @@ void DramChannel::Enqueue(const DramRequest& req) {
   Pending& p = slots_[static_cast<std::size_t>(s)];
   p.req = req;
   p.bursts_left = std::max<std::uint32_t>(1, req.bursts);
-  p.bank_idx = req.loc.rank * cfg_.geometry.banks_per_rank + req.loc.bank;
   p.first_command_issued = false;
-  p.prev = tail_;
-  p.next = -1;
-  if (tail_ == -1) {
-    head_ = s;
-  } else {
-    slots_[static_cast<std::size_t>(tail_)].next = s;
-  }
-  tail_ = s;
-  live_count_++;
-  AddRowDemand(p.bank_idx, req.loc.row);
+  const std::uint32_t bank_idx =
+      req.loc.rank * cfg_.geometry.banks_per_rank + req.loc.bank;
+  q_bank_.push_back(bank_idx);
+  q_rank_.push_back(req.loc.rank);
+  q_row_.push_back(req.loc.row);
+  q_write_.push_back(req.is_write ? 1 : 0);
+  q_arrival_.push_back(req.arrival);
+  q_slot_.push_back(s);
+  AddRowDemand(bank_idx, req.loc.row, req.is_write);
+  RefreshBankSummary(bank_idx);
   if (req.is_write) write_count_++;
   counters_.transactions++;
-  sleep_until_ = 0;  // new work: wake the scheduler
+  // Incremental wake maintenance: instead of forcing a full rescan on the
+  // next slot, lower the sleep target only as far as the new arrival
+  // requires. Readiness depends solely on the timing lanes, so nothing
+  // already queued got closer, and added row demand can only *block* a
+  // precharge, never enable earlier work. The one time-driven (rather than
+  // issue- or arrival-driven) scan decision is anti-starvation, so also cap
+  // the sleep at the head's starvation boundary; once a scan runs starved,
+  // it folds the head's ready cycle into the sleep target itself.
+  Cycle ready_new = kNever;
+  RequiredAction(q_slot_.size() - 1, ready_new);
+  const Cycle starved_at =
+      q_arrival_[0] + cfg_.controller.starvation_cycles + 1;
+  sleep_until_ = std::min({sleep_until_, ready_new, starved_at});
 }
 
-void DramChannel::RemoveFromQueue(std::int32_t slot) {
-  Pending& p = slots_[static_cast<std::size_t>(slot)];
-  if (p.prev == -1) {
-    head_ = p.next;
-  } else {
-    slots_[static_cast<std::size_t>(p.prev)].next = p.next;
-  }
-  if (p.next == -1) {
-    tail_ = p.prev;
-  } else {
-    slots_[static_cast<std::size_t>(p.next)].prev = p.prev;
-  }
-  live_count_--;
-  SubRowDemand(p.bank_idx, p.req.loc.row);
-  free_slots_.push_back(slot);
+void DramChannel::RemoveFromQueue(std::size_t i) {
+  SubRowDemand(q_bank_[i], q_row_[i], q_write_[i] != 0);
+  free_slots_.push_back(q_slot_[i]);
+  q_bank_.erase(q_bank_.begin() + static_cast<std::ptrdiff_t>(i));
+  q_rank_.erase(q_rank_.begin() + static_cast<std::ptrdiff_t>(i));
+  q_row_.erase(q_row_.begin() + static_cast<std::ptrdiff_t>(i));
+  q_write_.erase(q_write_.begin() + static_cast<std::ptrdiff_t>(i));
+  q_arrival_.erase(q_arrival_.begin() + static_cast<std::ptrdiff_t>(i));
+  q_slot_.erase(q_slot_.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
-void DramChannel::AddRowDemand(std::uint32_t bank_idx, std::uint64_t row) {
+void DramChannel::AddRowDemand(std::uint32_t bank_idx, std::uint64_t row,
+                               bool is_write) {
+  if (demand_count_[bank_idx]++ == 0) {
+    active_pos_[bank_idx] = static_cast<std::int32_t>(active_banks_.size());
+    active_banks_.push_back(bank_idx);
+  }
+  if (row == lanes_.OpenRow(bank_idx)) {
+    (is_write ? open_writes_ : open_reads_)[bank_idx]++;
+  }
   auto& rows = row_demand_[bank_idx];
   for (RowDemand& d : rows) {
     if (d.row == row) {
-      d.count++;
+      (is_write ? d.writes : d.reads)++;
       return;
     }
   }
-  rows.push_back({row, 1});
+  rows.push_back({row, is_write ? 0u : 1u, is_write ? 1u : 0u});
 }
 
-void DramChannel::SubRowDemand(std::uint32_t bank_idx, std::uint64_t row) {
+void DramChannel::SubRowDemand(std::uint32_t bank_idx, std::uint64_t row,
+                               bool is_write) {
+  if (--demand_count_[bank_idx] == 0) {
+    const std::int32_t pos = active_pos_[bank_idx];
+    const std::uint32_t moved = active_banks_.back();
+    active_banks_[static_cast<std::size_t>(pos)] = moved;
+    active_pos_[moved] = pos;
+    active_banks_.pop_back();
+    active_pos_[bank_idx] = -1;
+  }
+  if (row == lanes_.OpenRow(bank_idx)) {
+    (is_write ? open_writes_ : open_reads_)[bank_idx]--;
+  }
   auto& rows = row_demand_[bank_idx];
   for (RowDemand& d : rows) {
     if (d.row == row) {
-      if (--d.count == 0) {
+      (is_write ? d.writes : d.reads)--;
+      if (d.reads + d.writes == 0) {
         d = rows.back();
         rows.pop_back();
       }
@@ -103,127 +137,151 @@ void DramChannel::SubRowDemand(std::uint32_t bank_idx, std::uint64_t row) {
   assert(false && "row demand underflow");
 }
 
-bool DramChannel::RowWanted(std::uint32_t bank_idx, std::uint64_t row) const {
+const DramChannel::RowDemand* DramChannel::FindDemand(
+    std::uint32_t bank_idx, std::uint64_t row) const {
   for (const RowDemand& d : row_demand_[bank_idx]) {
-    if (d.row == row) return d.count != 0;
+    if (d.row == row) return &d;
   }
-  return false;
+  return nullptr;
 }
 
-Cycle DramChannel::ComputeColumnReady(std::uint32_t bank_idx,
-                                      std::uint32_t rank_idx, bool is_write,
-                                      Cycle col_gate) const {
-  const auto& t = cfg_.timing;
-  const BankState& bank = banks_[bank_idx];
-  const Cycle lat = is_write ? t.tCWD : t.tCAS;
-  Cycle ready = std::max({bank.next_column, col_gate,
-                          is_write ? next_write_cmd_ : next_read_cmd_});
-  if (data_bus_free_ > lat) {
-    ready = std::max(ready, data_bus_free_ - lat);
-  }
-  const RankState& rank = ranks_[rank_idx];
-  if (rank.Refreshing(ready)) {
-    ready = rank.refreshing_until();
-  }
-  return AlignUp(ready);
-}
-
-Cycle DramChannel::ComputeActivateReady(std::uint32_t bank_idx,
-                                        std::uint32_t rank_idx) const {
-  const BankState& bank = banks_[bank_idx];
-  const RankState& rank = ranks_[rank_idx];
-  Cycle ready = std::max(bank.next_activate, rank.NextActivateAllowed());
-  if (rank.Refreshing(ready)) ready = rank.refreshing_until();
-  return AlignUp(ready);
-}
-
-Cycle DramChannel::ComputePrechargeReady(std::uint32_t bank_idx,
-                                         std::uint32_t rank_idx) const {
-  const BankState& bank = banks_[bank_idx];
-  const RankState& rank = ranks_[rank_idx];
-  Cycle ready = bank.next_precharge;
-  if (rank.Refreshing(ready)) ready = rank.refreshing_until();
-  return AlignUp(ready);
-}
-
-REDCACHE_ALWAYS_INLINE DramChannel::Action DramChannel::RequiredAction(
-    const Pending& p, Cycle& ready_at) const {
-  const std::uint32_t b = p.bank_idx;
-  const std::uint32_t r = p.req.loc.rank;
-  const BankState& bank = banks_[b];
-  ReadyMemo& m = ready_memo_[b];
-  const std::uint64_t br_sig = std::max(bank_stamp_[b], rank_stamp_[r]);
-  if (!bank.RowOpen()) {
-    if (m.act_sig != br_sig) {
-      m.act = ComputeActivateReady(b, r);
-      m.act_sig = br_sig;
-    }
-    ready_at = m.act;
+DramChannel::Action DramChannel::RequiredAction(std::size_t i,
+                                                Cycle& ready_at) const {
+  const std::uint32_t b = q_bank_[i];
+  const std::uint64_t open = lanes_.OpenRow(b);
+  if (open == TimingLanes::kNoRow) {
+    ready_at = lanes_.ActivateReady(b);
     return Action::kActivate;
   }
-  if (bank.open_row != p.req.loc.row) {
-    if (m.pre_sig != br_sig) {
-      m.pre = ComputePrechargeReady(b, r);
-      m.pre_sig = br_sig;
-    }
-    ready_at = m.pre;
+  if (open != q_row_[i]) {
+    ready_at = lanes_.PrechargeReady(b);
     return Action::kPrecharge;
   }
+  const bool w = q_write_[i] != 0;
   // Follow-up bursts of the same transaction stream back to back, gated by
-  // the data bus only (not tCCD). At most one queued request matches
-  // last_column_req_, so this case bypasses the per-bank memo.
-  if (last_column_req_ == p.req.id && p.bursts_left < p.req.bursts) {
-    ready_at = ComputeColumnReady(b, r, p.req.is_write, Cycle{0});
-    return Action::kColumn;
-  }
-  const std::uint64_t col_sig = std::max(br_sig, col_stamp_);
-  if (p.req.is_write) {
-    if (m.col_w_sig != col_sig) {
-      m.col_w = ComputeColumnReady(b, r, true, next_column_cmd_);
-      m.col_w_sig = col_sig;
-    }
-    ready_at = m.col_w;
-  } else {
-    if (m.col_r_sig != col_sig) {
-      m.col_r = ComputeColumnReady(b, r, false, next_column_cmd_);
-      m.col_r_sig = col_sig;
-    }
-    ready_at = m.col_r;
-  }
+  // the data bus only (not tCCD). At most one queued request can be the
+  // continuation.
+  ready_at = q_slot_[i] == cont_slot_ ? lanes_.ContinuationReady(b, w)
+                                      : lanes_.ColumnReady(b, w);
   return Action::kColumn;
 }
 
-void DramChannel::IssueColumn(std::int32_t slot, Cycle now) {
+void DramChannel::RefreshBankSummary(std::uint32_t b) {
+  // Selector / bank-local-gate pairs (see the lane map in channel.hpp):
+  //   no demand        -> 0, raw ready kNever (bank contributes nothing)
+  //   closed row       -> every transaction needs an activate
+  //   open, not wanted -> every transaction needs a precharge
+  //   open, row wanted -> column ready per represented direction
+  //                       (precharge candidates are blocked and contribute
+  //                        nothing, matching the scan; the continuation
+  //                        transaction is lifted out of its direction count
+  //                        since it is gated by ContinuationReady, not
+  //                        ColumnReady, and folded back in per scan)
+  std::uint64_t sel;
+  Cycle local = 0;
+  if (demand_count_[b] == 0) {
+    sel = 0;
+  } else if (!lanes_.RowOpen(b)) {
+    sel = 1;
+    local = lanes_.RawActivateGate(b);
+  } else if (open_reads_[b] + open_writes_[b] == 0) {
+    sel = 2;
+    local = lanes_.RawPrechargeGate(b);
+  } else {
+    std::uint32_t reads = open_reads_[b];
+    std::uint32_t writes = open_writes_[b];
+    if (cont_slot_ != -1 && cont_bank_ == b &&
+        cont_row_ == lanes_.OpenRow(b)) {
+      (cont_write_ ? writes : reads)--;
+    }
+    sel = 3 + (reads != 0 ? 1u : 0u) + (writes != 0 ? 2u : 0u);
+    local = lanes_.RawColumnGate(b);
+  }
+  bank_summary_[b] = (local << 3) | sel;
+}
+
+std::uint32_t DramChannel::SummarizeBanks(Cycle now, Cycle& min_ready) {
+  // Per-scan LUT: the bank-invariant completion of each selector's
+  // max-chain, per rank. A bank's exact raw earliest-ready is then
+  // max(local gate, lut[rank][sel]) — max distributes over the min across
+  // direction terms because the bank-local and refresh terms are common:
+  //   min over dirs of max(col_gate, shared[dir], refresh)
+  //     == max(col_gate, refresh, min over dirs of shared[dir]).
+  const std::uint32_t ranks = lanes_.num_ranks();
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    Cycle* lut = &summary_lut_[std::size_t{r} * 8];
+    const Cycle refresh = lanes_.refresh_until(r);
+    const Cycle col_rd = std::max(refresh, lanes_.SharedColumnGate(false));
+    const Cycle col_wr = std::max(refresh, lanes_.SharedColumnGate(true));
+    lut[0] = kNever;  // no demand
+    lut[1] = lanes_.RankActivateGate(r);
+    lut[2] = refresh;  // precharge
+    lut[3] = kNever;   // column, both dirs continuation-only
+    lut[4] = col_rd;
+    lut[5] = col_wr;
+    lut[6] = std::min(col_rd, col_wr);
+    lut[7] = kNever;  // unused (pad)
+  }
+
+  // Branchless per-bank loop over the banks that actually have queued
+  // demand: one packed load, one LUT load, max, compare. AlignUp commutes
+  // with min/<=-vs-even-now, so it is applied once at the end instead of
+  // per bank.
+  std::uint32_t due = 0;
+  Cycle raw_min = kNever;
+  const std::uint32_t active = static_cast<std::uint32_t>(active_banks_.size());
+  const std::uint32_t* active_banks = active_banks_.data();
+  const std::uint64_t* summary = bank_summary_.data();
+  const std::uint32_t* lut_base = rank_lut_base_.data();
+  const Cycle* lut = summary_lut_.data();
+  std::uint8_t* due_flags = bank_due_.data();
+  for (std::uint32_t k = 0; k < active; ++k) {
+    const std::uint32_t b = active_banks[k];
+    const std::uint64_t v = summary[b];
+    const Cycle raw =
+        std::max(static_cast<Cycle>(v >> 3), lut[lut_base[b] + (v & 7)]);
+    const bool is_due = raw <= now;
+    due_flags[b] = is_due;
+    due += is_due;
+    raw_min = std::min(raw_min, is_due ? kNever : raw);
+  }
+
+  // Fold the continuation transaction back in: it contributes its bank's
+  // ContinuationReady (col_shared without the tCCD term) instead of
+  // ColumnReady. Correct even when its bank was counted due already — once
+  // any bank is due a command issues this scan and min_ready goes unused.
+  if (cont_slot_ != -1 && cont_row_ == lanes_.OpenRow(cont_bank_)) {
+    const Cycle cont_ready = lanes_.ContinuationReady(cont_bank_, cont_write_);
+    if (cont_ready <= now) {
+      due += 1 - due_flags[cont_bank_];
+      due_flags[cont_bank_] = 1;
+    } else {
+      min_ready = std::min(min_ready, cont_ready);
+    }
+  }
+  if (raw_min != kNever) {
+    min_ready = std::min(min_ready, TimingLanes::AlignUp(raw_min));
+  }
+  return due;
+}
+
+void DramChannel::IssueColumn(std::size_t i, Cycle now) {
   const auto& t = cfg_.timing;
   const auto& geo = cfg_.geometry;
-  Pending& p = slots_[static_cast<std::size_t>(slot)];
-  BankState& bank = BankOf(p.req.loc);
-  const bool is_write = p.req.is_write;
-  bank_stamp_[p.bank_idx] = ++stamp_counter_;
-  col_stamp_ = stamp_counter_;
+  const std::uint32_t bank_idx = q_bank_[i];
+  const bool is_write = q_write_[i] != 0;
+  Pending& p = slots_[static_cast<std::size_t>(q_slot_[i])];
 
   const Cycle lat = is_write ? t.tCWD : t.tCAS;
-  const Cycle data_start = now + lat;
-  const Cycle data_end = data_start + t.tBL;
-
-  data_bus_free_ = data_end;
-  next_column_cmd_ = now + t.tCCD;
-  last_column_req_ = p.req.id;
+  const Cycle data_end = now + lat + t.tBL;
+  lanes_.RecordColumn(bank_idx, is_write, now);
   next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
 
   if (is_write) {
-    next_read_cmd_ = std::max(next_read_cmd_, data_end + t.tWTR);
-    bank.next_precharge = std::max(bank.next_precharge, data_end + t.tWR);
     counters_.write_bursts++;
     if (last_data_ == LastData::kRead) counters_.turnarounds_rw++;
     last_data_ = LastData::kWrite;
   } else {
-    // A later write burst must wait for the bus to reverse after our data.
-    const Cycle wr_ok =
-        data_end + t.tRTW_bubble > t.tCWD ? data_end + t.tRTW_bubble - t.tCWD
-                                          : Cycle{0};
-    next_write_cmd_ = std::max(next_write_cmd_, wr_ok);
-    bank.next_precharge = std::max(bank.next_precharge, now + t.tRTP);
     counters_.read_bursts++;
     if (last_data_ == LastData::kWrite) counters_.turnarounds_wr++;
     last_data_ = LastData::kRead;
@@ -253,26 +311,37 @@ void DramChannel::IssueColumn(std::int32_t slot, Cycle now) {
       .addr = p.req.addr,
       .arg = p.req.loc.row});
 
+  const std::int32_t old_cont_slot = cont_slot_;
+  const std::uint32_t old_cont_bank = cont_bank_;
   p.bursts_left--;
   if (p.bursts_left == 0) {
     pending_done_.push_back(
         {p.req.id, p.req.addr, is_write, data_end, p.req.user_tag});
     pending_done_min_ = std::min(pending_done_min_, data_end);
     if (is_write) write_count_--;
-    RemoveFromQueue(slot);
+    cont_slot_ = -1;  // the streaming transaction retired
+    RemoveFromQueue(i);
+  } else {
+    cont_slot_ = q_slot_[i];
+    cont_bank_ = bank_idx;
+    cont_row_ = q_row_[i];
+    cont_write_ = is_write;
+  }
+  RefreshBankSummary(bank_idx);
+  // Taking over (or retiring) the continuation restores the displaced
+  // holder's direction count to its bank's summary.
+  if (old_cont_slot != -1 && old_cont_bank != bank_idx) {
+    RefreshBankSummary(old_cont_bank);
   }
 }
 
-void DramChannel::IssueActivate(Pending& p, Cycle now) {
+void DramChannel::IssueActivate(std::size_t i, Cycle now) {
   const auto& t = cfg_.timing;
-  BankState& bank = BankOf(p.req.loc);
-  bank_stamp_[p.bank_idx] = ++stamp_counter_;
-  rank_stamp_[p.req.loc.rank] = stamp_counter_;
-  bank.open_row = p.req.loc.row;
-  bank.next_column = now + t.tRCD;
-  bank.next_precharge = std::max(bank.next_precharge, now + t.tRAS);
-  bank.next_activate = now + t.tRC;
-  ranks_[p.req.loc.rank].RecordActivate(now);
+  Pending& p = slots_[static_cast<std::size_t>(q_slot_[i])];
+  lanes_.RecordActivate(q_bank_[i], q_row_[i], now);
+  const RowDemand* d = FindDemand(q_bank_[i], q_row_[i]);
+  open_reads_[q_bank_[i]] = d->reads;
+  open_writes_[q_bank_[i]] = d->writes;
   next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
   counters_.activates++;
   counters_.row_misses++;
@@ -290,14 +359,14 @@ void DramChannel::IssueActivate(Pending& p, Cycle now) {
     p.first_command_issued = true;
     counters_.queue_wait_cycles += now - p.req.arrival;
   }
+  RefreshBankSummary(q_bank_[i]);
 }
 
 void DramChannel::IssuePrecharge(std::uint32_t bank_idx, Cycle now) {
-  BankState& bank = banks_[bank_idx];
-  bank_stamp_[bank_idx] = ++stamp_counter_;
-  const std::uint64_t closed_row = bank.open_row;
-  bank.open_row = BankState::kNoRow;
-  bank.next_activate = std::max(bank.next_activate, now + cfg_.timing.tRP);
+  const std::uint64_t closed_row = lanes_.OpenRow(bank_idx);
+  lanes_.RecordPrecharge(bank_idx, now);
+  open_reads_[bank_idx] = 0;
+  open_writes_[bank_idx] = 0;
   next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
   counters_.precharges++;
   REDCACHE_TRACE_EVENT(obs::TraceEvent{
@@ -311,6 +380,7 @@ void DramChannel::IssuePrecharge(std::uint32_t bank_idx, Cycle now) {
                                         cfg_.geometry.banks_per_rank),
       .channel = channel_index_,
       .arg = closed_row});
+  RefreshBankSummary(bank_idx);
 }
 
 bool DramChannel::MaybeRefresh(Cycle now, Cycle& min_ready) {
@@ -320,43 +390,45 @@ bool DramChannel::MaybeRefresh(Cycle now, Cycle& min_ready) {
     return false;
   }
   Cycle wake = kNever;
-  for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
-    RankState& rank = ranks_[r];
-    if (rank.Refreshing(now)) {
-      wake = std::min(wake, rank.refreshing_until());
+  const std::uint32_t banks_per_rank = cfg_.geometry.banks_per_rank;
+  for (std::uint32_t r = 0; r < lanes_.num_ranks(); ++r) {
+    if (lanes_.Refreshing(r, now)) {
+      wake = std::min(wake, lanes_.refresh_until(r));
       continue;
     }
-    if (!rank.RefreshDue(now)) {
-      wake = std::min(wake, rank.next_refresh());
+    if (!lanes_.RefreshDue(r, now)) {
+      wake = std::min(wake, lanes_.next_refresh(r));
       continue;
     }
     // Refresh is due: close all banks, then wait tRP, then refresh.
     Cycle rank_ready = now;
     bool all_closed = true;
-    BankState* bank_base =
-        &banks_[std::size_t{r} * cfg_.geometry.banks_per_rank];
-    for (std::uint32_t b = 0; b < cfg_.geometry.banks_per_rank; ++b) {
-      BankState& bank = bank_base[b];
-      if (bank.RowOpen()) {
+    const std::uint32_t bank_base = r * banks_per_rank;
+    for (std::uint32_t b = 0; b < banks_per_rank; ++b) {
+      const std::uint32_t bank = bank_base + b;
+      if (lanes_.RowOpen(bank)) {
         all_closed = false;
-        if (now >= bank.next_precharge) {
-          IssuePrecharge(r * cfg_.geometry.banks_per_rank + b, now);
+        if (now >= lanes_.RawPrechargeGate(bank)) {
+          IssuePrecharge(bank, now);
           return true;  // refresh_wake_ stays hot (<= now)
         }
-        rank_ready = std::max(rank_ready, bank.next_precharge);
+        rank_ready = std::max(rank_ready, lanes_.RawPrechargeGate(bank));
       } else {
-        rank_ready = std::max(rank_ready, bank.next_activate);
+        rank_ready = std::max(rank_ready, lanes_.RawActivateGate(bank));
       }
     }
     if (!all_closed || now < rank_ready) {
       wake = std::min(wake, AlignUp(std::max(rank_ready, now + 1)));
       continue;
     }
-    rank.StartRefresh(now);
-    rank_stamp_[r] = ++stamp_counter_;
-    for (std::uint32_t b = 0; b < cfg_.geometry.banks_per_rank; ++b) {
-      bank_base[b].next_activate =
-          std::max(bank_base[b].next_activate, now + cfg_.timing.tRFC);
+    lanes_.StartRefresh(r, now);
+    refresh_epoch_++;
+    // StartRefresh raised the rank's bank activate gates by tRFC. Only
+    // banks with queued demand need their packed summary recomputed — an
+    // inactive bank's summary is never read before its next activation
+    // (Enqueue) recomputes it.
+    for (const std::uint32_t bank : active_banks_) {
+      if (lanes_.rank_of(bank) == r) RefreshBankSummary(bank);
     }
     next_cmd_slot_ = now + kCpuCyclesPerDramCycle;
     counters_.refreshes++;
@@ -398,31 +470,31 @@ void DramChannel::Tick(Cycle now, std::vector<DramCompletion>& done) {
   Cycle min_ready = kNever;
   if (MaybeRefresh(now, min_ready)) return;
 
-  if (live_count_ == 0) {
+  const std::size_t q_size = q_slot_.size();
+  if (q_size == 0) {
     sleep_until_ = min_ready == kNever ? now + cfg_.timing.tREFI : min_ready;
     return;
   }
 
   const Cycle starve = cfg_.controller.starvation_cycles;
 
-  // Anti-starvation: once the oldest request (queue head, arrival order)
-  // has waited past the threshold, issue its next command ahead of row
-  // hits — but only when it can actually issue; blocking the channel on a
-  // not-yet-ready command would serialize the banks.
+  // Anti-starvation: once the oldest request (queue position 0, arrival
+  // order) has waited past the threshold, issue its next command ahead of
+  // row hits — but only when it can actually issue; blocking the channel on
+  // a not-yet-ready command would serialize the banks.
   Action head_act = Action::kNone;
   Cycle head_ready = kNever;
   bool head_cached = false;
-  if (slots_[static_cast<std::size_t>(head_)].req.arrival + starve < now) {
-    Pending& p = slots_[static_cast<std::size_t>(head_)];
-    head_act = RequiredAction(p, head_ready);
+  if (q_arrival_[0] + starve < now) {
+    head_act = RequiredAction(0, head_ready);
     head_cached = true;
     if (head_ready <= now) {
       if (head_act == Action::kColumn) {
-        IssueColumn(head_, now);
+        IssueColumn(0, now);
       } else if (head_act == Action::kActivate) {
-        IssueActivate(p, now);
+        IssueActivate(0, now);
       } else {
-        IssuePrecharge(p.bank_idx, now);
+        IssuePrecharge(q_bank_[0], now);
       }
       return;
     }
@@ -431,58 +503,68 @@ void DramChannel::Tick(Cycle now, std::vector<DramCompletion>& done) {
     // its bank timing.
   }
 
+  // Per-bank pre-pass over the flat lanes: if no bank can issue at `now`,
+  // the exact sleep target is already in min_ready and the queue is never
+  // touched.
+  if (SummarizeBanks(now, min_ready) == 0) {
+    sleep_until_ = min_ready == kNever
+                       ? now + kCpuCyclesPerDramCycle
+                       : std::max(min_ready, now + kCpuCyclesPerDramCycle);
+    return;
+  }
+
   // Writes are posted: demand reads get priority until writes pile up past
   // the watermark (standard write-drain policy; keeps read latency low
   // without starving fills/writebacks/update traffic).
   const bool drain_writes =
       2 * write_count_ > cfg_.controller.queue_depth;
 
-  std::int32_t open_pick = -1;
+  std::size_t open_pick = q_size;
   Action open_action = Action::kNone;
-  std::int32_t write_pick = -1;
+  std::size_t write_pick = q_size;
 
-  for (std::int32_t s = head_; s != -1;
-       s = slots_[static_cast<std::size_t>(s)].next) {
-    const Pending& p = slots_[static_cast<std::size_t>(s)];
+  for (std::size_t i = 0; i < q_size; ++i) {
+    // A bank the pre-pass left unflagged cannot issue at `now`, and its
+    // earliest-ready cycle is already folded into min_ready.
+    if (!bank_due_[q_bank_[i]]) continue;
+
     Cycle ready = kNever;
     // The starved-head branch already computed the head's action this slot.
-    const Action act = (s == head_ && head_cached)
+    const Action act = (i == 0 && head_cached)
                            ? (ready = head_ready, head_act)
-                           : RequiredAction(p, ready);
+                           : RequiredAction(i, ready);
 
     if (act == Action::kColumn && ready <= now) {
-      if (!p.req.is_write || drain_writes) {
+      if (q_write_[i] == 0 || drain_writes) {
         // FR-FCFS: the oldest ready row-hit (read-first) wins.
-        IssueColumn(s, now);
+        IssueColumn(i, now);
         return;
       }
-      if (write_pick == -1) write_pick = s;
+      if (write_pick == q_size) write_pick = i;
       continue;
     }
     if (act == Action::kPrecharge) {
       // Do not close a row another queued transaction still wants.
-      const BankState& bank = banks_[p.bank_idx];
-      if (RowWanted(p.bank_idx, bank.open_row)) continue;
+      if (open_reads_[q_bank_[i]] + open_writes_[q_bank_[i]] != 0) continue;
     }
 
     min_ready = std::min(min_ready, ready);
     if (ready > now) continue;
-    if (act != Action::kColumn && open_pick == -1) {
-      open_pick = s;
+    if (act != Action::kColumn && open_pick == q_size) {
+      open_pick = i;
       open_action = act;
     }
   }
 
-  if (write_pick != -1) {
+  if (write_pick != q_size) {
     IssueColumn(write_pick, now);
     return;
   }
-  if (open_pick != -1) {
-    Pending& p = slots_[static_cast<std::size_t>(open_pick)];
+  if (open_pick != q_size) {
     if (open_action == Action::kActivate) {
-      IssueActivate(p, now);
+      IssueActivate(open_pick, now);
     } else {
-      IssuePrecharge(p.bank_idx, now);
+      IssuePrecharge(q_bank_[open_pick], now);
     }
     return;
   }
@@ -494,7 +576,7 @@ void DramChannel::Tick(Cycle now, std::vector<DramCompletion>& done) {
 
 Cycle DramChannel::NextEventHint(Cycle now) const {
   Cycle next = pending_done_min_;
-  if (live_count_ != 0) {
+  if (!q_slot_.empty()) {
     // Exact, not conservative: commands issue only on DRAM command-slot
     // boundaries and Tick returns on misalignment, so the poll term rounds
     // up to the next slot — the cycles in between are provable no-ops.
@@ -504,17 +586,17 @@ Cycle DramChannel::NextEventHint(Cycle now) const {
     // Idle: the only future work is refresh bookkeeping. The rank walk is
     // memoized: its result is constant until `now` reaches it (refresh
     // starts/ends never fall inside the window — the minimum over the very
-    // terms that bound them) or until a command mutates rank state, which
-    // bumps stamp_counter_. A hint at or before `now` (refresh due but
-    // blocked) recomputes per call, exactly like the old walk.
-    if (idle_hint_stamp_ != stamp_counter_ || now >= idle_hint_) {
+    // terms that bound them) or until a refresh starts, which bumps
+    // refresh_epoch_. A hint at or before `now` (refresh due but blocked)
+    // recomputes per call, exactly like an unmemoized walk.
+    if (idle_hint_epoch_ != refresh_epoch_ || now >= idle_hint_) {
       Cycle h = kNever;
-      for (const auto& r : ranks_) {
-        h = std::min(h, r.Refreshing(now) ? r.refreshing_until()
-                                          : r.next_refresh());
+      for (std::uint32_t r = 0; r < lanes_.num_ranks(); ++r) {
+        h = std::min(h, lanes_.Refreshing(r, now) ? lanes_.refresh_until(r)
+                                                  : lanes_.next_refresh(r));
       }
       idle_hint_ = h;
-      idle_hint_stamp_ = stamp_counter_;
+      idle_hint_epoch_ = refresh_epoch_;
     }
     next = std::min(next, idle_hint_);
   }

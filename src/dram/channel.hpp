@@ -4,15 +4,22 @@
 // The channel is tick-driven at CPU-cycle granularity but self-limits work:
 // when nothing can issue it computes a wake-up cycle so the simulator can
 // fast-forward through stalls.
+//
+// Hot-path layout (DESIGN.md §12): all device timing state lives in flat
+// structure-of-arrays lanes (TimingLanes), the transaction queue is a set
+// of parallel arrival-order arrays scanned with dense indices, and the
+// FR-FCFS scan is two-level — a per-bank earliest-ready pre-pass over the
+// lanes first, then an arrival-order walk restricted to banks that can
+// actually issue at `now`.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
-#include "dram/bank.hpp"
 #include "dram/request.hpp"
 #include "dram/timing.hpp"
+#include "dram/timing_lanes.hpp"
 
 namespace redcache {
 
@@ -38,9 +45,9 @@ class DramChannel {
  public:
   DramChannel(const DramConfig& cfg, std::uint32_t channel_index);
 
-  bool CanAccept() const { return live_count_ < cfg_.controller.queue_depth; }
-  bool QueueEmpty() const { return live_count_ == 0 && pending_done_.empty(); }
-  std::size_t QueueSize() const { return live_count_; }
+  bool CanAccept() const { return QueueSize() < cfg_.controller.queue_depth; }
+  bool QueueEmpty() const { return q_slot_.empty() && pending_done_.empty(); }
+  std::size_t QueueSize() const { return q_slot_.size(); }
 
   /// Enqueue a transaction (caller checked CanAccept).
   void Enqueue(const DramRequest& req);
@@ -52,7 +59,7 @@ class DramChannel {
   /// True while the addressed rank is executing a refresh — RedCache's
   /// bypass-on-refresh checks this before routing a request to the HBM.
   bool RankRefreshing(std::uint32_t rank, Cycle now) const {
-    return ranks_[rank].Refreshing(now);
+    return lanes_.Refreshing(rank, now);
   }
 
   void SetObserver(ColumnCommandObserver* obs) { observer_ = obs; }
@@ -63,142 +70,149 @@ class DramChannel {
   Cycle NextEventHint(Cycle now) const;
 
   /// Wake bound valid immediately after an Enqueue, before any tick: the
-  /// scheduler cannot act before the command-bus slot frees, and pending
-  /// data deliveries are the only other effect. Unlike NextEventHint this
-  /// may be in the past ("due now") — the enqueue may precede this visit's
-  /// device tick, and the new request could issue at the current cycle.
+  /// scheduler cannot act before both the command-bus slot frees and the
+  /// sleep target Enqueue just refreshed (Tick's early-out gates on both,
+  /// so no command can issue earlier by construction); pending data
+  /// deliveries are the only other effect. Unlike NextEventHint this may be
+  /// in the past ("due now") — the enqueue may precede this visit's device
+  /// tick, and the new request could issue at the current cycle.
   Cycle EnqueueWake() const {
-    return std::min(pending_done_min_, next_cmd_slot_);
+    return std::min(pending_done_min_, std::max(next_cmd_slot_, sleep_until_));
   }
 
  private:
-  /// Queue entries live in a fixed slot pool (`slots_`, sized queue_depth)
-  /// threaded into an arrival-order doubly-linked list, so retiring a
-  /// transaction is O(1) instead of an O(n) mid-vector erase while the
-  /// FR-FCFS scan still walks strict arrival order.
+  /// Cold per-transaction state, held in a fixed slot pool (queue_depth
+  /// entries, free-list recycled). The scan never touches this — it walks
+  /// the hot q_* lanes below; a slot is consulted only when a command
+  /// actually issues (trace identity, burst countdown, completion payload).
   struct Pending {
     DramRequest req;
-    std::uint32_t bursts_left;
-    std::uint32_t bank_idx;  ///< cached rank*banks_per_rank + bank
+    std::uint32_t bursts_left = 0;
     bool first_command_issued = false;
-    std::int32_t prev = -1;  ///< arrival-order list links (slot indices)
-    std::int32_t next = -1;
   };
   enum class Action { kNone, kColumn, kActivate, kPrecharge };
 
   static constexpr Cycle kNever = ~Cycle{0};
 
-// Hot path: called for every queued transaction on every command slot; the
-// call overhead alone is measurable in the FR-FCFS scan (see
-// BM_DramChannelLoadedQueue), so force it into Tick.
-#if defined(__GNUC__) || defined(__clang__)
-#define REDCACHE_ALWAYS_INLINE inline __attribute__((always_inline))
-#else
-#define REDCACHE_ALWAYS_INLINE inline
-#endif
-  /// Next required command for `p` and its earliest legal issue cycle.
-  REDCACHE_ALWAYS_INLINE Action RequiredAction(const Pending& p,
-                                               Cycle& ready_at) const;
-  Cycle ComputeColumnReady(std::uint32_t bank_idx, std::uint32_t rank,
-                           bool is_write, Cycle col_gate) const;
-  Cycle ComputeActivateReady(std::uint32_t bank_idx, std::uint32_t rank) const;
-  Cycle ComputePrechargeReady(std::uint32_t bank_idx,
-                              std::uint32_t rank) const;
+  /// Next required command for queue position `i` and its earliest legal
+  /// issue cycle — a branch-light select over the timing lanes.
+  Action RequiredAction(std::size_t i, Cycle& ready_at) const;
 
-  void IssueColumn(std::int32_t slot, Cycle now);
-  void IssueActivate(Pending& p, Cycle now);
+  /// Per-bank earliest possibly-ready pre-pass: for every bank with queued
+  /// demand, the exact minimum over the ready cycles its transactions would
+  /// report. Banks due at `now` are flagged in bank_due_ (returning the
+  /// flagged count); the rest fold into `min_ready` so the arrival-order
+  /// scan can skip them wholesale. Branchless: each bank is one packed
+  /// (selector, bank-local gate) word (bank_summary_, maintained
+  /// incrementally at mutation sites) combined with a per-scan LUT of the
+  /// rank/shared terms — pure load / max / compare, no per-bank branches.
+  std::uint32_t SummarizeBanks(Cycle now, Cycle& min_ready);
+
+  /// Recompute bank_summary_[b] from the current demand and lane state.
+  /// Must be called after any mutation that changes the bank's mode or its
+  /// bank-local gate: commands on the bank, demand add/remove, refresh
+  /// (raises act gates), and continuation hand-over.
+  void RefreshBankSummary(std::uint32_t bank_idx);
+
+  void IssueColumn(std::size_t i, Cycle now);
+  void IssueActivate(std::size_t i, Cycle now);
   void IssuePrecharge(std::uint32_t bank_idx, Cycle now);
   /// Handles refresh duty. Returns true if a command slot was consumed.
   bool MaybeRefresh(Cycle now, Cycle& min_ready);
 
-  /// Unlink `slot` from the arrival list and return it to the free pool.
-  void RemoveFromQueue(std::int32_t slot);
+  /// Remove queue position `i` (compacting the arrival-order lanes) and
+  /// return its slot to the free pool.
+  void RemoveFromQueue(std::size_t i);
 
-  // Incrementally-maintained count of queued transactions per (bank, row):
-  // the scheduler's "may I close this row" test used to rescan the whole
-  // queue for every precharge candidate (O(n^2) per command slot).
-  void AddRowDemand(std::uint32_t bank_idx, std::uint64_t row);
-  void SubRowDemand(std::uint32_t bank_idx, std::uint64_t row);
-  bool RowWanted(std::uint32_t bank_idx, std::uint64_t row) const;
-
-  BankState& BankOf(const DramAddress& a) {
-    return banks_[a.rank * cfg_.geometry.banks_per_rank + a.bank];
-  }
-  const BankState& BankOf(const DramAddress& a) const {
-    return banks_[a.rank * cfg_.geometry.banks_per_rank + a.bank];
-  }
-
-  DramConfig cfg_;
-  std::vector<BankState> banks_;
-  std::vector<RankState> ranks_;
-  std::vector<Pending> slots_;            ///< fixed pool, queue_depth entries
-  std::vector<std::int32_t> free_slots_;  ///< unused slot indices (stack)
-  std::int32_t head_ = -1;                ///< oldest queued transaction
-  std::int32_t tail_ = -1;                ///< newest queued transaction
-  std::uint32_t live_count_ = 0;
-  /// Distinct rows demanded by queued transactions, per bank. Each inner
-  /// vector is tiny (bounded by queued transactions on that bank).
+  // Incrementally-maintained per-(bank, row) demand, split by direction:
+  // the scheduler's "may I close this row" test and the per-bank summary's
+  // "which column directions are represented" test both read it.
+  void AddRowDemand(std::uint32_t bank_idx, std::uint64_t row, bool is_write);
+  void SubRowDemand(std::uint32_t bank_idx, std::uint64_t row, bool is_write);
   struct RowDemand {
     std::uint64_t row;
-    std::uint32_t count;
+    std::uint32_t reads;
+    std::uint32_t writes;
   };
-  std::vector<std::vector<RowDemand>> row_demand_;
-  std::vector<DramCompletion> pending_done_;  ///< data still on the bus
+  const RowDemand* FindDemand(std::uint32_t bank_idx, std::uint64_t row) const;
+
+  // Visit-path-hot state, grouped at the object head so Tick's early-outs
+  // and NextEventHint (which run for every channel on every event-loop
+  // visit, busy or idle) touch as few cache lines as possible.
   Cycle pending_done_min_ = ~Cycle{0};  ///< earliest pending_done_ delivery
-
-  /// Ready times are pure functions of device/bus state, which mutates only
-  /// when a command issues (Issue*/StartRefresh). The FR-FCFS scan asks the
-  /// same per-bank questions for every queued transaction on a bank — often
-  /// across many consecutive slots — so the answers are memoized per bank.
-  ///
-  /// Invalidation is by monotone stamps rather than a single global epoch:
-  /// each issued command stamps only the state it mutated (its bank, its
-  /// rank, the shared column/data bus), and a memo entry is valid while its
-  /// recorded stamp still equals the max of the stamps its inputs depend on.
-  /// A column command elsewhere therefore does not flush activate/precharge
-  /// answers for unrelated banks.
-  ///
-  /// The cached values deliberately omit the `next_cmd_slot_` term: Tick
-  /// returns before scanning when `now < next_cmd_slot_`, so at scan time
-  /// `next_cmd_slot_ <= now` and (both being slot-aligned) max()-ing it in
-  /// changes neither the issue/wait decision nor any min_ready value that
-  /// is actually consulted (those are all > now).
-  struct ReadyMemo {
-    std::uint64_t act_sig = kNeverSig;
-    std::uint64_t pre_sig = kNeverSig;
-    std::uint64_t col_r_sig = kNeverSig;
-    std::uint64_t col_w_sig = kNeverSig;
-    Cycle act = 0;
-    Cycle pre = 0;
-    Cycle col_r = 0;
-    Cycle col_w = 0;
-  };
-  static constexpr std::uint64_t kNeverSig = ~std::uint64_t{0};
-  mutable std::vector<ReadyMemo> ready_memo_;
-  std::vector<std::uint64_t> bank_stamp_;  ///< per bank, bumped on issue
-  std::vector<std::uint64_t> rank_stamp_;  ///< per rank (tRRD/tFAW/refresh)
-  std::uint64_t col_stamp_ = 0;   ///< shared column/data-bus state
-  std::uint64_t stamp_counter_ = 0;
-
-  // Channel-shared bus state.
-  Cycle next_cmd_slot_ = 0;    ///< command bus: one command per DRAM clock
-  Cycle next_column_cmd_ = 0;  ///< tCCD spacing between column commands
-  /// Consecutive bursts of one multi-burst transaction stream at data-bus
-  /// rate (burst-chop/BL-extension semantics) instead of paying tCCD each.
-  RequestId last_column_req_ = 0;
-  Cycle next_read_cmd_ = 0;    ///< write->read turnaround (tWTR)
-  Cycle next_write_cmd_ = 0;   ///< read->write turnaround (bus reversal)
-  Cycle data_bus_free_ = 0;
-  enum class LastData { kNone, kRead, kWrite } last_data_ = LastData::kNone;
-
-  Cycle sleep_until_ = 0;  ///< no scheduling work possible before this
-  Cycle refresh_wake_ = 0;  ///< earliest cycle refresh bookkeeping matters
-  /// Idle-branch NextEventHint memo: min over ranks of refreshing_until /
-  /// next_refresh. Valid while the stamp matches stamp_counter_ and
-  /// now < idle_hint_ (see NextEventHint for why the value is constant on
-  /// that window). kNeverSig marks "never computed".
+  Cycle next_cmd_slot_ = 0;  ///< command bus: one command per DRAM clock
+  Cycle sleep_until_ = 0;    ///< no scheduling work possible before this
+  Cycle refresh_wake_ = 0;   ///< earliest cycle refresh bookkeeping matters
+  /// Idle-branch NextEventHint memo: min over ranks of refresh_until /
+  /// next_refresh. Valid while refresh_epoch_ matches and now < idle_hint_
+  /// (see NextEventHint for why the value is constant on that window).
   mutable Cycle idle_hint_ = 0;
-  mutable std::uint64_t idle_hint_stamp_ = kNeverSig;
+  mutable std::uint64_t idle_hint_epoch_ = ~std::uint64_t{0};
+  std::uint64_t refresh_epoch_ = 0;  ///< bumped on every StartRefresh
+  /// Queue lane of cold-state indices into slots_; declared here (not with
+  /// its sibling lanes below) because its header's empty() test is on the
+  /// every-visit path.
+  std::vector<std::int32_t> q_slot_;
+  std::vector<DramCompletion> pending_done_;  ///< data still on the bus
+
+  DramConfig cfg_;
+  TimingLanes lanes_;
+
+  // Arrival-order queue lanes (structure-of-arrays, compacted on removal):
+  // everything the FR-FCFS scan reads per transaction, contiguous.
+  std::vector<std::uint32_t> q_bank_;  ///< rank * banks_per_rank + bank
+  std::vector<std::uint32_t> q_rank_;
+  std::vector<std::uint64_t> q_row_;
+  std::vector<std::uint8_t> q_write_;
+  std::vector<Cycle> q_arrival_;       ///< anti-starvation reads the head's
+
+  std::vector<Pending> slots_;            ///< fixed pool, queue_depth entries
+  std::vector<std::int32_t> free_slots_;  ///< unused slot indices (stack)
+
+  /// Distinct rows demanded by queued transactions, per bank. Each inner
+  /// vector is tiny (bounded by queued transactions on that bank). Only
+  /// consulted when a bank's open row changes — the hot pre-pass reads the
+  /// flat open_reads_/open_writes_ lanes below instead.
+  std::vector<std::vector<RowDemand>> row_demand_;
+  std::vector<std::uint32_t> demand_count_;  ///< queued transactions per bank
+  /// Queued demand on each bank's *currently open* row, split by direction
+  /// (zero while the bank is closed). Incrementally maintained at demand
+  /// add/remove and at activate/precharge, so the per-bank pre-pass and the
+  /// "may I close this row" guard are flat-lane loads, not demand-list
+  /// walks.
+  std::vector<std::uint32_t> open_reads_;
+  std::vector<std::uint32_t> open_writes_;
+  std::vector<std::uint8_t> bank_due_;  ///< scratch: bank can issue at `now`
+
+  /// Banks with demand_count_ > 0, unordered (swap-removed), with per-bank
+  /// positions. The summary pre-pass walks this instead of all banks, so a
+  /// near-empty queue costs O(queued banks), not O(banks) — stale bank_due_
+  /// entries of inactive banks are never read because the arrival scan only
+  /// consults bank_due_[q_bank_[i]], and a queued bank is active.
+  std::vector<std::uint32_t> active_banks_;
+  std::vector<std::int32_t> active_pos_;  ///< per bank: index, -1 inactive
+
+  /// Packed per-bank summary word: (bank-local gate << 3) | selector. The
+  /// selector picks which rank/shared term completes the max-chain (see
+  /// SummarizeBanks): 0 none/empty, 1 activate, 2 precharge, 3 + dirmask
+  /// column (dirmask bit0 = reads, bit1 = writes, continuation excluded —
+  /// it is folded in separately from cont_shared).
+  std::vector<std::uint64_t> bank_summary_;
+  std::vector<std::uint32_t> rank_lut_base_;  ///< per bank: rank index * 8
+  std::vector<Cycle> summary_lut_;  ///< scratch: 8 rank/shared terms per rank
+
+  /// Burst continuation: the transaction that issued the previous column
+  /// command, if it still has bursts queued. Its follow-up bursts bypass
+  /// tCCD (ContinuationReady), so the per-bank summary and the scan treat
+  /// it specially. Slot index, -1 when none.
+  std::int32_t cont_slot_ = -1;
+  std::uint32_t cont_bank_ = 0;
+  std::uint64_t cont_row_ = 0;
+  bool cont_write_ = false;
+
+  /// Direction of the last data burst (turnaround counters only; the
+  /// turnaround *timing* lives in the shared lanes).
+  enum class LastData { kNone, kRead, kWrite } last_data_ = LastData::kNone;
   std::uint32_t write_count_ = 0;  ///< writes currently in the queue
 
   ChannelCounters counters_;

@@ -1,0 +1,348 @@
+// Brute-force oracle for the flattened timing kernels (TimingLanes).
+//
+// The lanes maintain DRAMSim-style "earliest issue time" bookkeeping
+// *eagerly*: every Record* folds its constraints into flat per-bank /
+// per-rank / shared gates, and queries are pure max-chains. The oracle
+// below recomputes every ready cycle from scratch out of the full command
+// history on each query — no incremental state at all — so any lane that
+// goes stale, folds a term into the wrong level, or drops a constraint
+// (tFAW window slide, tWTR accumulation, refresh clamp) diverges
+// immediately under randomized legal command sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "dram/timing.hpp"
+#include "dram/timing_lanes.hpp"
+
+namespace redcache {
+namespace {
+
+/// History-replay reference: a flat log of issued commands, each ready
+/// query answered by a full pass over the log.
+class NaiveTiming {
+ public:
+  NaiveTiming(const DramTimingParams& t, std::uint32_t ranks,
+              std::uint32_t banks_per_rank)
+      : t_(t), banks_per_rank_(banks_per_rank) {
+    open_row_.assign(std::size_t{ranks} * banks_per_rank, TimingLanes::kNoRow);
+    next_refresh_.resize(ranks);
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      next_refresh_[r] = t.tREFI / 2 + r * (t.tREFI / 8);
+    }
+  }
+
+  enum class Type { kActivate, kRead, kWrite, kPrecharge, kRefresh };
+  struct Cmd {
+    Type type;
+    std::uint32_t bank;  ///< rank index for kRefresh
+    Cycle at;
+  };
+
+  std::uint64_t OpenRow(std::uint32_t bank) const { return open_row_[bank]; }
+
+  void Activate(std::uint32_t bank, std::uint64_t row, Cycle at) {
+    open_row_[bank] = row;
+    log_.push_back({Type::kActivate, bank, at});
+  }
+  void Column(std::uint32_t bank, bool is_write, Cycle at) {
+    log_.push_back({is_write ? Type::kWrite : Type::kRead, bank, at});
+  }
+  void Precharge(std::uint32_t bank, Cycle at) {
+    open_row_[bank] = TimingLanes::kNoRow;
+    log_.push_back({Type::kPrecharge, bank, at});
+  }
+  void Refresh(std::uint32_t rank, Cycle at) {
+    log_.push_back({Type::kRefresh, rank, at});
+    next_refresh_[rank] += t_.tREFI;
+    if (next_refresh_[rank] <= at) next_refresh_[rank] = at + t_.tREFI;
+  }
+
+  Cycle RefreshUntil(std::uint32_t rank) const {
+    Cycle until = 0;
+    for (const Cmd& c : log_) {
+      if (c.type == Type::kRefresh && c.bank == rank) {
+        until = std::max(until, c.at + t_.tRFC);
+      }
+    }
+    return until;
+  }
+  Cycle NextRefresh(std::uint32_t rank) const { return next_refresh_[rank]; }
+
+  Cycle ActivateReady(std::uint32_t bank) const {
+    const std::uint32_t rank = bank / banks_per_rank_;
+    Cycle ready = 0;
+    std::vector<Cycle> rank_activates;
+    for (const Cmd& c : log_) {
+      switch (c.type) {
+        case Type::kActivate:
+          if (c.bank == bank) ready = std::max(ready, c.at + t_.tRC);
+          if (c.bank / banks_per_rank_ == rank) {
+            ready = std::max(ready, c.at + t_.tRRD);
+            rank_activates.push_back(c.at);
+          }
+          break;
+        case Type::kPrecharge:
+          if (c.bank == bank) ready = std::max(ready, c.at + t_.tRP);
+          break;
+        case Type::kRefresh:
+          // A refresh both raises every bank's activate gate by tRFC and
+          // blocks the rank until it completes — the same cycle either way.
+          if (c.bank == rank) ready = std::max(ready, c.at + t_.tRFC);
+          break;
+        default:
+          break;
+      }
+    }
+    // tFAW: at most four activates per rank in any tFAW window, i.e. the
+    // fifth activate waits for the fourth-most-recent one to age out.
+    if (rank_activates.size() >= 4) {
+      ready = std::max(ready,
+                       rank_activates[rank_activates.size() - 4] + t_.tFAW);
+    }
+    return TimingLanes::AlignUp(ready);
+  }
+
+  Cycle PrechargeReady(std::uint32_t bank) const {
+    const std::uint32_t rank = bank / banks_per_rank_;
+    Cycle ready = 0;
+    for (const Cmd& c : log_) {
+      switch (c.type) {
+        case Type::kActivate:
+          if (c.bank == bank) ready = std::max(ready, c.at + t_.tRAS);
+          break;
+        case Type::kRead:
+          if (c.bank == bank) ready = std::max(ready, c.at + t_.tRTP);
+          break;
+        case Type::kWrite:
+          if (c.bank == bank) ready = std::max(ready, DataEnd(c) + t_.tWR);
+          break;
+        case Type::kRefresh:
+          if (c.bank == rank) ready = std::max(ready, c.at + t_.tRFC);
+          break;
+        default:
+          break;
+      }
+    }
+    return TimingLanes::AlignUp(ready);
+  }
+
+  Cycle ColumnReady(std::uint32_t bank, bool is_write,
+                    bool continuation) const {
+    const std::uint32_t rank = bank / banks_per_rank_;
+    Cycle ready = 0;
+    const Cmd* last_column = nullptr;
+    for (const Cmd& c : log_) {
+      switch (c.type) {
+        case Type::kActivate:
+          if (c.bank == bank) ready = std::max(ready, c.at + t_.tRCD);
+          break;
+        case Type::kRead:
+          if (is_write) {
+            // Bus reversal: our write data (driven tCWD after the command)
+            // must not collide with the read burst still draining.
+            const Cycle bubble = DataEnd(c) + t_.tRTW_bubble;
+            ready = std::max(ready,
+                             bubble > t_.tCWD ? bubble - t_.tCWD : Cycle{0});
+          }
+          if (!continuation) ready = std::max(ready, c.at + t_.tCCD);
+          last_column = &c;
+          break;
+        case Type::kWrite:
+          if (!is_write) ready = std::max(ready, DataEnd(c) + t_.tWTR);
+          if (!continuation) ready = std::max(ready, c.at + t_.tCCD);
+          last_column = &c;
+          break;
+        case Type::kRefresh:
+          if (c.bank == rank) ready = std::max(ready, c.at + t_.tRFC);
+          break;
+        default:
+          break;
+      }
+    }
+    if (last_column != nullptr) {
+      // Data-bus drain: the next burst's data (lat after its command) may
+      // not start before the previous burst ends. Deliberately keyed to the
+      // *last* column command only, mirroring the device model: a read
+      // issued tCCD after a write can end earlier than the write's data.
+      const Cycle lat = is_write ? t_.tCWD : t_.tCAS;
+      const Cycle bus = DataEnd(*last_column);
+      ready = std::max(ready, bus > lat ? bus - lat : Cycle{0});
+    }
+    return TimingLanes::AlignUp(ready);
+  }
+
+ private:
+  Cycle DataEnd(const Cmd& c) const {
+    return c.at + (c.type == Type::kWrite ? t_.tCWD : t_.tCAS) + t_.tBL;
+  }
+
+  DramTimingParams t_;
+  std::uint32_t banks_per_rank_;
+  std::vector<Cmd> log_;
+  std::vector<std::uint64_t> open_row_;
+  std::vector<Cycle> next_refresh_;
+};
+
+/// Drives the same random legal command sequence into the lanes and the
+/// oracle, comparing every query on every bank after every command.
+class OracleHarness {
+ public:
+  OracleHarness(const DramTimingParams& t, std::uint32_t ranks,
+                std::uint32_t banks_per_rank, std::uint64_t seed)
+      : t_(t),
+        ranks_(ranks),
+        banks_(ranks * banks_per_rank),
+        banks_per_rank_(banks_per_rank),
+        naive_(t, ranks, banks_per_rank),
+        rng_(seed) {
+    lanes_.Init(t_, ranks, banks_per_rank);
+  }
+
+  void CompareAll() {
+    for (std::uint32_t b = 0; b < banks_; ++b) {
+      ASSERT_EQ(lanes_.ActivateReady(b), naive_.ActivateReady(b))
+          << "activate, bank " << b << " after " << steps_ << " steps";
+      ASSERT_EQ(lanes_.PrechargeReady(b), naive_.PrechargeReady(b))
+          << "precharge, bank " << b << " after " << steps_ << " steps";
+      for (bool w : {false, true}) {
+        ASSERT_EQ(lanes_.ColumnReady(b, w), naive_.ColumnReady(b, w, false))
+            << "column, bank " << b << " write=" << w << " after " << steps_
+            << " steps";
+        ASSERT_EQ(lanes_.ContinuationReady(b, w),
+                  naive_.ColumnReady(b, w, true))
+            << "continuation, bank " << b << " write=" << w << " after "
+            << steps_ << " steps";
+      }
+      ASSERT_EQ(lanes_.OpenRow(b), naive_.OpenRow(b)) << "row, bank " << b;
+    }
+    for (std::uint32_t r = 0; r < ranks_; ++r) {
+      ASSERT_EQ(lanes_.refresh_until(r), naive_.RefreshUntil(r)) << "rank "
+                                                                 << r;
+      ASSERT_EQ(lanes_.next_refresh(r), naive_.NextRefresh(r)) << "rank "
+                                                               << r;
+    }
+  }
+
+  /// One random legal command at its oracle-computed earliest cycle (never
+  /// earlier than the command-bus slot after the previous command).
+  void Step(int precharge_bias) {
+    const std::uint32_t b = rng_() % banks_;
+    Cycle at;
+    if (lanes_.OpenRow(b) == TimingLanes::kNoRow) {
+      at = Issue(naive_.ActivateReady(b));
+      const std::uint64_t row = rng_() % 4;
+      naive_.Activate(b, row, at);
+      lanes_.RecordActivate(b, row, at);
+    } else if (rng_() % 4 < static_cast<std::uint32_t>(precharge_bias)) {
+      at = Issue(naive_.PrechargeReady(b));
+      naive_.Precharge(b, at);
+      lanes_.RecordPrecharge(b, at);
+    } else {
+      const bool w = rng_() % 2 == 0;
+      at = Issue(naive_.ColumnReady(b, w, false));
+      naive_.Column(b, w, at);
+      lanes_.RecordColumn(b, w, at);
+    }
+    ++steps_;
+  }
+
+  /// Refresh one rank the way the channel does: close its banks at their
+  /// legal cycles, wait out the activate gates, then start the refresh.
+  void RefreshRank(std::uint32_t r) {
+    Cycle gates = 0;
+    for (std::uint32_t i = 0; i < banks_per_rank_; ++i) {
+      const std::uint32_t b = r * banks_per_rank_ + i;
+      if (lanes_.OpenRow(b) != TimingLanes::kNoRow) {
+        const Cycle at = Issue(naive_.PrechargeReady(b));
+        naive_.Precharge(b, at);
+        lanes_.RecordPrecharge(b, at);
+      }
+      gates = std::max(gates, lanes_.RawActivateGate(b));
+    }
+    const Cycle at = Issue(TimingLanes::AlignUp(gates));
+    naive_.Refresh(r, at);
+    lanes_.StartRefresh(r, at);
+    ++steps_;
+  }
+
+  void Run(int steps, int precharge_bias, int refresh_every) {
+    for (int s = 0; s < steps; ++s) {
+      if (refresh_every > 0 && s % refresh_every == refresh_every - 1) {
+        RefreshRank(rng_() % ranks_);
+      } else {
+        Step(precharge_bias);
+      }
+      CompareAll();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+ private:
+  Cycle Issue(Cycle ready) {
+    const Cycle at = std::max(ready, next_slot_);
+    next_slot_ = at + kCpuCyclesPerDramCycle;
+    return at;
+  }
+
+  DramTimingParams t_;
+  std::uint32_t ranks_;
+  std::uint32_t banks_;
+  std::uint32_t banks_per_rank_;
+  TimingLanes lanes_;
+  NaiveTiming naive_;
+  std::mt19937_64 rng_;
+  Cycle next_slot_ = 0;
+  int steps_ = 0;
+};
+
+// Activate-heavy traffic across one rank's banks: every command is an
+// activate or a precharge, so the tRRD / tFAW / tRC / tRP chains (and the
+// sliding four-activate window in particular) carry the whole schedule.
+TEST(TimingLanesOracle, FawWindowMatchesBruteForce) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    OracleHarness h(HbmCacheConfig(8_MiB).timing, 1, 8, seed);
+    h.Run(/*steps=*/300, /*precharge_bias=*/4, /*refresh_every=*/0);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Column-heavy traffic on a handful of open rows: random read/write mixes
+// exercise tCCD spacing, the tWTR write->read turnaround, the read->write
+// bus-reversal bubble and the last-burst data-bus drain — for both the
+// tCCD-gated and the continuation (burst-streaming) variants.
+TEST(TimingLanesOracle, TurnaroundMatchesBruteForce) {
+  for (std::uint64_t seed : {3u, 11u, 1234u}) {
+    OracleHarness h(HbmCacheConfig(8_MiB).timing, 2, 4, seed);
+    h.Run(/*steps=*/300, /*precharge_bias=*/0, /*refresh_every=*/0);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Interleaves rank refreshes with regular traffic: checks that the
+// refresh-window clamp (the old "if refreshing, push to refresh end"
+// branch, now a plain max against refresh_until) lands in every query and
+// that activate gates absorb tRFC.
+TEST(TimingLanesOracle, RefreshWindowMatchesBruteForce) {
+  for (std::uint64_t seed : {5u, 99u, 2026u}) {
+    OracleHarness h(HbmCacheConfig(8_MiB).timing, 2, 8, seed);
+    h.Run(/*steps=*/250, /*precharge_bias=*/2, /*refresh_every=*/25);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Everything at once on the main-memory timing set (slower tCCD/tCWD — a
+// different shape of shared-gate interleaving than the HBM parameters).
+TEST(TimingLanesOracle, MainMemoryTimingsMatchBruteForce) {
+  for (std::uint64_t seed : {13u, 77u, 31337u}) {
+    OracleHarness h(MainMemoryConfig(64_MiB).timing, 2, 8, seed);
+    h.Run(/*steps=*/250, /*precharge_bias=*/2, /*refresh_every=*/40);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace redcache

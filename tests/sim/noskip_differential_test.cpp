@@ -8,7 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <tuple>
 
@@ -27,6 +31,35 @@ class ScopedNoSkip {
 using Param = std::tuple<std::string, std::string>;
 
 class NoSkipDifferential : public ::testing::TestWithParam<Param> {};
+
+// Recorded skip-ahead economics: cycles_skipped per differential cell as
+// measured before the SoA timing-core refactor (PR 7). The refactor tightened
+// NextEventHint, so skipping must never get *worse* than these floors —
+// a decrease means a wake hint regressed to "poll every slot" somewhere.
+// Regenerate (intentional pacing changes only) with
+//   REDCACHE_UPDATE_SKIP_BASELINE=1 ./build/tests/sim/sim_tests
+//     --gtest_filter='SkipBaseline.Regenerate'
+std::string SkipBaselinePath() { return REDCACHE_SKIP_BASELINE_FILE; }
+
+const std::vector<std::string>& BaselinePolicies() {
+  static const std::vector<std::string> kPolicies = {"Alloy", "Bear",
+                                                     "RedCache"};
+  return kPolicies;
+}
+
+std::map<std::string, std::uint64_t> LoadSkipBaseline() {
+  std::map<std::string, std::uint64_t> table;
+  std::ifstream in(SkipBaselinePath());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    std::uint64_t skipped = 0;
+    if (fields >> key >> skipped) table[key] = skipped;
+  }
+  return table;
+}
 
 RunSpec Spec(const std::string& policy, const std::string& wl) {
   RunSpec spec;
@@ -62,6 +95,42 @@ TEST_P(NoSkipDifferential, IdenticalStats) {
   EXPECT_GT(skip.cycles_skipped, 0u);
   EXPECT_EQ(skip.ticks_executed + skip.cycles_skipped,
             step.ticks_executed + step.cycles_skipped);
+
+  // Skip-economics floor: at least as many cycles skipped as the recorded
+  // pre-refactor baseline for this cell (see SkipBaselinePath above).
+  static const auto baseline = LoadSkipBaseline();
+  const auto it = baseline.find(policy + "/" + wl);
+  if (it != baseline.end()) {
+    EXPECT_GE(skip.cycles_skipped, it->second)
+        << "wake hints got less exact: " << policy << "/" << wl
+        << " skipped fewer cycles than the recorded baseline";
+  }
+}
+
+/// Regenerates the cycles_skipped floor file; only runs when
+/// REDCACHE_UPDATE_SKIP_BASELINE is set.
+TEST(SkipBaseline, Regenerate) {
+  const char* env = std::getenv("REDCACHE_UPDATE_SKIP_BASELINE");
+  if (env == nullptr || env[0] == '\0' || std::string(env) == "0") {
+    GTEST_SKIP() << "set REDCACHE_UPDATE_SKIP_BASELINE=1 to regenerate "
+                 << SkipBaselinePath();
+  }
+  std::ofstream out(SkipBaselinePath());
+  ASSERT_TRUE(out.good());
+  out << "# cycles_skipped floor per skip/no-skip differential cell\n"
+      << "# (policy/workload  cycles_skipped), spec: scale=0.02 eval preset\n"
+      << "# 4 cores. Regenerate: REDCACHE_UPDATE_SKIP_BASELINE=1 sim_tests\n"
+      << "#   --gtest_filter='SkipBaseline.Regenerate'\n";
+  for (const std::string& policy : BaselinePolicies()) {
+    for (const std::string& wl : WorkloadLabels()) {
+      const RunResult skip = RunOne(Spec(policy, wl));
+      ASSERT_TRUE(skip.completed) << policy << "/" << wl;
+      out << policy << "/" << wl << " " << skip.cycles_skipped << "\n";
+    }
+  }
+  std::printf("wrote %zu cells to %s\n",
+              BaselinePolicies().size() * WorkloadLabels().size(),
+              SkipBaselinePath().c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(
