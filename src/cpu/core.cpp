@@ -49,6 +49,7 @@ Cycle Core::Progress(Cycle now) {
     }
     refs_++;
     t_ += ref.gap;
+    if (acct_ != nullptr) acct_->OnRefRetired(ref.addr, t_);
 
     const HierarchyResult res = hierarchy_->Access(id_, ref.addr,
                                                    ref.is_write);

@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sram/hierarchy.hpp"
+#include "tenant/accounting.hpp"
 #include "workloads/trace.hpp"
 
 namespace redcache {
@@ -59,6 +60,11 @@ class Core {
   bool Finished() const { return trace_done_ && outstanding_ == 0; }
   Cycle finish_time() const { return finish_time_; }
 
+  /// Attach per-tenant accounting (multi-tenant mixes; nullptr = off). The
+  /// core reports every retired reference so tenant progress is visible
+  /// even for references that hit on-die caches.
+  void SetTenantAccounting(tenant::TenantAccounting* acct) { acct_ = acct; }
+
   std::uint64_t refs_processed() const { return refs_; }
   std::uint64_t misses_issued() const { return misses_; }
   std::uint64_t l1_hits() const { return hits_[0]; }
@@ -73,6 +79,7 @@ class Core {
   TraceSource* trace_;
   CacheHierarchy* hierarchy_;
   MemoryPort* port_;
+  tenant::TenantAccounting* acct_ = nullptr;
   Rng rng_;
 
   Cycle t_ = 0;  ///< local clock: when the core can process its next ref

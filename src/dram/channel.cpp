@@ -316,7 +316,8 @@ void DramChannel::IssueColumn(std::size_t i, Cycle now) {
   p.bursts_left--;
   if (p.bursts_left == 0) {
     pending_done_.push_back(
-        {p.req.id, p.req.addr, is_write, data_end, p.req.user_tag});
+        {p.req.id, p.req.addr, is_write, data_end, p.req.tenant,
+         p.req.user_tag});
     pending_done_min_ = std::min(pending_done_min_, data_end);
     if (is_write) write_count_--;
     cont_slot_ = -1;  // the streaming transaction retired

@@ -15,7 +15,8 @@ DramSystem::DramSystem(const DramConfig& cfg)
 }
 
 RequestId DramSystem::Enqueue(Addr addr, bool is_write, Cycle now,
-                              std::uint64_t user_tag, std::uint32_t bursts) {
+                              std::uint64_t user_tag, std::uint32_t bursts,
+                              std::uint16_t tenant) {
   DramRequest req;
   req.id = next_id_++;
   req.addr = BlockAlign(addr);
@@ -23,6 +24,7 @@ RequestId DramSystem::Enqueue(Addr addr, bool is_write, Cycle now,
   req.is_write = is_write;
   req.bursts = bursts;
   req.arrival = now;
+  req.tenant = tenant;
   req.user_tag = user_tag;
   assert(channels_[req.loc.channel]->CanAccept());
   channels_[req.loc.channel]->Enqueue(req);

@@ -38,9 +38,11 @@ class DramSystem {
   }
 
   /// Enqueue a transaction; returns its request id. The caller must have
-  /// checked CanAccept. `bursts` > 1 models coarse-grained transfers.
+  /// checked CanAccept. `bursts` > 1 models coarse-grained transfers;
+  /// `tenant` tags the request for per-tenant accounting (0 = solo).
   RequestId Enqueue(Addr addr, bool is_write, Cycle now,
-                    std::uint64_t user_tag = 0, std::uint32_t bursts = 1);
+                    std::uint64_t user_tag = 0, std::uint32_t bursts = 1,
+                    std::uint16_t tenant = 0);
 
   void Tick(Cycle now);
 

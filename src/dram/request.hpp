@@ -16,6 +16,8 @@ struct DramRequest {
   bool is_write = false;
   std::uint32_t bursts = 1;  ///< column-command count (64 B payload each)
   Cycle arrival = 0;
+  /// Originating tenant in a multi-tenant mix (0 for solo runs).
+  std::uint16_t tenant = 0;
   /// Opaque tag the owner uses to match completions to its own state.
   std::uint64_t user_tag = 0;
 };
@@ -26,6 +28,7 @@ struct DramCompletion {
   Addr addr = 0;
   bool is_write = false;
   Cycle done = 0;
+  std::uint16_t tenant = 0;
   std::uint64_t user_tag = 0;
 };
 

@@ -165,6 +165,7 @@ void AssocRedCacheController::HandleProbeResult(Txn& txn,
     tags_.Touch(set, way);
     if (was_mru) {
       mru_hits_++;
+      NotifyServeRead(txn, ServeSource::kCache);
       CompleteRead(txn, c.done);
       switch (opt_.update_mode) {
         case RedCacheOptions::UpdateMode::kInSitu:
@@ -216,6 +217,7 @@ void AssocRedCacheController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
       HandleProbeResult(txn, c, now);
       return;
     case kWayFetch: {
+      NotifyServeRead(txn, ServeSource::kCache);
       CompleteRead(txn, c.done);
       if (opt_.update_mode == RedCacheOptions::UpdateMode::kRcu) {
         const std::uint64_t set = tags_.SetOf(txn.addr);
@@ -236,11 +238,13 @@ void AssocRedCacheController::OnDeviceComplete(Txn& txn, bool /*from_hbm*/,
       return;
     }
     case kMissFetch:
+      NotifyServeRead(txn, ServeSource::kMainMemory);
       CompleteRead(txn, c.done);
       Fill(txn.addr, /*dirty=*/false, now);
       FreeTxn(txn);
       return;
     case kDirectFetch:
+      NotifyServeRead(txn, ServeSource::kMainMemory);
       CompleteRead(txn, c.done);
       FreeTxn(txn);
       return;

@@ -24,6 +24,7 @@ void ControllerBase::SubmitRead(Addr addr, std::uint64_t tag, Cycle now) {
   REDCACHE_CHECK(CanAcceptRead(), "read submitted to a full input queue");
   input_.push_back({BlockAlign(addr), tag, false});
   reads_seen_++;
+  if (acct_ != nullptr) acct_->OnCtrlRead(addr);
 }
 
 void ControllerBase::SubmitWriteback(Addr addr, Cycle now) {
@@ -32,6 +33,7 @@ void ControllerBase::SubmitWriteback(Addr addr, Cycle now) {
                  "writeback submitted to a full input queue");
   input_.push_back({BlockAlign(addr), 0, true});
   writebacks_seen_++;
+  if (acct_ != nullptr) acct_->OnCtrlWriteback(addr);
 }
 
 ControllerBase::Txn& ControllerBase::AllocTxn(const Input& in) {
@@ -57,26 +59,47 @@ void ControllerBase::FreeTxn(Txn& txn) {
 
 void ControllerBase::CompleteRead(Txn& txn, Cycle done) {
   read_completions_.push_back({txn.addr, txn.tag, done});
+  if (acct_ != nullptr) acct_->OnReadComplete(txn.addr, done);
 }
 
 void ControllerBase::SendHbm(std::uint32_t txn, Addr addr, bool is_write,
                              Cycle now, std::uint32_t bursts) {
   REDCACHE_CHECK(hbm_ != nullptr, "HBM operation on a controller without HBM");
+  std::uint16_t tenant = 0;
+  if (acct_ != nullptr) {
+    tenant = ResolveTenant(txn, addr);
+    // Attribute device bytes at Send time, when the causing tenant is in
+    // hand: every queued op eventually transfers exactly bursts * (burst +
+    // sideband) bytes, so cumulative totals match the device counters
+    // (per-epoch series may lead them by the queueing delay).
+    const DramGeometry& geo = hbm_->config().geometry;
+    acct_->OnDeviceBytes(
+        true, tenant,
+        std::uint64_t{bursts} * (geo.burst_bytes + geo.sideband_bytes));
+  }
   const std::uint32_t channel = hbm_->ChannelOf(addr);
   if (deferred_hbm_.empty() && hbm_->ChannelCanAccept(channel)) {
-    hbm_->Enqueue(addr, is_write, now, txn, bursts);
+    hbm_->Enqueue(addr, is_write, now, txn, bursts, tenant);
   } else {
-    deferred_hbm_.push_back({addr, is_write, bursts, txn, channel});
+    deferred_hbm_.push_back({addr, is_write, bursts, txn, channel, tenant});
   }
 }
 
 void ControllerBase::SendMm(std::uint32_t txn, Addr addr, bool is_write,
                             Cycle now, std::uint32_t bursts) {
+  std::uint16_t tenant = 0;
+  if (acct_ != nullptr) {
+    tenant = ResolveTenant(txn, addr);
+    const DramGeometry& geo = mm_->config().geometry;
+    acct_->OnDeviceBytes(
+        false, tenant,
+        std::uint64_t{bursts} * (geo.burst_bytes + geo.sideband_bytes));
+  }
   const std::uint32_t channel = mm_->ChannelOf(addr);
   if (deferred_mm_.empty() && mm_->ChannelCanAccept(channel)) {
-    mm_->Enqueue(addr, is_write, now, txn, bursts);
+    mm_->Enqueue(addr, is_write, now, txn, bursts, tenant);
   } else {
-    deferred_mm_.push_back({addr, is_write, bursts, txn, channel});
+    deferred_mm_.push_back({addr, is_write, bursts, txn, channel, tenant});
   }
 }
 
@@ -86,7 +109,8 @@ void ControllerBase::PumpDeferred(Cycle now) {
   auto pump = [&](std::deque<DevOp>& q, DramSystem& dev) {
     for (std::size_t i = 0; i < q.size() && i < kWindow;) {
       if (dev.ChannelCanAccept(q[i].channel)) {
-        dev.Enqueue(q[i].addr, q[i].is_write, now, q[i].txn, q[i].bursts);
+        dev.Enqueue(q[i].addr, q[i].is_write, now, q[i].txn, q[i].bursts,
+                    q[i].tenant);
         q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
       } else {
         ++i;
@@ -104,6 +128,9 @@ void ControllerBase::RouteCompletions(DramSystem& dev, bool from_hbm,
     if (c.user_tag == kPostedOp) continue;
     Txn& t = txns_[static_cast<std::uint32_t>(c.user_tag)];
     REDCACHE_CHECK(t.active, "device completion for a freed transaction");
+    // Posted ops issued while handling this completion (fills, victim
+    // writebacks) inherit the triggering transaction's tenant.
+    TenantScope scope(*this, t.addr);
     OnDeviceComplete(t, from_hbm, c, now);
   }
   list.clear();
@@ -121,6 +148,7 @@ Cycle ControllerBase::Tick(Cycle now) {
     const Input in = input_.front();
     input_.pop_front();
     Txn& t = AllocTxn(in);
+    TenantScope scope(*this, t.addr);
     StartTxn(t, now);
   }
   PumpDeferred(now);

@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "dram/dram_system.hpp"
 #include "dramcache/verify_hooks.hpp"
+#include "tenant/accounting.hpp"
 
 namespace redcache {
 
@@ -70,6 +71,12 @@ class MemController {
   /// instrumentation may ignore it; nullptr detaches.
   virtual void SetVerifySink(VerifySink* /*sink*/) {}
 
+  /// Attach per-tenant QoS accounting (multi-tenant mixes only; nullptr
+  /// detaches). With no accounting attached — every single-tenant run —
+  /// the controller's behaviour and exported stats are bit-identical to a
+  /// build without the feature. Default: ignore.
+  virtual void SetTenantAccounting(tenant::TenantAccounting* /*acct*/) {}
+
   /// The concrete policy behind any verification decorators (the System
   /// uses this to reach device geometry for the energy model).
   virtual const MemController* underlying() const { return this; }
@@ -96,6 +103,9 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
   void ExportStats(StatSet& stats) const override;
   bool Idle() const override;
   void SetVerifySink(VerifySink* sink) override { verify_sink_ = sink; }
+  void SetTenantAccounting(tenant::TenantAccounting* acct) override {
+    acct_ = acct;
+  }
   void SampleTelemetry(StatSet& out) const override;
 
   const DramSystem* hbm() const { return hbm_.get(); }
@@ -170,6 +180,48 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
     if (verify_sink_ != nullptr) {
       verify_sink_->OnServeRead(txn.addr, txn.tag, src);
     }
+    // The serve notification is policy-independent, which makes it the one
+    // reliable per-tenant hit/miss attribution point: kMainMemory is a miss,
+    // everything else (cache, RCU RAM, IDEAL's "any") served on package.
+    if (acct_ != nullptr) {
+      acct_->OnServe(txn.addr, src != ServeSource::kMainMemory);
+    }
+  }
+
+  // --- per-tenant accounting helpers --------------------------------------
+  /// Scopes an "ambient" tenant for posted (fire-and-forget) device ops
+  /// whose CPU-visible cause is known only to the policy — e.g. RedCache's
+  /// RCU drains, where the HBM device address is a remapped set address
+  /// that per-device attribution could never invert. `cpu_addr` must be a
+  /// main-memory block address.
+  class TenantScope {
+   public:
+    TenantScope(ControllerBase& c, Addr cpu_addr)
+        : c_(c), prev_(c.ambient_tenant_), prev_valid_(c.ambient_valid_) {
+      if (c_.acct_ != nullptr) {
+        c_.ambient_tenant_ =
+            static_cast<std::uint16_t>(c_.acct_->TenantOf(cpu_addr));
+        c_.ambient_valid_ = true;
+      }
+    }
+    ~TenantScope() {
+      c_.ambient_tenant_ = prev_;
+      c_.ambient_valid_ = prev_valid_;
+    }
+    TenantScope(const TenantScope&) = delete;
+    TenantScope& operator=(const TenantScope&) = delete;
+
+   private:
+    ControllerBase& c_;
+    std::uint16_t prev_;
+    bool prev_valid_;
+  };
+
+  /// Count one RCU update drain against the tenant owning `cpu_block`.
+  void CountRcuDrain(Addr cpu_block) {
+    if (acct_ != nullptr) {
+      acct_->OnRcuDrain(acct_->TenantOf(cpu_block));
+    }
   }
 
   MemControllerConfig cfg_;
@@ -181,6 +233,7 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
   std::uint64_t writebacks_seen_ = 0;
 
   VerifySink* verify_sink_ = nullptr;
+  tenant::TenantAccounting* acct_ = nullptr;
 
  private:
   struct Input {
@@ -194,7 +247,20 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
     std::uint32_t bursts;
     std::uint32_t txn;
     std::uint32_t channel;  ///< cached mapping (avoids re-decoding per tick)
+    std::uint16_t tenant;   ///< resolved at Send time
   };
+
+  /// The tenant behind a device operation: the owning transaction's demand
+  /// address when there is one, the ambient TenantScope for posted ops set
+  /// up by the policy, else the device address itself (exact for main
+  /// memory, whose addresses are CPU-visible).
+  std::uint16_t ResolveTenant(std::uint32_t txn, Addr addr) const {
+    if (txn != kPostedOp) {
+      return static_cast<std::uint16_t>(acct_->TenantOf(txns_[txn].addr));
+    }
+    if (ambient_valid_) return ambient_tenant_;
+    return static_cast<std::uint16_t>(acct_->TenantOf(addr));
+  }
 
   bool HasFreeTxn() const { return !free_txns_.empty(); }
   Txn& AllocTxn(const Input& in);
@@ -208,6 +274,8 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
   std::deque<DevOp> deferred_mm_;
   std::vector<ReadCompletion> read_completions_;
   std::uint64_t active_txns_ = 0;
+  std::uint16_t ambient_tenant_ = 0;
+  bool ambient_valid_ = false;
 };
 
 }  // namespace redcache

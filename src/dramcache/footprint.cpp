@@ -99,6 +99,8 @@ void FootprintCacheController::StartTxn(Txn& txn, Cycle now) {
 void FootprintCacheController::OnDeviceComplete(Txn& txn, bool from_hbm,
                                                 const DramCompletion& c,
                                                 Cycle now) {
+  NotifyServeRead(txn,
+                  from_hbm ? ServeSource::kCache : ServeSource::kMainMemory);
   CompleteRead(txn, c.done);
   if (!from_hbm && txn.aux == 1) {
     // Install the fetched block into the page's HBM frame.

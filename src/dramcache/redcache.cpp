@@ -300,6 +300,10 @@ void RedCacheController::FlushRcuEntries(
     const std::uint64_t set = tags_.SetOf(e.block);
     REDCACHE_TRACE_EVENT(
         PolicyEvent(now, obs::TraceEventType::kRcuFlush, e.block, reason));
+    // The drain write targets a remapped set address; only `e.block` (the
+    // CPU-visible block) identifies the tenant whose update is draining.
+    TenantScope scope(*this, e.block);
+    CountRcuDrain(e.block);
     SendHbm(kPostedOp, tags_.HbmAddr(set, e.block), /*is_write=*/true, now);
   }
 }

@@ -434,6 +434,14 @@ std::string CellKey(const CellSpec& cell) {
     key += '_';
     key += cell.variant;
   }
+  // An active mix replaces the workload's meaning entirely, so its full
+  // canonical descriptor (mode, window, every tenant's label / weight /
+  // rate limit) joins the key. Inactive mixes add nothing: pre-mix cells
+  // keep byte-identical keys and stay disk-cache compatible.
+  if (spec.mix.active()) {
+    key += "_mix";
+    key += spec.mix.Describe();
+  }
   // The tail hash covers every remaining result-affecting input: the preset
   // fields and the cycle cap (the seed is spelled out above for legibility).
   std::uint64_t tail = PresetFieldHash(spec.preset);
@@ -492,8 +500,21 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
   const std::string key = CellKey(cell);
   if (profile != nullptr) {
     profile->key = key;
-    profile->arch = ToString(cell.spec.arch);
+    profile->arch = PolicyNameOf(cell.spec);
     profile->workload = cell.spec.workload;
+  }
+  // Serve cells replay an external stream whose content no key covers:
+  // never memoize or disk-cache them.
+  if (!cell.spec.serve_path.empty()) {
+    const auto t_sim = std::chrono::steady_clock::now();
+    RunResult result = RunOne(cell.spec);
+    if (profile != nullptr) {
+      profile->sim_seconds = SecondsSince(t_sim);
+      profile->exec_cycles = result.exec_cycles;
+      profile->tenants = tenant::QosFromStats(result.stats);
+      profile->wall_seconds = SecondsSince(t_enter);
+    }
+    return result;
   }
   std::shared_future<RunResult> future;
   std::promise<RunResult> promise;
@@ -514,6 +535,7 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
     if (profile != nullptr) {
       profile->memo_hit = true;
       profile->exec_cycles = shared.exec_cycles;
+      profile->tenants = tenant::QosFromStats(shared.stats);
       profile->wall_seconds = SecondsSince(t_enter);
     }
     return shared;
@@ -527,8 +549,20 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
     std::uint64_t fingerprint = 0;
     if (cache_dir != nullptr) {
       const auto t_fp = std::chrono::steady_clock::now();
-      fingerprint = SimFingerprint(cell.spec.preset, cell.spec.workload,
-                                   PolicyNameOf(cell.spec));
+      if (cell.spec.mix.active()) {
+        // A mix cell depends on every tenant's trace generator, not on the
+        // (ignored) spec.workload: combine one canary fingerprint per
+        // tenant so a change to any co-scheduled workload invalidates it.
+        fingerprint = kFnvOffset;
+        for (const tenant::TenantSpec& t : cell.spec.mix.tenants) {
+          fingerprint = FnvU64(
+              fingerprint, SimFingerprint(cell.spec.preset, t.workload,
+                                          PolicyNameOf(cell.spec)));
+        }
+      } else {
+        fingerprint = SimFingerprint(cell.spec.preset, cell.spec.workload,
+                                     PolicyNameOf(cell.spec));
+      }
       if (profile != nullptr) {
         profile->fingerprint_seconds = SecondsSince(t_fp);
       }
@@ -559,6 +593,7 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
       profile->exec_cycles = result.exec_cycles;
       profile->ticks_executed = result.ticks_executed;
       profile->cycles_skipped = result.cycles_skipped;
+      profile->tenants = tenant::QosFromStats(result.stats);
       profile->wall_seconds = SecondsSince(t_enter);
     }
     promise.set_value(result);
@@ -630,6 +665,36 @@ std::string BatchReportJson(const BatchReport& report) {
     out += ",\"exec_cycles\":" + std::to_string(c.exec_cycles);
     out += ",\"ticks_executed\":" + std::to_string(c.ticks_executed);
     out += ",\"cycles_skipped\":" + std::to_string(c.cycles_skipped);
+    // Per-tenant QoS rows: present only for mix cells, so single-tenant
+    // reports serialize byte-identically to pre-mix builds.
+    if (!c.tenants.empty()) {
+      out += ",\"tenants\":[";
+      bool tfirst = true;
+      for (const tenant::TenantQos& t : c.tenants) {
+        if (!tfirst) out += ",";
+        tfirst = false;
+        out += "{\"tenant\":" + std::to_string(t.tenant);
+        out += ",\"refs\":" + std::to_string(t.refs);
+        out += ",\"finish_cycles\":" + std::to_string(t.finish_cycles);
+        out += ",\"reads\":" + std::to_string(t.reads);
+        out += ",\"writebacks\":" + std::to_string(t.writebacks);
+        out += ",\"serve_hits\":" + std::to_string(t.serve_hits);
+        out += ",\"serve_misses\":" + std::to_string(t.serve_misses);
+        out += ",\"hbm_bytes\":" + std::to_string(t.hbm_bytes);
+        out += ",\"mm_bytes\":" + std::to_string(t.mm_bytes);
+        out += ",\"rcu_drains\":" + std::to_string(t.rcu_drains);
+        std::snprintf(buf, sizeof(buf), ",\"hit_rate\":%.6f", t.hit_rate());
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"hbm_share\":%.6f",
+                      tenant::HbmShare(c.tenants, t));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"mm_share\":%.6f",
+                      tenant::MmShare(c.tenants, t));
+        out += buf;
+        out += "}";
+      }
+      out += "]";
+    }
     out += "}";
   }
   out += "]}";

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/runner.hpp"
+#include "tenant/qos.hpp"
 
 namespace redcache {
 
@@ -42,6 +43,10 @@ struct CellProfile {
   /// which stores only the simulation results).
   std::uint64_t ticks_executed = 0;
   std::uint64_t cycles_skipped = 0;
+  /// Per-tenant QoS rows derived from the cell's exported tenant<N>.*
+  /// counters. Empty for single-tenant cells, so reports stay unchanged
+  /// unless a mix (or serve accounting) was actually active.
+  std::vector<tenant::TenantQos> tenants;
 };
 
 /// Aggregated profile of one RunCells invocation.

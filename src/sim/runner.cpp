@@ -1,8 +1,13 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "dramcache/policy_registry.hpp"
+#include "tenant/accounting.hpp"
+#include "tenant/mix_trace.hpp"
+#include "tenant/stream_trace.hpp"
 #include "verify/shadow_checker.hpp"
 
 namespace redcache {
@@ -19,11 +24,58 @@ std::string PolicyNameOf(const RunSpec& spec) {
   return spec.policy.empty() ? ToString(spec.arch) : spec.policy;
 }
 
+namespace {
+
+/// One tenant's trace: a Table II label, or the external stream for the
+/// reserved "serve" label.
+std::unique_ptr<TraceSource> MakeTenantTrace(const RunSpec& spec,
+                                             const std::string& label,
+                                             const WorkloadBuildParams& wp) {
+  if (label == "serve") {
+    if (spec.serve_path.empty()) {
+      throw std::invalid_argument(
+          "mix tenant \"serve\" needs a serve path (--serve)");
+    }
+    return std::make_unique<tenant::StreamTraceSource>(spec.serve_path);
+  }
+  return MakeWorkload(label, wp);
+}
+
+}  // namespace
+
 std::unique_ptr<System> BuildSystem(const RunSpec& spec) {
   WorkloadBuildParams wp;
   wp.num_cores = spec.preset.hierarchy.num_cores;
   wp.scale = spec.ignore_env_scale ? spec.scale : EffectiveScale(spec.scale);
-  auto trace = MakeWorkload(spec.workload, wp);
+
+  std::unique_ptr<TraceSource> trace;
+  std::unique_ptr<tenant::TenantAccounting> acct;
+  if (spec.mix.active()) {
+    // Each tenant replays exactly its solo trace (same cores, scale and
+    // generator seed); only the address-space placement differs.
+    std::vector<std::unique_ptr<TraceSource>> children;
+    std::uint64_t max_footprint = 0;
+    for (const tenant::TenantSpec& t : spec.mix.tenants) {
+      auto child = MakeTenantTrace(spec, t.workload, wp);
+      max_footprint = std::max(max_footprint, child->footprint_bytes());
+      children.push_back(std::move(child));
+    }
+    const auto map = tenant::TenantAddressMap::Plan(
+        spec.mix.mode, spec.mix.num_tenants(), max_footprint,
+        spec.preset.mem.mainmem.geometry.capacity_bytes, spec.mix.window_bits);
+    acct = std::make_unique<tenant::TenantAccounting>(map);
+    for (std::uint32_t t = 0; t < spec.mix.num_tenants(); ++t) {
+      acct->SetSoloBaseline(t, spec.mix.tenants[t].solo_exec_cycles,
+                            spec.mix.tenants[t].solo_refs);
+    }
+    trace = std::make_unique<tenant::MixTraceSource>(
+        std::move(children), spec.mix.tenants, map);
+  } else if (!spec.serve_path.empty()) {
+    trace = std::make_unique<tenant::StreamTraceSource>(spec.serve_path);
+  } else {
+    trace = MakeWorkload(spec.workload, wp);
+  }
+
   auto controller = MakePolicy(PolicyNameOf(spec), spec.preset.mem);
   if (spec.verify) {
     ShadowChecker::Options opts;
@@ -31,9 +83,12 @@ std::unique_ptr<System> BuildSystem(const RunSpec& spec) {
     controller =
         std::make_unique<ShadowChecker>(std::move(controller), opts);
   }
-  return std::make_unique<System>(spec.preset.hierarchy, spec.preset.core,
-                                  std::move(controller), std::move(trace),
-                                  spec.seed);
+  auto system = std::make_unique<System>(spec.preset.hierarchy,
+                                         spec.preset.core,
+                                         std::move(controller),
+                                         std::move(trace), spec.seed);
+  if (acct != nullptr) system->SetTenantAccounting(std::move(acct));
+  return system;
 }
 
 RunResult RunOne(const RunSpec& spec) {

@@ -7,6 +7,7 @@
 #include "dramcache/factory.hpp"
 #include "sim/presets.hpp"
 #include "sim/system.hpp"
+#include "tenant/mix.hpp"
 #include "workloads/benchmarks.hpp"
 
 namespace redcache {
@@ -32,6 +33,18 @@ struct RunSpec {
   /// divergence from the reference memory model throws
   /// ShadowChecker::VerifyError, and RunOne audits the drain on completion.
   bool verify = false;
+  /// Multi-tenant mix (src/tenant/). When active, `workload` is ignored:
+  /// the mix's tenants are co-scheduled through a MixTraceSource, tenant
+  /// accounting is attached, and stats gain "tenant<N>.*" counters. An
+  /// inactive mix (the default) changes nothing — stats and cache/golden
+  /// keys stay byte-identical to pre-mix builds.
+  tenant::MixSpec mix;
+  /// Serve mode: stream the trace from this path ("-" = stdin, or a pipe /
+  /// FIFO / file) instead of synthesizing `workload`. With an active mix,
+  /// the stream feeds the tenant whose workload label is "serve". Serve
+  /// runs are never batch-cached (the stream's content is not part of any
+  /// key).
+  std::string serve_path;
 };
 
 /// `scale` combined with the REDCACHE_REFS_SCALE environment variable.

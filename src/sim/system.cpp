@@ -25,6 +25,13 @@ System::System(const HierarchyConfig& hierarchy_cfg,
   }
 }
 
+void System::SetTenantAccounting(
+    std::unique_ptr<tenant::TenantAccounting> acct) {
+  tenant_acct_ = std::move(acct);
+  for (auto& core : cores_) core->SetTenantAccounting(tenant_acct_.get());
+  controller_->SetTenantAccounting(tenant_acct_.get());
+}
+
 bool System::TrySubmitRead(Addr addr, std::uint64_t tag, Cycle now) {
   if (wb_queue_.size() > kWbThrottle) return false;
   if (!controller_->CanAcceptRead()) return false;
@@ -148,6 +155,7 @@ RunResult System::Run(Cycle max_cycles) {
 
   controller_->ExportStats(result.stats);
   ExportCoreStats(result.stats);
+  if (tenant_acct_ != nullptr) tenant_acct_->ExportStats(result.stats);
   result.stats.Counter("sys.exec_cycles") = finish;
 
   const EnergyModel energy_model;
@@ -167,11 +175,11 @@ RunResult System::Run(Cycle max_cycles) {
 }
 
 StatSet System::TelemetrySnapshot(Cycle now) const {
-  (void)now;
   StatSet snap;
   controller_->ExportStats(snap);
   controller_->SampleTelemetry(snap);
   ExportCoreStats(snap);
+  if (tenant_acct_ != nullptr) tenant_acct_->SampleTelemetry(snap, now);
   snap.Counter("gauge.wb_queue_depth") = wb_queue_.size();
   // Event-loop economics. The cumulative counters become per-epoch deltas
   // in the series; the gauge is the running skip percentage so far.

@@ -60,12 +60,23 @@ class System : private MemoryPort {
   /// sampler-epoch; detached (default) the loop does no telemetry work.
   void SetTelemetry(obs::EpochSampler* sampler) { telemetry_ = sampler; }
 
+  /// Attach per-tenant QoS accounting for a multi-tenant mix. The System
+  /// takes ownership and shares the instance with every core and the
+  /// controller; Run() then exports "tenant<N>.*" counters alongside the
+  /// usual stats. Never attached for single-tenant runs, whose stats stay
+  /// byte-identical.
+  void SetTenantAccounting(std::unique_ptr<tenant::TenantAccounting> acct);
+  tenant::TenantAccounting* tenant_accounting() { return tenant_acct_.get(); }
+
   /// Run to completion (or `max_cycles`). May be called once.
   RunResult Run(Cycle max_cycles = ~Cycle{0});
 
   const MemController& controller() const { return *controller_; }
   MemController& controller() { return *controller_; }
   const CacheHierarchy& hierarchy() const { return hierarchy_; }
+  /// The trace feeding the cores (serve mode reaches through this to
+  /// install its stop flag on the underlying StreamTraceSource).
+  TraceSource& trace() { return *trace_; }
 
  private:
   bool TrySubmitRead(Addr addr, std::uint64_t tag, Cycle now) override;
@@ -82,6 +93,7 @@ class System : private MemoryPort {
   std::deque<Addr> wb_queue_;
   RequestObserver observer_;
   obs::EpochSampler* telemetry_ = nullptr;
+  std::unique_ptr<tenant::TenantAccounting> tenant_acct_;
   /// Set by TrySubmitRead / the writeback drain: the controller's stored
   /// wake predates the new input, so it must be ticked at the next visit
   /// and the pacing hint recomputed fresh.

@@ -1,0 +1,62 @@
+#include "tenant/accounting.hpp"
+
+#include <string>
+
+namespace redcache::tenant {
+
+namespace {
+
+std::string Key(std::uint32_t t, const char* suffix) {
+  return "tenant" + std::to_string(t) + "." + suffix;
+}
+
+}  // namespace
+
+TenantAccounting::TenantAccounting(const TenantAddressMap& map)
+    : map_(map), rows_(map.num_tenants()) {}
+
+void TenantAccounting::SetSoloBaseline(std::uint32_t t,
+                                       std::uint64_t solo_exec_cycles,
+                                       std::uint64_t solo_refs) {
+  if (t >= rows_.size()) return;
+  rows_[t].solo_exec_cycles = solo_exec_cycles;
+  rows_[t].solo_refs = solo_refs;
+}
+
+void TenantAccounting::ExportStats(StatSet& stats) const {
+  for (std::uint32_t t = 0; t < rows_.size(); t++) {
+    const Row& r = rows_[t];
+    stats.Counter(Key(t, "refs")) = r.refs;
+    stats.Counter(Key(t, "finish_cycles")) = r.finish;
+    stats.Counter(Key(t, "ctrl.reads")) = r.reads;
+    stats.Counter(Key(t, "ctrl.writebacks")) = r.writebacks;
+    stats.Counter(Key(t, "ctrl.serve_hits")) = r.serve_hits;
+    stats.Counter(Key(t, "ctrl.serve_misses")) = r.serve_misses;
+    stats.Counter(Key(t, "hbm.bytes")) = r.hbm_bytes;
+    stats.Counter(Key(t, "ddr4.bytes")) = r.mm_bytes;
+    stats.Counter(Key(t, "rcu_drains")) = r.rcu_drains;
+  }
+}
+
+void TenantAccounting::SampleTelemetry(StatSet& out, Cycle now) const {
+  ExportStats(out);
+  for (std::uint32_t t = 0; t < rows_.size(); t++) {
+    const Row& r = rows_[t];
+    out.Counter("gauge." + Key(t, "refs")) = r.refs;
+    // Progress-based slowdown estimate vs the solo run, in milli-units:
+    // (cycles spent per ref so far) / (solo cycles per ref). Only defined
+    // once a baseline is attached and the tenant has made progress.
+    std::uint64_t slowdown = 0;
+    if (r.solo_exec_cycles != 0 && r.solo_refs != 0 && r.refs != 0 &&
+        now != 0) {
+      const double mix_cpr = static_cast<double>(now) /
+                             static_cast<double>(r.refs);
+      const double solo_cpr = static_cast<double>(r.solo_exec_cycles) /
+                              static_cast<double>(r.solo_refs);
+      slowdown = static_cast<std::uint64_t>(mix_cpr / solo_cpr * 1000.0);
+    }
+    out.Counter("gauge." + Key(t, "slowdown_milli")) = slowdown;
+  }
+}
+
+}  // namespace redcache::tenant

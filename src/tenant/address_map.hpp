@@ -1,0 +1,90 @@
+// Per-tenant address-space placement for co-scheduled workload mixes.
+//
+// Every tenant replays its trace against a private slice of the physical
+// address space so that no two tenants ever reference the same block while
+// still contending for the shared HBM cache sets, DRAM banks and channels.
+// Two placement modes:
+//
+//  * kOffset — each tenant owns one contiguous window of 2^window_bits
+//    bytes; the tenant id occupies the bits directly above the window.
+//    Row/bank locality inside a tenant is identical to its solo run.
+//  * kInterleave — tenant stripes of 2^window_bits bytes are interleaved
+//    (tenant bits sit directly above the stripe offset), so tenants share
+//    rows' neighbourhoods and collide harder on banks — the adversarial
+//    placement for QoS studies.
+//
+// Both modes are injective over (tenant, offset-within-window): distinct
+// tenants can never produce the same rebased address at any mapping or
+// pow2 configuration, and TenantOf exactly inverts the placement. Rebased
+// addresses stay below `capacity_limit` when the planner's bound
+// (window_bits + tenant_bits <= log2(capacity)) holds, so the device-level
+// modulo-capacity wrap (dram/address.hpp) can never fold two tenants
+// together either.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace redcache::tenant {
+
+class TenantAddressMap {
+ public:
+  enum class Mode : std::uint8_t { kOffset, kInterleave };
+
+  TenantAddressMap() = default;
+  /// `num_tenants` >= 1; `window_bits` >= kBlockShift. Throws
+  /// std::invalid_argument on a degenerate shape.
+  TenantAddressMap(Mode mode, std::uint32_t num_tenants,
+                   std::uint32_t window_bits);
+
+  /// Choose a window for `num_tenants` tenants of at most `max_footprint`
+  /// bytes each inside a device of `capacity` bytes. Offset mode gets the
+  /// largest window that still keeps every tenant below capacity; interleave
+  /// mode stripes at page granularity. `window_bits_override` != 0 pins the
+  /// window instead.
+  static TenantAddressMap Plan(Mode mode, std::uint32_t num_tenants,
+                               std::uint64_t max_footprint,
+                               std::uint64_t capacity,
+                               std::uint32_t window_bits_override = 0);
+
+  /// Place tenant `t`'s private address `addr` into the shared space.
+  /// Addresses beyond the tenant's window wrap within it (the same
+  /// modulo-capacity convention the solo simulator uses device-side).
+  Addr Rebase(std::uint32_t t, Addr addr) const {
+    const Addr offset = addr & window_mask_;
+    if (mode_ == Mode::kOffset) {
+      return (Addr{t} << window_bits_) | offset;
+    }
+    const Addr stripe = addr >> window_bits_;
+    return (stripe << (window_bits_ + tenant_bits_)) |
+           (Addr{t} << window_bits_) | offset;
+  }
+
+  /// The tenant that owns a rebased address (exact inverse of Rebase).
+  std::uint32_t TenantOf(Addr addr) const {
+    const auto t = static_cast<std::uint32_t>((addr >> window_bits_) &
+                                              ((1u << tenant_bits_) - 1u));
+    return t < num_tenants_ ? t : 0;
+  }
+
+  Mode mode() const { return mode_; }
+  std::uint32_t num_tenants() const { return num_tenants_; }
+  std::uint32_t window_bits() const { return window_bits_; }
+  std::uint32_t tenant_bits() const { return tenant_bits_; }
+
+  /// Canonical short form, e.g. "o27" / "i12" (mode letter + window bits).
+  std::string Describe() const;
+
+ private:
+  Mode mode_ = Mode::kOffset;
+  std::uint32_t num_tenants_ = 1;
+  std::uint32_t window_bits_ = 0;
+  std::uint32_t tenant_bits_ = 0;
+  Addr window_mask_ = 0;
+};
+
+const char* ToString(TenantAddressMap::Mode mode);
+
+}  // namespace redcache::tenant

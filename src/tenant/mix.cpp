@@ -1,0 +1,70 @@
+#include "tenant/mix.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace redcache::tenant {
+
+std::string MixSpec::Describe() const {
+  std::string out(mode == TenantAddressMap::Mode::kOffset ? "o" : "i");
+  out += std::to_string(window_bits);
+  out += '[';
+  bool first = true;
+  for (const TenantSpec& t : tenants) {
+    if (!first) out += '+';
+    first = false;
+    out += t.workload;
+    out += ':';
+    out += std::to_string(t.weight);
+    if (t.min_gap != 0) {
+      out += '@';
+      out += std::to_string(t.min_gap);
+    }
+  }
+  out += ']';
+  return out;
+}
+
+MixSpec MixSpec::Parse(const std::string& text) {
+  MixSpec spec;
+  std::string item;
+  auto flush = [&spec](const std::string& s) {
+    if (s.empty()) return;
+    TenantSpec t;
+    const std::size_t colon = s.find(':');
+    t.workload = s.substr(0, colon);
+    if (t.workload.empty()) {
+      throw std::invalid_argument("mix tenant without a workload: " + s);
+    }
+    if (colon != std::string::npos) {
+      const std::string tail = s.substr(colon + 1);
+      const std::size_t at = tail.find('@');
+      const std::string weight = tail.substr(0, at);
+      t.weight = static_cast<std::uint32_t>(std::strtoul(weight.c_str(),
+                                                         nullptr, 10));
+      if (t.weight == 0) {
+        throw std::invalid_argument("mix tenant weight must be >= 1: " + s);
+      }
+      if (at != std::string::npos) {
+        t.min_gap = static_cast<std::uint32_t>(
+            std::strtoul(tail.substr(at + 1).c_str(), nullptr, 10));
+      }
+    }
+    spec.tenants.push_back(std::move(t));
+  };
+  for (const char c : text) {
+    if (c == ',') {
+      flush(item);
+      item.clear();
+    } else {
+      item.push_back(c);
+    }
+  }
+  flush(item);
+  if (spec.tenants.empty()) {
+    throw std::invalid_argument("empty mix descriptor: " + text);
+  }
+  return spec;
+}
+
+}  // namespace redcache::tenant

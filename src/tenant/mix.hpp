@@ -1,0 +1,62 @@
+// Multi-tenant mix descriptor: which traffic streams share one memory
+// system, how their address spaces are placed, and how the front-end
+// co-schedules them.
+//
+// A MixSpec is part of a cell's identity: Describe() renders the complete
+// descriptor canonically and feeds CellKey / GoldenKey, so two cells that
+// differ anywhere in the mix (tenant set, weights, rate limits, placement
+// mode or window) can never alias in the batch caches. Fields that cannot
+// change simulation results (the solo baselines used by the slowdown
+// telemetry gauge) are deliberately excluded from Describe().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tenant/address_map.hpp"
+
+namespace redcache::tenant {
+
+/// One co-scheduled traffic stream.
+struct TenantSpec {
+  /// Table II workload label. The CLI serve mode uses the reserved label
+  /// "serve" for the externally streamed tenant.
+  std::string workload;
+  /// Weighted round-robin share: the front-end issues `weight` references
+  /// from this tenant before moving to the next (per core).
+  std::uint32_t weight = 1;
+  /// Rate limit: minimum compute-gap cycles stretched onto every reference
+  /// (0 = unlimited). Models a per-tenant injection throttle.
+  std::uint32_t min_gap = 0;
+
+  /// Observability-only solo baseline for the slowdown gauge; excluded from
+  /// Describe() and every cache/golden key (it cannot change simulation
+  /// results, exactly like SimPreset::telemetry_epoch_cycles).
+  std::uint64_t solo_exec_cycles = 0;
+  std::uint64_t solo_refs = 0;
+};
+
+struct MixSpec {
+  std::vector<TenantSpec> tenants;
+  TenantAddressMap::Mode mode = TenantAddressMap::Mode::kOffset;
+  /// 0 = planner default (see TenantAddressMap::Plan).
+  std::uint32_t window_bits = 0;
+
+  /// A mix is active with two or more tenants; a single-tenant "mix" still
+  /// activates accounting (useful for serve mode QoS on one stream).
+  bool active() const { return !tenants.empty(); }
+  std::uint32_t num_tenants() const {
+    return static_cast<std::uint32_t>(tenants.size());
+  }
+
+  /// Canonical, key-safe description: "o0[LU:1+RDX:2@8]" (mode letter,
+  /// window override, then label:weight[@min_gap] per tenant).
+  std::string Describe() const;
+
+  /// Parse the CLI syntax "LABEL[:WEIGHT[@MIN_GAP]],LABEL..." — e.g.
+  /// "LU:2,RDX:1@8". Throws std::invalid_argument on malformed input.
+  static MixSpec Parse(const std::string& text);
+};
+
+}  // namespace redcache::tenant

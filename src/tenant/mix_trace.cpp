@@ -1,0 +1,61 @@
+#include "tenant/mix_trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace redcache::tenant {
+
+MixTraceSource::MixTraceSource(
+    std::vector<std::unique_ptr<TraceSource>> children,
+    std::vector<TenantSpec> specs, TenantAddressMap map)
+    : children_(std::move(children)), specs_(std::move(specs)), map_(map) {
+  if (children_.empty() || children_.size() != specs_.size()) {
+    throw std::invalid_argument("mix needs one trace source per tenant");
+  }
+  if (children_.size() != map_.num_tenants()) {
+    throw std::invalid_argument("tenant map sized for a different mix");
+  }
+  num_cores_ = children_.front()->num_cores();
+  name_ = "mix(";
+  for (std::size_t t = 0; t < children_.size(); t++) {
+    if (children_[t]->num_cores() != num_cores_) {
+      throw std::invalid_argument("mix tenants disagree on core count");
+    }
+    if (specs_[t].weight == 0) {
+      throw std::invalid_argument("mix tenant weight must be >= 1");
+    }
+    footprint_ += children_[t]->footprint_bytes();
+    if (t != 0) name_ += '+';
+    name_ += children_[t]->name();
+  }
+  name_ += ")@" + map_.Describe();
+  lanes_.resize(num_cores_);
+  done_.assign(num_cores_, std::vector<bool>(children_.size(), false));
+}
+
+bool MixTraceSource::Next(std::uint32_t core, MemRef& out) {
+  Lane& lane = lanes_[core];
+  std::vector<bool>& done = done_[core];
+  const auto n = static_cast<std::uint32_t>(children_.size());
+  // At most one full rotation: if every tenant declines, the core is dry.
+  for (std::uint32_t probed = 0; probed < n; ) {
+    const std::uint32_t t = lane.tenant;
+    if (!done[t] && children_[t]->Next(core, out)) {
+      out.addr = map_.Rebase(t, out.addr);
+      out.gap = std::max(out.gap, specs_[t].min_gap);
+      if (++lane.served >= specs_[t].weight) {
+        lane.served = 0;
+        lane.tenant = (t + 1) % n;
+      }
+      return true;
+    }
+    done[t] = true;
+    lane.served = 0;
+    lane.tenant = (t + 1) % n;
+    probed++;
+  }
+  return false;
+}
+
+}  // namespace redcache::tenant

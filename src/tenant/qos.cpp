@@ -1,0 +1,108 @@
+#include "tenant/qos.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redcache::tenant {
+
+namespace {
+
+/// Parses "tenant<N>.<suffix>"; returns false for any other counter name.
+bool SplitTenantKey(const std::string& name, std::uint32_t& tenant,
+                    std::string& suffix) {
+  constexpr char kPrefix[] = "tenant";
+  constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  std::size_t i = kPrefixLen;
+  if (i >= name.size() || name[i] < '0' || name[i] > '9') return false;
+  std::uint32_t t = 0;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    t = t * 10 + static_cast<std::uint32_t>(name[i] - '0');
+    i++;
+  }
+  if (i >= name.size() || name[i] != '.') return false;
+  tenant = t;
+  suffix = name.substr(i + 1);
+  return true;
+}
+
+}  // namespace
+
+std::vector<TenantQos> QosFromStats(const StatSet& stats) {
+  std::vector<TenantQos> rows;
+  auto row = [&rows](std::uint32_t t) -> TenantQos& {
+    if (t >= rows.size()) {
+      const std::size_t old = rows.size();
+      rows.resize(t + 1);
+      for (std::size_t i = old; i < rows.size(); i++) {
+        rows[i].tenant = static_cast<std::uint32_t>(i);
+      }
+    }
+    return rows[t];
+  };
+  for (const auto& [name, value] : stats.counters()) {
+    std::uint32_t t = 0;
+    std::string suffix;
+    if (!SplitTenantKey(name, t, suffix)) continue;
+    TenantQos& r = row(t);
+    if (suffix == "refs") r.refs = value;
+    else if (suffix == "finish_cycles") r.finish_cycles = value;
+    else if (suffix == "ctrl.reads") r.reads = value;
+    else if (suffix == "ctrl.writebacks") r.writebacks = value;
+    else if (suffix == "ctrl.serve_hits") r.serve_hits = value;
+    else if (suffix == "ctrl.serve_misses") r.serve_misses = value;
+    else if (suffix == "hbm.bytes") r.hbm_bytes = value;
+    else if (suffix == "ddr4.bytes") r.mm_bytes = value;
+    else if (suffix == "rcu_drains") r.rcu_drains = value;
+  }
+  return rows;
+}
+
+void ApplySoloBaseline(std::vector<TenantQos>& rows, std::uint32_t tenant,
+                       std::uint64_t solo_exec_cycles) {
+  if (tenant >= rows.size() || solo_exec_cycles == 0) return;
+  rows[tenant].slowdown = static_cast<double>(rows[tenant].finish_cycles) /
+                          static_cast<double>(solo_exec_cycles);
+}
+
+namespace {
+
+double Share(std::uint64_t mine, std::uint64_t total) {
+  return total == 0 ? 0.0
+                    : static_cast<double>(mine) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double HbmShare(const std::vector<TenantQos>& rows, const TenantQos& row) {
+  std::uint64_t total = 0;
+  for (const TenantQos& r : rows) total += r.hbm_bytes;
+  return Share(row.hbm_bytes, total);
+}
+
+double MmShare(const std::vector<TenantQos>& rows, const TenantQos& row) {
+  std::uint64_t total = 0;
+  for (const TenantQos& r : rows) total += r.mm_bytes;
+  return Share(row.mm_bytes, total);
+}
+
+std::string FormatQosLine(const std::vector<TenantQos>& rows,
+                          const TenantQos& row, const std::string& label) {
+  char buf[256];
+  if (row.slowdown > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "tenant%u %s: hit %.1f%% | hbm %.1f%% | mm %.1f%% | "
+                  "slowdown %.2fx",
+                  row.tenant, label.c_str(), row.hit_rate() * 100.0,
+                  HbmShare(rows, row) * 100.0, MmShare(rows, row) * 100.0,
+                  row.slowdown);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "tenant%u %s: hit %.1f%% | hbm %.1f%% | mm %.1f%%",
+                  row.tenant, label.c_str(), row.hit_rate() * 100.0,
+                  HbmShare(rows, row) * 100.0, MmShare(rows, row) * 100.0);
+  }
+  return buf;
+}
+
+}  // namespace redcache::tenant

@@ -1,0 +1,60 @@
+// Per-tenant QoS summaries derived from exported stats.
+//
+// The simulator exports raw per-tenant counters ("tenant<N>.*"); this
+// module turns a StatSet containing them back into structured rows and the
+// derived QoS metrics the reports print: demand hit rate, HBM / main-memory
+// bandwidth share, and slowdown versus a solo baseline. Keeping the
+// derivation outside the simulator means cached cell stats stay
+// baseline-independent — slowdown is computed at report time from whatever
+// solo run the caller supplies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace redcache::tenant {
+
+struct TenantQos {
+  std::uint32_t tenant = 0;
+  std::uint64_t refs = 0;
+  std::uint64_t finish_cycles = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t serve_hits = 0;
+  std::uint64_t serve_misses = 0;
+  std::uint64_t hbm_bytes = 0;
+  std::uint64_t mm_bytes = 0;
+  std::uint64_t rcu_drains = 0;
+  /// Slowdown vs solo (finish_cycles / solo exec_cycles); 0 when no
+  /// baseline was attached via ApplySoloBaseline.
+  double slowdown = 0.0;
+
+  double hit_rate() const {
+    const std::uint64_t demand = serve_hits + serve_misses;
+    return demand == 0 ? 0.0 : static_cast<double>(serve_hits) /
+                                   static_cast<double>(demand);
+  }
+};
+
+/// Extract every tenant<N>.* row present in `stats` (ascending tenant id).
+/// Empty for single-tenant runs, which export no tenant counters at all.
+std::vector<TenantQos> QosFromStats(const StatSet& stats);
+
+/// Fill row `tenant`'s slowdown from a solo-run cycle count (no-op if the
+/// tenant is absent or `solo_exec_cycles` is 0).
+void ApplySoloBaseline(std::vector<TenantQos>& rows, std::uint32_t tenant,
+                       std::uint64_t solo_exec_cycles);
+
+/// Share of `row`'s traffic in the mix total for one device, in [0,1].
+double HbmShare(const std::vector<TenantQos>& rows, const TenantQos& row);
+double MmShare(const std::vector<TenantQos>& rows, const TenantQos& row);
+
+/// One human-readable QoS line, e.g.
+/// "tenant0 LU: hit 93.1% | hbm 48.2% | mm 51.0% | slowdown 1.31x".
+std::string FormatQosLine(const std::vector<TenantQos>& rows,
+                          const TenantQos& row, const std::string& label);
+
+}  // namespace redcache::tenant

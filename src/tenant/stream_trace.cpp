@@ -1,0 +1,148 @@
+#include "tenant/stream_trace.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace redcache::tenant {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+// Mirrors the RCTR on-disk record (workloads/trace_file.cpp): the u64 addr
+// aligns the struct to 16 bytes, and files are written with sizeof(Record).
+struct Record {
+  std::uint8_t core;
+  std::uint8_t flags;
+  std::uint16_t gap;
+  std::uint64_t addr;
+};
+static_assert(sizeof(Record) == 16, "RCTR record layout changed");
+
+}  // namespace
+
+StreamTraceSource::StreamTraceSource(const std::string& path)
+    : name_("serve:" + path) {
+  if (path == "-") {
+    fd_ = STDIN_FILENO;
+    owns_fd_ = false;
+  } else {
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0) {
+      throw std::runtime_error("cannot open trace stream: " + path + ": " +
+                               std::strerror(errno));
+    }
+    owns_fd_ = true;
+  }
+
+  // Header: magic, version, num_cores. Block until all 12 bytes arrive.
+  char header[12];
+  std::size_t got = 0;
+  while (got < sizeof(header)) {
+    const ssize_t n = ::read(fd_, header + got, sizeof(header) - got);
+    if (n < 0 && errno == EINTR) {
+      if (StopRequested()) break;
+      continue;
+    }
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  if (got < sizeof(header) || std::memcmp(header, kMagic, 4) != 0) {
+    if (owns_fd_) ::close(fd_);
+    throw std::runtime_error("not a RedCache trace stream: " + path);
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, header + 4, 4);
+  std::memcpy(&num_cores_, header + 8, 4);
+  if (version != kVersion) {
+    if (owns_fd_) ::close(fd_);
+    throw std::runtime_error("unsupported trace version on stream: " + path);
+  }
+  if (num_cores_ == 0 || num_cores_ > 256) {
+    if (owns_fd_) ::close(fd_);
+    throw std::runtime_error("implausible core count on stream: " + path);
+  }
+  per_core_.resize(num_cores_);
+  tail_.reserve(sizeof(Record));
+}
+
+StreamTraceSource::~StreamTraceSource() {
+  if (owns_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+bool StreamTraceSource::Ingest() {
+  if (eof_) return false;
+  if (StopRequested()) {
+    eof_ = true;
+    return false;
+  }
+  char buf[16 * 1024];
+  ssize_t n;
+  do {
+    n = ::read(fd_, buf, sizeof(buf));
+  } while (n < 0 && errno == EINTR && !StopRequested());
+  if (n <= 0) {
+    // EOF, stop-interrupted, or a hard error: all drain gracefully.
+    eof_ = true;
+    return false;
+  }
+
+  const char* p = buf;
+  std::size_t left = static_cast<std::size_t>(n);
+  // Complete any partial record carried from the previous read first.
+  if (!tail_.empty()) {
+    const std::size_t need = sizeof(Record) - tail_.size();
+    const std::size_t take = std::min(need, left);
+    tail_.insert(tail_.end(), p, p + take);
+    p += take;
+    left -= take;
+    if (tail_.size() < sizeof(Record)) return true;
+  }
+
+  auto push = [this](const char* bytes) {
+    Record r;
+    std::memcpy(&r, bytes, sizeof(r));
+    if (r.core >= num_cores_) {
+      throw std::runtime_error("stream record with out-of-range core");
+    }
+    MemRef ref;
+    ref.addr = r.addr;
+    ref.is_write = (r.flags & 1) != 0;
+    ref.gap = std::max<std::uint16_t>(1, r.gap);
+    per_core_[r.core].push_back(ref);
+    total_records_++;
+    lo_ = std::min(lo_, r.addr);
+    hi_ = std::max(hi_, r.addr + kBlockBytes);
+    footprint_ = hi_ - lo_;
+  };
+
+  if (tail_.size() == sizeof(Record)) {
+    push(tail_.data());
+    tail_.clear();
+  }
+  while (left >= sizeof(Record)) {
+    push(p);
+    p += sizeof(Record);
+    left -= sizeof(Record);
+  }
+  if (left > 0) tail_.assign(p, p + left);
+  return true;
+}
+
+bool StreamTraceSource::Next(std::uint32_t core, MemRef& out) {
+  if (core >= num_cores_) return false;
+  while (per_core_[core].empty()) {
+    if (!Ingest()) return false;
+  }
+  out = per_core_[core].front();
+  per_core_[core].pop_front();
+  return true;
+}
+
+}  // namespace redcache::tenant

@@ -1,0 +1,75 @@
+// Long-run streaming trace ingestion for serve mode.
+//
+// StreamTraceSource reads the standard RCTR binary trace format (see
+// workloads/trace_file.hpp) incrementally from a file descriptor — a pipe,
+// FIFO, socket, or "-" for stdin — instead of loading the whole file. The
+// record stream is demultiplexed into per-core queues exactly like
+// FileTraceSource, so a serve-mode run over a piped trace produces the same
+// reference sequence (and therefore the same final stats) as a batch run
+// over the same records on disk.
+//
+// Drain semantics: on EOF, or when the installed stop flag becomes non-zero
+// (set from a SIGTERM/SIGINT handler; the read() is interrupted via EINTR),
+// the source stops ingesting and Next() drains the already-buffered records
+// before reporting exhaustion. The simulator then retires its outstanding
+// requests normally — a graceful drain, never a mid-request abort.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "workloads/trace.hpp"
+
+namespace redcache::tenant {
+
+class StreamTraceSource : public TraceSource {
+ public:
+  /// Opens `path` ("-" = stdin) and blocks until the RCTR header arrives.
+  /// Throws std::runtime_error on open/format errors.
+  explicit StreamTraceSource(const std::string& path);
+  ~StreamTraceSource() override;
+  StreamTraceSource(const StreamTraceSource&) = delete;
+  StreamTraceSource& operator=(const StreamTraceSource&) = delete;
+
+  /// Install a flag polled whenever a blocking read is interrupted; a
+  /// non-zero value requests a graceful drain (treated like EOF). The flag
+  /// must outlive the source. Typically set by a signal handler installed
+  /// WITHOUT SA_RESTART so the read actually returns EINTR.
+  void SetStopFlag(const volatile std::sig_atomic_t* stop) { stop_ = stop; }
+
+  /// Blocks until a record for `core` arrives (buffering records for other
+  /// cores along the way), then returns it; false once the stream has
+  /// reached EOF / been stopped and this core's buffer is drained.
+  bool Next(std::uint32_t core, MemRef& out) override;
+  std::uint32_t num_cores() const override { return num_cores_; }
+  /// Footprint bound of the records seen so far (grows as the stream runs).
+  std::uint64_t footprint_bytes() const override { return footprint_; }
+  std::string name() const override { return name_; }
+
+  std::uint64_t total_records() const { return total_records_; }
+  bool eof() const { return eof_; }
+
+ private:
+  /// One blocking read; parses complete records into the per-core queues.
+  /// Returns false when the stream is finished (EOF, stop, or error).
+  bool Ingest();
+  bool StopRequested() const { return stop_ != nullptr && *stop_ != 0; }
+
+  int fd_ = -1;
+  bool owns_fd_ = false;
+  bool eof_ = false;
+  const volatile std::sig_atomic_t* stop_ = nullptr;
+  std::string name_;
+  std::uint32_t num_cores_ = 0;
+  std::uint64_t footprint_ = 0;
+  std::uint64_t total_records_ = 0;
+  Addr lo_ = ~Addr{0};
+  Addr hi_ = 0;
+  std::vector<char> tail_;  // partial record carried between reads
+  std::vector<std::deque<MemRef>> per_core_;
+};
+
+}  // namespace redcache::tenant

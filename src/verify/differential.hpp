@@ -35,6 +35,11 @@ struct DifferentialParams {
   SimPreset preset = EvalPreset();
   std::vector<std::string> policies = DifferentialPolicies();
   Cycle max_cycles = 80'000'000;
+  /// 0 or 1 = classic single-stream run. >= 2 co-schedules that many
+  /// independent fuzz streams (seeds trace.seed, trace.seed+1, ...) through
+  /// a MixTraceSource with tenant accounting attached, and adds per-tenant
+  /// conservation checks (tenant counters must partition the totals).
+  std::uint32_t tenants = 0;
 };
 
 struct DifferentialOutcome {
@@ -44,6 +49,8 @@ struct DifferentialOutcome {
   std::uint64_t divergences = 0;
   std::uint64_t reads_checked = 0;
   std::uint64_t model_events = 0;
+  /// Per-tenant retired references (multi-tenant runs only).
+  std::vector<std::uint64_t> tenant_refs;
 };
 
 struct DifferentialResult {

@@ -28,7 +28,11 @@ std::string GoldenKey(const RunSpec& spec) {
   std::snprintf(scale, sizeof scale, "%g", spec.scale);
   // PolicyNameOf == ToString(spec.arch) for enum-based specs, so keys of
   // pre-existing golden entries are unchanged by the policy registry.
-  return PolicyNameOf(spec) + "/" + spec.workload + "/" + spec.preset.name +
+  // Likewise an active mix replaces the workload component with its full
+  // canonical descriptor while inactive mixes leave keys untouched.
+  const std::string workload =
+      spec.mix.active() ? "mix:" + spec.mix.Describe() : spec.workload;
+  return PolicyNameOf(spec) + "/" + workload + "/" + spec.preset.name +
          "@scale=" + scale + ",seed=" + std::to_string(spec.seed);
 }
 
@@ -40,6 +44,13 @@ GoldenRecord CollectGolden(const RunSpec& spec) {
     // Absent counters (e.g. hbm.* on No-HBM) are recorded as 0 so the
     // schema is uniform across architectures.
     rec[name] = run.stats.GetCounter(name);
+  }
+  // Mix cells additionally pin every per-tenant counter the run exported,
+  // so QoS attribution regressions are caught the same way end-to-end
+  // behaviour is. Single-tenant runs export none — their records (and the
+  // serialized file bytes for existing entries) are untouched.
+  for (const auto& [name, value] : run.stats.counters()) {
+    if (name.rfind("tenant", 0) == 0) rec[name] = value;
   }
   return rec;
 }

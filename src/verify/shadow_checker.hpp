@@ -73,6 +73,9 @@ class ShadowChecker final : public MemController, public VerifySink {
   }
   bool Idle() const override { return inner_->Idle(); }
   void SetVerifySink(VerifySink* sink) override;
+  void SetTenantAccounting(tenant::TenantAccounting* acct) override {
+    inner_->SetTenantAccounting(acct);
+  }
   const MemController* underlying() const override {
     return inner_->underlying();
   }

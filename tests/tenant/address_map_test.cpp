@@ -1,0 +1,134 @@
+// Tenant address placement: Rebase/TenantOf must be exact inverses and two
+// tenants must never alias onto one block at any mapping or pow2
+// configuration — the property the per-tenant QoS attribution and the
+// no-cross-tenant-interference guarantee both rest on.
+#include "tenant/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace redcache::tenant {
+namespace {
+
+using Mode = TenantAddressMap::Mode;
+
+std::vector<Addr> SampleOffsets(std::uint32_t window_bits) {
+  const Addr window = Addr{1} << window_bits;
+  std::vector<Addr> offsets = {0, kBlockBytes, 3 * kBlockBytes};
+  if (window > kPageBytes) offsets.push_back(kPageBytes);
+  offsets.push_back(window - kBlockBytes);
+  // Beyond-window addresses wrap within the tenant's slice; they still must
+  // belong to the right tenant and never collide with another tenant.
+  offsets.push_back(window + 5 * kBlockBytes);
+  offsets.push_back(7 * window + kBlockBytes);
+  return offsets;
+}
+
+TEST(TenantAddressMap, RebaseAndTenantOfAreExactInverses) {
+  for (const Mode mode : {Mode::kOffset, Mode::kInterleave}) {
+    for (const std::uint32_t tenants : {1u, 2u, 3u, 4u, 8u}) {
+      for (const std::uint32_t wbits : {kBlockShift, 12u, 20u, 27u}) {
+        const TenantAddressMap map(mode, tenants, wbits);
+        for (std::uint32_t t = 0; t < tenants; ++t) {
+          for (const Addr a : SampleOffsets(wbits)) {
+            EXPECT_EQ(map.TenantOf(map.Rebase(t, a)), t)
+                << ToString(mode) << " tenants=" << tenants
+                << " window=" << wbits << " t=" << t << " addr=" << a;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TenantAddressMap, NoCrossTenantAliasingAtAnyConfiguration) {
+  for (const Mode mode : {Mode::kOffset, Mode::kInterleave}) {
+    for (const std::uint32_t tenants : {2u, 3u, 4u, 8u}) {
+      for (const std::uint32_t wbits : {kBlockShift, 12u, 20u, 27u}) {
+        const TenantAddressMap map(mode, tenants, wbits);
+        // Distinct (tenant, in-window block) pairs must land on distinct
+        // rebased blocks: collect them all and count.
+        const Addr window = Addr{1} << wbits;
+        std::vector<Addr> offsets;
+        for (Addr a = 0; a < window && offsets.size() < 64;
+             a += kBlockBytes) {
+          offsets.push_back(a);
+        }
+        offsets.push_back(window - kBlockBytes);
+        std::set<Addr> rebased;
+        for (std::uint32_t t = 0; t < tenants; ++t) {
+          for (const Addr a : offsets) {
+            rebased.insert(map.Rebase(t, a));
+          }
+        }
+        std::set<Addr> unique_offsets(offsets.begin(), offsets.end());
+        EXPECT_EQ(rebased.size(), tenants * unique_offsets.size())
+            << ToString(mode) << " tenants=" << tenants
+            << " window=" << wbits << ": two tenants aliased onto one block";
+      }
+    }
+  }
+}
+
+TEST(TenantAddressMap, OffsetModePreservesInWindowLayout) {
+  // Offset placement must keep each tenant's intra-window bits untouched so
+  // its solo row/bank locality carries over verbatim.
+  const TenantAddressMap map(Mode::kOffset, 4, 20);
+  const Addr mask = (Addr{1} << 20) - 1;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    for (const Addr a : SampleOffsets(20)) {
+      EXPECT_EQ(map.Rebase(t, a) & mask, a & mask);
+    }
+  }
+}
+
+TEST(TenantAddressMap, PlanOffsetStaysBelowCapacity) {
+  const std::uint64_t capacity = std::uint64_t{1} << 30;  // 1 GiB
+  for (const std::uint32_t tenants : {2u, 3u, 4u, 8u}) {
+    const auto map = TenantAddressMap::Plan(Mode::kOffset, tenants,
+                                            /*max_footprint=*/1 << 28,
+                                            capacity);
+    EXPECT_LE(map.window_bits() + map.tenant_bits(), 30u);
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+      const Addr top = map.Rebase(t, (Addr{1} << map.window_bits()) - kBlockBytes);
+      EXPECT_LT(top, capacity)
+          << tenants << " tenants: tenant " << t
+          << " escapes device capacity, the modulo wrap would fold tenants";
+    }
+  }
+}
+
+TEST(TenantAddressMap, PlanInterleaveStripesAtPageGranularity) {
+  const auto map = TenantAddressMap::Plan(Mode::kInterleave, 4, 1 << 20,
+                                          std::uint64_t{1} << 30);
+  EXPECT_EQ(map.window_bits(), kPageShift);
+  // Consecutive pages of one tenant are separated by the other tenants'
+  // stripes — neighbours in the same row region.
+  EXPECT_EQ(map.Rebase(0, kPageBytes) - map.Rebase(0, 0),
+            Addr{kPageBytes} << map.tenant_bits());
+}
+
+TEST(TenantAddressMap, PlanHonorsWindowOverride) {
+  const auto map = TenantAddressMap::Plan(Mode::kOffset, 2, 1 << 20,
+                                          std::uint64_t{1} << 30,
+                                          /*window_bits_override=*/16);
+  EXPECT_EQ(map.window_bits(), 16u);
+}
+
+TEST(TenantAddressMap, DescribeIsCanonical) {
+  EXPECT_EQ(TenantAddressMap(Mode::kOffset, 2, 27).Describe(), "o27");
+  EXPECT_EQ(TenantAddressMap(Mode::kInterleave, 4, 12).Describe(), "i12");
+}
+
+TEST(TenantAddressMap, RejectsDegenerateShapes) {
+  EXPECT_THROW(TenantAddressMap(Mode::kOffset, 0, 20), std::invalid_argument);
+  EXPECT_THROW(TenantAddressMap(Mode::kOffset, 2, kBlockShift - 1),
+               std::invalid_argument);
+  EXPECT_THROW(TenantAddressMap(Mode::kOffset, 2, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace redcache::tenant

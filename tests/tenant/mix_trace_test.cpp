@@ -1,0 +1,199 @@
+// MixTraceSource co-scheduling semantics: deterministic weighted
+// round-robin per core, exhausted-tenant skipping, rate-limit gap
+// stretching, and address attribution through the tenant map.
+#include "tenant/mix_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace redcache::tenant {
+namespace {
+
+using Mode = TenantAddressMap::Mode;
+
+/// Scripted per-core reference streams for exact-order assertions.
+class VecSource : public TraceSource {
+ public:
+  VecSource(std::string name, std::vector<std::vector<MemRef>> per_core)
+      : name_(std::move(name)), per_core_(std::move(per_core)),
+        pos_(per_core_.size(), 0) {}
+
+  bool Next(std::uint32_t core, MemRef& out) override {
+    if (pos_[core] >= per_core_[core].size()) return false;
+    out = per_core_[core][pos_[core]++];
+    return true;
+  }
+  std::uint32_t num_cores() const override {
+    return static_cast<std::uint32_t>(per_core_.size());
+  }
+  std::uint64_t footprint_bytes() const override { return kPageBytes; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<MemRef>> per_core_;
+  std::vector<std::size_t> pos_;
+};
+
+std::vector<MemRef> Refs(std::size_t count, std::uint32_t gap = 1) {
+  std::vector<MemRef> refs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    refs[i].addr = static_cast<Addr>(i) * kBlockBytes;
+    refs[i].gap = gap;
+  }
+  return refs;
+}
+
+TenantSpec Spec(std::uint32_t weight, std::uint32_t min_gap = 0) {
+  TenantSpec s;
+  s.workload = "T";
+  s.weight = weight;
+  s.min_gap = min_gap;
+  return s;
+}
+
+std::unique_ptr<MixTraceSource> TwoTenants(std::size_t refs0,
+                                           std::size_t refs1,
+                                           TenantSpec s0, TenantSpec s1,
+                                           std::uint32_t gap = 1) {
+  std::vector<std::unique_ptr<TraceSource>> children;
+  children.push_back(std::make_unique<VecSource>(
+      "a", std::vector<std::vector<MemRef>>{Refs(refs0, gap)}));
+  children.push_back(std::make_unique<VecSource>(
+      "b", std::vector<std::vector<MemRef>>{Refs(refs1, gap)}));
+  return std::make_unique<MixTraceSource>(
+      std::move(children), std::vector<TenantSpec>{s0, s1},
+      TenantAddressMap(Mode::kOffset, 2, 12));
+}
+
+/// Drain one core and record which tenant emitted each reference.
+std::vector<std::uint32_t> TenantOrder(MixTraceSource& mix,
+                                       std::uint32_t core = 0) {
+  std::vector<std::uint32_t> order;
+  MemRef ref;
+  while (mix.Next(core, ref)) order.push_back(mix.map().TenantOf(ref.addr));
+  return order;
+}
+
+TEST(MixTrace, WeightedRoundRobinFollowsTheWeights) {
+  // Weights 2:1 -> the serve pattern is t0,t0,t1 repeating.
+  auto mix = TwoTenants(6, 3, Spec(2), Spec(1));
+  EXPECT_EQ(TenantOrder(*mix),
+            (std::vector<std::uint32_t>{0, 0, 1, 0, 0, 1, 0, 0, 1}));
+}
+
+TEST(MixTrace, ExhaustedTenantIsSkippedUntilAllAreDry) {
+  // Tenant 0 dries up after 2 refs; the remainder must all come from
+  // tenant 1 with no gaps in the stream.
+  auto mix = TwoTenants(2, 5, Spec(1), Spec(1));
+  EXPECT_EQ(TenantOrder(*mix),
+            (std::vector<std::uint32_t>{0, 1, 0, 1, 1, 1, 1}));
+}
+
+TEST(MixTrace, MinGapStretchesButNeverShrinksComputeGaps) {
+  // Tenant 0 throttled to min_gap 8: its gap-1 refs become gap-8, while a
+  // source gap above the floor passes through untouched.
+  std::vector<MemRef> slow = Refs(2, 1);
+  slow[1].gap = 20;
+  std::vector<std::unique_ptr<TraceSource>> children;
+  children.push_back(std::make_unique<VecSource>(
+      "a", std::vector<std::vector<MemRef>>{slow}));
+  children.push_back(std::make_unique<VecSource>(
+      "b", std::vector<std::vector<MemRef>>{Refs(2, 3)}));
+  MixTraceSource mix(std::move(children),
+                     {Spec(1, /*min_gap=*/8), Spec(1, /*min_gap=*/0)},
+                     TenantAddressMap(Mode::kOffset, 2, 12));
+  MemRef ref;
+  ASSERT_TRUE(mix.Next(0, ref));
+  EXPECT_EQ(mix.map().TenantOf(ref.addr), 0u);
+  EXPECT_EQ(ref.gap, 8u);
+  ASSERT_TRUE(mix.Next(0, ref));
+  EXPECT_EQ(ref.gap, 3u);  // tenant 1, unthrottled
+  ASSERT_TRUE(mix.Next(0, ref));
+  EXPECT_EQ(ref.gap, 20u);  // tenant 0, already above the floor
+}
+
+TEST(MixTrace, EveryAddressLandsInTheEmittingTenantsSlice) {
+  auto mix = TwoTenants(8, 8, Spec(3), Spec(2));
+  MemRef ref;
+  std::uint64_t served = 0;
+  while (mix->Next(0, ref)) {
+    const std::uint32_t t = mix->map().TenantOf(ref.addr);
+    ASSERT_LT(t, 2u);
+    // Offset mode keeps the child's in-window layout verbatim.
+    EXPECT_EQ(ref.addr & ((Addr{1} << 12) - 1),
+              ref.addr - mix->map().Rebase(t, 0));
+    served++;
+  }
+  EXPECT_EQ(served, 16u);
+}
+
+TEST(MixTrace, CoresScheduleIndependentlyOfPollingOrder) {
+  // Serving core 1 to exhaustion before touching core 0 must produce the
+  // same per-core sequences as the interleaved order — lanes are per-core.
+  const auto build = [] {
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(std::make_unique<VecSource>(
+        "a", std::vector<std::vector<MemRef>>{Refs(4), Refs(3)}));
+    children.push_back(std::make_unique<VecSource>(
+        "b", std::vector<std::vector<MemRef>>{Refs(2), Refs(5)}));
+    return std::make_unique<MixTraceSource>(
+        std::move(children), std::vector<TenantSpec>{Spec(2), Spec(1)},
+        TenantAddressMap(Mode::kOffset, 2, 12));
+  };
+  auto forward = build();
+  const auto core0_first = TenantOrder(*forward, 0);
+  const auto core1_after = TenantOrder(*forward, 1);
+
+  auto reversed = build();
+  EXPECT_EQ(TenantOrder(*reversed, 1), core1_after);
+  EXPECT_EQ(TenantOrder(*reversed, 0), core0_first);
+}
+
+TEST(MixTrace, RejectsMalformedMixes) {
+  const TenantAddressMap map2(Mode::kOffset, 2, 12);
+  EXPECT_THROW(MixTraceSource({}, {}, map2), std::invalid_argument);
+
+  {  // children/specs length mismatch
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(std::make_unique<VecSource>(
+        "a", std::vector<std::vector<MemRef>>{Refs(1)}));
+    EXPECT_THROW(
+        MixTraceSource(std::move(children), {Spec(1), Spec(1)}, map2),
+        std::invalid_argument);
+  }
+  {  // tenants disagree on core count
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(std::make_unique<VecSource>(
+        "a", std::vector<std::vector<MemRef>>{Refs(1)}));
+    children.push_back(std::make_unique<VecSource>(
+        "b", std::vector<std::vector<MemRef>>{Refs(1), Refs(1)}));
+    EXPECT_THROW(
+        MixTraceSource(std::move(children), {Spec(1), Spec(1)}, map2),
+        std::invalid_argument);
+  }
+  {  // zero weight would starve the tenant forever
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(std::make_unique<VecSource>(
+        "a", std::vector<std::vector<MemRef>>{Refs(1)}));
+    children.push_back(std::make_unique<VecSource>(
+        "b", std::vector<std::vector<MemRef>>{Refs(1)}));
+    EXPECT_THROW(
+        MixTraceSource(std::move(children), {Spec(1), Spec(0)}, map2),
+        std::invalid_argument);
+  }
+  {  // map sized for a different mix
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(std::make_unique<VecSource>(
+        "a", std::vector<std::vector<MemRef>>{Refs(1)}));
+    EXPECT_THROW(MixTraceSource(std::move(children), {Spec(1)}, map2),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace redcache::tenant

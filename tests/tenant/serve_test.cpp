@@ -1,0 +1,190 @@
+// Serve-mode integration: streaming a trace through a pipe must reproduce
+// the batch replay of the same records exactly, EOF mid-stream must drain
+// to the stats of the batch run over the same prefix, and the stop flag
+// must end ingestion while still draining buffered records.
+#include "tenant/stream_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dramcache/policy_registry.hpp"
+#include "sim/runner.hpp"
+#include "workloads/trace_file.hpp"
+
+namespace redcache {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 12;  // magic + version + num_cores
+constexpr std::size_t kRecordBytes = 16;
+
+std::string Serialize(const RunResult& r) {
+  std::ostringstream os;
+  os << "completed=" << r.completed << "\nexec_cycles=" << r.exec_cycles
+     << "\n" << r.stats.ToString();
+  return os.str();
+}
+
+/// Capture the LU generator to an RCTR file and return the path.
+std::string CaptureTrace(const std::string& path) {
+  WorkloadBuildParams wp;
+  wp.num_cores = EvalPreset().hierarchy.num_cores;
+  wp.scale = 0.01;
+  auto source = MakeWorkload("LU", wp);
+  TraceFileWriter writer(path, source->num_cores());
+  writer.CaptureAll(*source);
+  writer.Flush();
+  return path;
+}
+
+/// First `records` records of `full` as a standalone RCTR file.
+void WritePrefix(const std::string& full, const std::string& prefix,
+                 std::size_t records) {
+  std::ifstream in(full, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::vector<char> bytes(kHeaderBytes + records * kRecordBytes);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_EQ(static_cast<std::size_t>(in.gcount()), bytes.size())
+      << "capture shorter than the requested prefix";
+  std::ofstream out(prefix, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Batch-style replay: the whole file loaded up front, no streaming.
+RunResult ReplayFile(const std::string& path) {
+  const SimPreset preset = EvalPreset();
+  System system(preset.hierarchy, preset.core,
+                MakePolicy("RedCache", preset.mem),
+                std::make_unique<FileTraceSource>(path));
+  return system.Run();
+}
+
+RunResult ServeFrom(const std::string& path) {
+  RunSpec spec;
+  spec.policy = "RedCache";
+  spec.serve_path = path;
+  return RunOne(spec);
+}
+
+TEST(Serve, StreamedFileMatchesBatchReplayExactly) {
+  char dir_tmpl[] = "/tmp/redcache_serve_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_tmpl), nullptr);
+  const std::string dir = dir_tmpl;
+  const std::string trace = CaptureTrace(dir + "/full.rctr");
+
+  const RunResult streamed = ServeFrom(trace);
+  const RunResult batch = ReplayFile(trace);
+  ASSERT_TRUE(streamed.completed);
+  EXPECT_EQ(Serialize(streamed), Serialize(batch))
+      << "incremental ingestion changed simulation results";
+
+  std::remove(trace.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(Serve, PipeEofMidStreamDrainsToTheBatchPrefix) {
+  char dir_tmpl[] = "/tmp/redcache_serve_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_tmpl), nullptr);
+  const std::string dir = dir_tmpl;
+  const std::string full = CaptureTrace(dir + "/full.rctr");
+  const std::string prefix = dir + "/prefix.rctr";
+  constexpr std::size_t kPrefixRecords = 2000;
+  WritePrefix(full, prefix, kPrefixRecords);
+
+  const std::string fifo = dir + "/serve.fifo";
+  ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+  // The writer delivers only the prefix, then closes — EOF arrives while
+  // the simulated trace is logically mid-stream.
+  std::thread writer([&] {
+    const int fd = ::open(fifo.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    std::ifstream in(prefix, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  });
+
+  const RunResult streamed = ServeFrom(fifo);
+  writer.join();
+  const RunResult batch = ReplayFile(prefix);
+  ASSERT_TRUE(streamed.completed);
+  EXPECT_EQ(Serialize(streamed), Serialize(batch))
+      << "the graceful drain must equal the batch run over the same records";
+
+  std::remove(full.c_str());
+  std::remove(prefix.c_str());
+  std::remove(fifo.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(Serve, StopFlagEndsIngestionButDrainsBufferedRecords) {
+  char dir_tmpl[] = "/tmp/redcache_serve_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_tmpl), nullptr);
+  const std::string dir = dir_tmpl;
+  const std::string trace = CaptureTrace(dir + "/full.rctr");
+
+  volatile std::sig_atomic_t stop = 0;
+  tenant::StreamTraceSource source(trace);
+  source.SetStopFlag(&stop);
+
+  // One successful Next buffers at least a chunk's worth of records.
+  MemRef ref;
+  ASSERT_TRUE(source.Next(0, ref));
+  const std::uint64_t ingested = source.total_records();
+  ASSERT_GT(ingested, 0u);
+
+  stop = 1;
+  // Everything already buffered must still drain — a graceful stop, not a
+  // mid-request abort — but nothing new may be ingested.
+  std::uint64_t drained = 1;  // the record already returned above
+  for (std::uint32_t core = 0; core < source.num_cores(); ++core) {
+    while (source.Next(core, ref)) drained++;
+  }
+  EXPECT_EQ(source.total_records(), ingested)
+      << "ingestion continued after the stop flag was set";
+  EXPECT_EQ(drained, ingested);
+
+  // A source stopped before any Next serves nothing at all.
+  tenant::StreamTraceSource eager(trace);
+  volatile std::sig_atomic_t stopped_at_birth = 1;
+  eager.SetStopFlag(&stopped_at_birth);
+  for (std::uint32_t core = 0; core < eager.num_cores(); ++core) {
+    EXPECT_FALSE(eager.Next(core, ref));
+  }
+  EXPECT_EQ(eager.total_records(), 0u);
+
+  std::remove(trace.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(Serve, RejectsMalformedStreams) {
+  char dir_tmpl[] = "/tmp/redcache_serve_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_tmpl), nullptr);
+  const std::string dir = dir_tmpl;
+  const std::string bogus = dir + "/bogus.rctr";
+  std::ofstream(bogus, std::ios::binary) << "NOTATRACEFILE";
+  EXPECT_THROW(tenant::StreamTraceSource{bogus}, std::runtime_error);
+  EXPECT_THROW(tenant::StreamTraceSource{dir + "/missing.rctr"},
+               std::runtime_error);
+  std::remove(bogus.c_str());
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+}  // namespace redcache

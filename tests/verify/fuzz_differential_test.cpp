@@ -99,6 +99,32 @@ TEST(FuzzDifferential, AllPoliciesAgreeOverSeededTraces) {
   EXPECT_GT(total_events, traces * 1000);
 }
 
+TEST(FuzzDifferential, TwoTenantMixesAgreeAcrossPolicies) {
+  // Co-scheduled adversarial streams through the full N-policy harness:
+  // per-tenant counters must partition the totals under the shadow checker,
+  // and every policy must consume the identical per-tenant streams.
+  for (std::uint64_t seed = 3; seed <= 9; seed += 3) {
+    DifferentialParams params = SmallParams(seed);
+    params.tenants = 2;
+    const DifferentialResult res = RunDifferential(params);
+    ASSERT_TRUE(res.ok()) << "mix seed " << seed << ":\n"
+                          << Join(res.errors) << Persist(params, res.errors);
+    ASSERT_EQ(res.outcomes.size(), DifferentialPolicies().size());
+    const auto& first = res.outcomes.front();
+    for (const auto& o : res.outcomes) {
+      EXPECT_TRUE(o.completed) << o.policy << " mix seed " << seed;
+      ASSERT_EQ(o.tenant_refs.size(), 2u) << o.policy;
+      EXPECT_GT(o.tenant_refs[0], 0u) << o.policy << ": tenant 0 starved";
+      EXPECT_GT(o.tenant_refs[1], 0u) << o.policy << ": tenant 1 starved";
+      EXPECT_EQ(o.tenant_refs[0] + o.tenant_refs[1], o.core_refs)
+          << o.policy << ": tenant counters do not partition core.refs";
+      EXPECT_EQ(o.tenant_refs, first.tenant_refs)
+          << o.policy << " consumed a different per-tenant stream than "
+          << first.policy;
+    }
+  }
+}
+
 TEST(FuzzDifferential, SameSeedIsBitwiseRepeatable) {
   const DifferentialResult a = RunDifferential(SmallParams(7));
   const DifferentialResult b = RunDifferential(SmallParams(7));

@@ -35,6 +35,22 @@ RunSpec SpecFor(const std::string& policy, const std::string& workload) {
   return spec;
 }
 
+/// The pinned 2-tenant mix cell: LU + RDX co-scheduled at golden scale.
+/// Mix records pin the per-tenant counters too (see CollectGolden), so QoS
+/// attribution drift fails the same way end-to-end drift does.
+RunSpec MixSpecFor(const std::string& policy) {
+  RunSpec spec;
+  spec.policy = policy;
+  spec.scale = kGoldenScale;
+  spec.seed = 1;
+  tenant::TenantSpec lu;
+  lu.workload = "LU";
+  tenant::TenantSpec rdx;
+  rdx.workload = "RDX";
+  spec.mix.tenants = {lu, rdx};
+  return spec;
+}
+
 std::string GoldenPath() {
   return std::string(REDCACHE_GOLDEN_DIR) + "/golden_stats.json";
 }
@@ -102,6 +118,8 @@ TEST(GoldenStats, Regenerate) {
       const RunSpec spec = SpecFor(policy, wl);
       table[GoldenKey(spec)] = CollectGolden(spec);
     }
+    const RunSpec mix = MixSpecFor(policy);
+    table[GoldenKey(mix)] = CollectGolden(mix);
   }
   ASSERT_TRUE(WriteGoldenFile(GoldenPath(), table));
   std::printf("wrote %zu golden records to %s\n", table.size(),
@@ -153,6 +171,48 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(GoldenPolicies()),
                        ::testing::ValuesIn(WorkloadLabels())),
     CompareName);
+
+/// The 2-tenant mix cell per golden policy, including tenant<N>.* counters.
+class GoldenMixCompare : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenMixCompare, MatchesGoldenFile) {
+  if (UpdateMode()) {
+    GTEST_SKIP() << "regeneration run; comparisons are meaningless";
+  }
+  NeutralizeScaleEnv();
+  GoldenTable golden;
+  std::string error;
+  ASSERT_TRUE(ReadGoldenFile(GoldenPath(), golden, error))
+      << error << " — regenerate with REDCACHE_UPDATE_GOLDEN=1";
+
+  const RunSpec spec = MixSpecFor(GetParam());
+  const std::string key = GoldenKey(spec);
+  auto it = golden.find(key);
+  ASSERT_NE(it, golden.end())
+      << key << " missing; regenerate with REDCACHE_UPDATE_GOLDEN=1";
+
+  const GoldenTable expected = {{key, it->second}};
+  const GoldenTable actual = {{key, CollectGolden(spec)}};
+  const auto diffs = DiffGolden(expected, actual);
+  std::ostringstream msg;
+  for (const auto& d : diffs) msg << "  " << d << "\n";
+  EXPECT_TRUE(diffs.empty())
+      << "golden drift (intentional? REDCACHE_UPDATE_GOLDEN=1):\n"
+      << msg.str();
+}
+
+std::string MixCompareName(
+    const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, GoldenMixCompare,
+                         ::testing::ValuesIn(GoldenPolicies()),
+                         MixCompareName);
 
 }  // namespace
 }  // namespace redcache

@@ -14,7 +14,10 @@
 //
 // Exit code 0 on success; prints a one-line summary plus optional full
 // counter dump.
+#include <signal.h>
+
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -29,6 +32,9 @@
 #include "obs/epoch_sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/batch.hpp"
+#include "tenant/mix_trace.hpp"
+#include "tenant/qos.hpp"
+#include "tenant/stream_trace.hpp"
 #include "verify/shadow_checker.hpp"
 #include "workloads/trace_file.hpp"
 
@@ -56,6 +62,11 @@ struct CliOptions {
   std::optional<std::uint32_t> alpha;
   std::optional<std::uint32_t> gamma;
   std::uint64_t seed = 1;
+  std::string mix;                ///< --mix "LU:2,RDX:1@8" tenant list
+  std::string mix_mode = "offset";  ///< address placement: offset|interleave
+  std::uint32_t mix_window_bits = 0;  ///< 0 = planner default
+  std::string serve_path;         ///< stream an RCTR trace ("-" = stdin)
+  bool no_solo = false;           ///< skip the solo baselines for --mix QoS
   bool sweep = false;             ///< run an (arch x workload) matrix
   std::string sweep_archs;        ///< comma list; empty = evaluation archs
   std::string sweep_workloads;    ///< comma list; empty = all Table II
@@ -82,6 +93,19 @@ void PrintUsage() {
       "  --alpha N          pin alpha (disables adaptation)\n"
       "  --gamma N          pin gamma (disables adaptation)\n"
       "  --seed N           simulation seed\n"
+      "  --mix SPEC         co-schedule tenants: LABEL[:WEIGHT[@MIN_GAP]]\n"
+      "                     comma-separated, e.g. LU:2,RDX:1@8. The label\n"
+      "                     \"serve\" streams from --serve. Prints per-tenant\n"
+      "                     QoS lines (hit rate, bandwidth share, slowdown\n"
+      "                     vs solo) after the run.\n"
+      "  --mix-mode M       tenant address placement: offset (disjoint\n"
+      "                     windows, default) or interleave (page-granular)\n"
+      "  --mix-window-bits N  override the per-tenant window size (log2)\n"
+      "  --no-solo          skip the solo baseline runs (QoS lines then\n"
+      "                     omit the slowdown column)\n"
+      "  --serve PATH       serve mode: ingest an RCTR trace stream from a\n"
+      "                     pipe / FIFO / file (\"-\" = stdin); SIGTERM or\n"
+      "                     EOF drains gracefully\n"
       "  --verify           run under the shadow checker; exit 1 on any\n"
       "                     divergence from the reference memory model\n"
       "  --stats            dump every counter after the run\n"
@@ -166,6 +190,24 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--mix") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.mix = v;
+    } else if (arg == "--mix-mode") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.mix_mode = v;
+    } else if (arg == "--mix-window-bits") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.mix_window_bits = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--no-solo") {
+      opt.no_solo = true;
+    } else if (arg == "--serve") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.serve_path = v;
     } else if (arg == "--verify") {
       opt.verify = true;
     } else if (arg == "--sweep") {
@@ -213,6 +255,31 @@ RedCacheOptions TunedOptions(const CliOptions& opt) {
   return o;
 }
 
+/// Write the epoch series to `path` (.csv => CSV) and print the one-line
+/// summary. Shared by the single-run and mix/serve paths.
+bool WriteTelemetry(const std::string& path, const obs::EpochSampler& sampler,
+                    const std::string& arch, const std::string& workload,
+                    const char* preset_name, Cycle exec_cycles) {
+  obs::TelemetryMeta meta;
+  meta.arch = arch;
+  meta.workload = workload;
+  meta.preset = preset_name;
+  meta.exec_cycles = exec_cycles;
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const bool ok = csv ? obs::WriteTelemetryCsv(path, sampler, meta)
+                      : obs::WriteTelemetryJson(path, sampler, meta);
+  if (!ok) {
+    std::fprintf(stderr, "failed to write telemetry to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("telemetry: %zu epochs (every %llu cycles) -> %s\n",
+              sampler.epochs().size(),
+              static_cast<unsigned long long>(sampler.epoch_cycles()),
+              path.c_str());
+  return true;
+}
+
 std::vector<std::string> SplitCommas(const std::string& list) {
   std::vector<std::string> out;
   std::string cur;
@@ -226,6 +293,31 @@ std::vector<std::string> SplitCommas(const std::string& list) {
   }
   if (!cur.empty()) out.push_back(cur);
   return out;
+}
+
+/// Parse --mix/--mix-mode/--mix-window-bits into `mix`. Returns 0, or 2 on
+/// a bad mode (MixSpec::Parse throws its own error for bad tenant syntax).
+int ParseMixOptions(const CliOptions& opt, tenant::MixSpec& mix) {
+  mix = tenant::MixSpec::Parse(opt.mix);
+  if (opt.mix_mode == "interleave") {
+    mix.mode = tenant::TenantAddressMap::Mode::kInterleave;
+  } else if (opt.mix_mode != "offset") {
+    std::fprintf(stderr, "unknown --mix-mode %s (offset|interleave)\n",
+                 opt.mix_mode.c_str());
+    return 2;
+  }
+  mix.window_bits = opt.mix_window_bits;
+  return 0;
+}
+
+/// "LU+RDX" — human-readable tenant list for cache keys and table rows.
+std::string JoinedTenantLabels(const tenant::MixSpec& mix) {
+  std::string joined;
+  for (const tenant::TenantSpec& t : mix.tenants) {
+    if (!joined.empty()) joined += "+";
+    joined += t.workload;
+  }
+  return joined;
 }
 
 /// --sweep: the (arch x workload) evaluation matrix on the batch engine.
@@ -255,9 +347,16 @@ int RunSweep(const CliOptions& opt) {
       policies.push_back(name);
     }
   }
-  const std::vector<std::string> workloads = opt.sweep_workloads.empty()
-                                                 ? WorkloadLabels()
-                                                 : SplitCommas(opt.sweep_workloads);
+  // With --mix the matrix is (policy x one mix cell): every policy runs the
+  // same co-schedule, plus each tenant's solo cell for the slowdown column.
+  tenant::MixSpec mix;
+  if (!opt.mix.empty()) {
+    if (const int rc = ParseMixOptions(opt, mix); rc != 0) return rc;
+  }
+  const std::vector<std::string> workloads =
+      mix.active() ? std::vector<std::string>{"mix:" + mix.Describe()}
+      : opt.sweep_workloads.empty() ? WorkloadLabels()
+                                    : SplitCommas(opt.sweep_workloads);
 
   std::vector<CellSpec> cells;
   cells.reserve(policies.size() * workloads.size());
@@ -265,11 +364,26 @@ int RunSweep(const CliOptions& opt) {
     for (const std::string& p : policies) {
       CellSpec cell;
       cell.spec.policy = p;
-      cell.spec.workload = wl;
+      cell.spec.workload = mix.active() ? JoinedTenantLabels(mix) : wl;
       cell.spec.scale = opt.scale;
       cell.spec.preset = preset;
       cell.spec.seed = opt.seed;
+      cell.spec.mix = mix;
       cells.push_back(std::move(cell));
+    }
+  }
+  const std::size_t num_mix_cells = cells.size();
+  if (mix.active() && !opt.no_solo) {
+    for (const std::string& p : policies) {
+      for (const tenant::TenantSpec& t : mix.tenants) {
+        CellSpec solo;
+        solo.spec.policy = p;
+        solo.spec.workload = t.workload;
+        solo.spec.scale = opt.scale;
+        solo.spec.preset = preset;
+        solo.spec.seed = opt.seed;
+        cells.push_back(std::move(solo));
+      }
     }
   }
 
@@ -302,6 +416,177 @@ int RunSweep(const CliOptions& opt) {
   }
   std::printf("execution time (Mcycles), %s preset, scale %.2f:\n%s\n",
               preset.name, opt.scale, table.Render().c_str());
+
+  // Per-tenant QoS under every policy — printed only for a mix sweep;
+  // classic sweeps emit exactly the table above, as before.
+  if (mix.active()) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      std::vector<tenant::TenantQos> rows =
+          tenant::QosFromStats(results[p].stats);
+      if (!opt.no_solo) {
+        for (std::size_t t = 0; t < mix.tenants.size(); ++t) {
+          const RunResult& solo =
+              results[num_mix_cells + p * mix.tenants.size() + t];
+          tenant::ApplySoloBaseline(rows, static_cast<std::uint32_t>(t),
+                                    solo.exec_cycles);
+        }
+      }
+      std::printf("%s:\n", policies[p].c_str());
+      for (const tenant::TenantQos& row : rows) {
+        const std::string label = row.tenant < mix.tenants.size()
+                                      ? mix.tenants[row.tenant].workload
+                                      : "?";
+        std::printf("  %s\n",
+                    tenant::FormatQosLine(rows, row, label).c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --mix / --serve: co-scheduled tenants and long-run trace streaming.
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void OnServeStop(int) { g_serve_stop = 1; }
+
+/// SIGTERM/SIGINT request a graceful drain: the handler only sets the flag,
+/// and SA_RESTART is deliberately absent so a blocked stream read() returns
+/// EINTR and notices the request instead of resuming forever.
+void InstallServeSignalHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = OnServeStop;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+/// The StreamTraceSource feeding this run, if any: the trace itself in
+/// plain serve mode, or the "serve" tenant inside a mix.
+tenant::StreamTraceSource* FindStream(TraceSource& trace) {
+  if (auto* s = dynamic_cast<tenant::StreamTraceSource*>(&trace)) return s;
+  if (auto* m = dynamic_cast<tenant::MixTraceSource*>(&trace)) {
+    for (std::size_t t = 0; t < m->num_children(); ++t) {
+      if (auto* s = FindStream(m->child(t))) return s;
+    }
+  }
+  return nullptr;
+}
+
+int RunMixServe(const CliOptions& opt) {
+  if (opt.capture_path || opt.replay_path || opt.footprint || opt.ways > 1) {
+    std::fprintf(stderr,
+                 "--mix/--serve cannot be combined with --capture, --replay, "
+                 "--footprint or --ways\n");
+    return 2;
+  }
+  SimPreset preset = opt.paper_preset ? PaperPreset() : EvalPreset();
+  if (opt.hbm_mib) preset.mem.hbm = HbmCacheConfig(*opt.hbm_mib << 20);
+
+  RunSpec spec;
+  spec.policy = opt.arch;
+  spec.preset = preset;
+  spec.scale = opt.scale;
+  spec.seed = opt.seed;
+  spec.verify = opt.verify;
+  spec.serve_path = opt.serve_path;
+  if (!opt.mix.empty()) {
+    if (const int rc = ParseMixOptions(opt, spec.mix); rc != 0) return rc;
+  }
+
+  // Solo baselines for the slowdown column: each workload tenant first runs
+  // alone (through the batch cache, so repeated invocations are free under
+  // REDCACHE_CACHE_DIR). A streamed "serve" tenant has no synthetic solo
+  // run; its slowdown stays unreported.
+  if (spec.mix.active() && !opt.no_solo) {
+    for (tenant::TenantSpec& t : spec.mix.tenants) {
+      if (t.workload == "serve") continue;
+      CellSpec solo;
+      solo.spec.policy = spec.policy;
+      solo.spec.workload = t.workload;
+      solo.spec.preset = preset;
+      solo.spec.scale = opt.scale;
+      solo.spec.seed = opt.seed;
+      const RunResult r = RunCellCached(solo);
+      t.solo_exec_cycles = r.exec_cycles;
+      t.solo_refs = r.stats.GetCounter("core.refs");
+    }
+  }
+
+  auto system = BuildSystem(spec);
+
+  std::optional<obs::EpochSampler> sampler;
+  if (opt.telemetry_path) {
+    sampler.emplace(opt.epoch_cycles.value_or(preset.telemetry_epoch_cycles));
+    system->SetTelemetry(&*sampler);
+  }
+  tenant::StreamTraceSource* stream = FindStream(system->trace());
+  if (stream != nullptr) {
+    InstallServeSignalHandlers();
+    stream->SetStopFlag(&g_serve_stop);
+  }
+  const std::string workload_label = system->trace().name();
+
+  const RunResult r = system->Run();
+
+  if (!r.completed) {
+    std::fprintf(stderr, "simulation did not complete\n");
+    return 1;
+  }
+  if (spec.verify) {
+    if (auto* checker = dynamic_cast<ShadowChecker*>(&system->controller())) {
+      checker->CheckDrained();
+      std::printf("%s\n", checker->Summary().c_str());
+    }
+  }
+  if (stream != nullptr) {
+    std::printf("stream: %llu records ingested%s\n",
+                static_cast<unsigned long long>(stream->total_records()),
+                g_serve_stop != 0 ? " (stopped by signal, drained)" : "");
+  }
+
+  const auto hits = r.stats.GetCounter("ctrl.cache_hits");
+  const auto misses = r.stats.GetCounter("ctrl.cache_misses");
+  std::printf(
+      "%s on %s: %llu cycles (%.2f ms @3.2GHz), hit rate %.1f%%, "
+      "HBM %.3f GB, DDR4 %.3f GB, system energy %.2f mJ\n",
+      opt.arch.c_str(), workload_label.c_str(),
+      static_cast<unsigned long long>(r.exec_cycles),
+      static_cast<double>(r.exec_cycles) / 3.2e9 * 1e3,
+      hits + misses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(hits) /
+                static_cast<double>(hits + misses),
+      static_cast<double>(r.HbmBytes()) / 1e9,
+      static_cast<double>(r.MmBytes()) / 1e9, r.energy.SystemNj() / 1e6);
+
+  // Per-tenant QoS: only a mix prints these (plain --serve runs stay
+  // single-tenant and export no tenant counters at all).
+  if (spec.mix.active()) {
+    std::vector<tenant::TenantQos> rows = tenant::QosFromStats(r.stats);
+    for (std::uint32_t t = 0; t < spec.mix.num_tenants(); ++t) {
+      tenant::ApplySoloBaseline(rows, t, spec.mix.tenants[t].solo_exec_cycles);
+    }
+    for (const tenant::TenantQos& row : rows) {
+      const std::string label = row.tenant < spec.mix.num_tenants()
+                                    ? spec.mix.tenants[row.tenant].workload
+                                    : "?";
+      std::printf("%s\n", tenant::FormatQosLine(rows, row, label).c_str());
+    }
+  }
+
+  if (opt.telemetry_path) {
+    if (!WriteTelemetry(*opt.telemetry_path, *sampler, opt.arch,
+                        workload_label, preset.name, r.exec_cycles)) {
+      return 1;
+    }
+  }
+  if (opt.dump_stats) {
+    std::printf("%s", r.stats.ToString().c_str());
+  }
   return 0;
 }
 
@@ -377,24 +662,11 @@ int Run(const CliOptions& opt) {
   trace_scope.reset();
 
   if (opt.telemetry_path) {
-    obs::TelemetryMeta meta;
-    meta.arch = arch_label;
-    meta.workload = opt.replay_path ? *opt.replay_path : opt.workload;
-    meta.preset = preset.name;
-    meta.exec_cycles = r.exec_cycles;
-    const std::string& path = *opt.telemetry_path;
-    const bool csv =
-        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
-    const bool ok = csv ? obs::WriteTelemetryCsv(path, *sampler, meta)
-                        : obs::WriteTelemetryJson(path, *sampler, meta);
-    if (!ok) {
-      std::fprintf(stderr, "failed to write telemetry to %s\n", path.c_str());
+    if (!WriteTelemetry(*opt.telemetry_path, *sampler, arch_label,
+                        opt.replay_path ? *opt.replay_path : opt.workload,
+                        preset.name, r.exec_cycles)) {
       return 1;
     }
-    std::printf("telemetry: %zu epochs (every %llu cycles) -> %s\n",
-                sampler->epochs().size(),
-                static_cast<unsigned long long>(sampler->epoch_cycles()),
-                path.c_str());
   }
   if (opt.trace_out_path) {
     if (!obs::WriteChromeTrace(*opt.trace_out_path, trace_buffer)) {
@@ -480,7 +752,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    return opt.sweep ? RunSweep(opt) : Run(opt);
+    if (opt.sweep) return RunSweep(opt);
+    if (!opt.mix.empty() || !opt.serve_path.empty()) return RunMixServe(opt);
+    return Run(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
