@@ -1,0 +1,69 @@
+#include "obs/adaptive_epoch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace redcache::obs {
+
+AdaptiveEpochController::AdaptiveEpochController(
+    const AdaptiveEpochConfig& cfg)
+    : cfg_(cfg) {
+  if (cfg_.min_cycles < 1) cfg_.min_cycles = 1;
+  if (cfg_.max_cycles < cfg_.min_cycles) cfg_.max_cycles = cfg_.min_cycles;
+}
+
+Cycle AdaptiveEpochController::Clamp(Cycle width) const {
+  return std::min(std::max(width, cfg_.min_cycles), cfg_.max_cycles);
+}
+
+double AdaptiveEpochController::PhaseScore(const DerivedMetrics& prev,
+                                           const DerivedMetrics& cur) {
+  const double hit = std::fabs(cur.hit_rate - prev.hit_rate);
+  const double bypass = std::fabs(cur.bypass_rate - prev.bypass_rate);
+  const double bw_hi =
+      std::max(cur.bw_bytes_per_cycle, prev.bw_bytes_per_cycle);
+  const double bw =
+      bw_hi > 0.0
+          ? std::fabs(cur.bw_bytes_per_cycle - prev.bw_bytes_per_cycle) /
+                bw_hi
+          : 0.0;
+  return std::max(hit, std::max(bypass, bw));
+}
+
+Cycle AdaptiveEpochController::Update(const EpochRecord& e,
+                                      Cycle current_width) {
+  if (e.end <= e.begin) return Clamp(current_width);
+  const DerivedMetrics d = DeriveMetrics(e);
+  if (!have_prev_) {
+    prev_ = d;
+    have_prev_ = true;
+    return Clamp(current_width);
+  }
+  const double score = PhaseScore(prev_, d);
+  prev_ = d;
+
+  Cycle width = Clamp(current_width);
+  if (score > cfg_.shrink_score) {
+    stable_streak_ = 0;
+    const Cycle narrower = Clamp(width / 2);
+    if (narrower < width) shrinks_++;
+    return narrower;
+  }
+  if (score < cfg_.grow_score) {
+    if (++stable_streak_ >= cfg_.stable_epochs_to_grow) {
+      stable_streak_ = 0;
+      // Saturating doubling: width can be huge when the caller passed an
+      // unclamped config.
+      const Cycle doubled =
+          width > cfg_.max_cycles / 2 ? cfg_.max_cycles : width * 2;
+      const Cycle wider = Clamp(doubled);
+      if (wider > width) grows_++;
+      return wider;
+    }
+    return width;
+  }
+  stable_streak_ = 0;
+  return width;
+}
+
+}  // namespace redcache::obs

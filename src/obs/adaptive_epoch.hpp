@@ -1,0 +1,69 @@
+// Variance-driven adaptive epoch sizing for the telemetry sampler.
+//
+// Fixed-width epochs face a resolution/volume trade-off: wide epochs
+// average away exactly the phase transitions the RedCache-vs-rivals
+// comparison hinges on (admission-gate retunes, Banshee's frequency-gate
+// flips, TicToc duty-window moves), while narrow epochs drown a long serve
+// run in records. The controller resolves it by watching the *per-epoch
+// delta variance*: when consecutive epochs' derived rates (hit rate, bypass
+// rate, bytes/cycle) move more than a threshold, the sampling period halves
+// — finer sampling across the detected phase change — and when the series
+// stays flat for a few epochs it doubles back, clamped to [min, max].
+//
+// The controller only ever changes *when the sampler looks*, never what the
+// simulation does: System::Run clamps its time jumps to the sampler's
+// next_due() exactly as for fixed epochs, and a clamped visit is a provable
+// no-op on simulation state (DESIGN.md section 9). With adaptation off the
+// sampler behaves byte-identically to pre-adaptive builds.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "obs/epoch_sampler.hpp"
+
+namespace redcache::obs {
+
+struct AdaptiveEpochConfig {
+  Cycle min_cycles = 1;          ///< lower clamp (finest sampling)
+  Cycle max_cycles = ~Cycle{0};  ///< upper clamp (coarsest sampling)
+  /// Phase-change score above which the period halves. The score is the
+  /// largest change across the derived rates: |d hit_rate|, |d bypass_rate|
+  /// (both already in [0,1]) and the relative bandwidth change.
+  double shrink_score = 0.10;
+  /// Score below which an epoch counts as stable.
+  double grow_score = 0.03;
+  /// Consecutive stable epochs required before the period doubles.
+  int stable_epochs_to_grow = 2;
+};
+
+class AdaptiveEpochController {
+ public:
+  explicit AdaptiveEpochController(const AdaptiveEpochConfig& cfg);
+
+  /// Decide the width of the *next* epoch from the one that just closed.
+  /// Deterministic: depends only on the record sequence. Degenerate records
+  /// (end <= begin) keep the current width and reset nothing.
+  Cycle Update(const EpochRecord& e, Cycle current_width);
+
+  const AdaptiveEpochConfig& config() const { return cfg_; }
+  std::uint64_t shrinks() const { return shrinks_; }
+  std::uint64_t grows() const { return grows_; }
+
+  /// The phase-change score between two consecutive epochs' derived
+  /// metrics (exposed for tests and the validator's documentation).
+  static double PhaseScore(const DerivedMetrics& prev,
+                           const DerivedMetrics& cur);
+
+ private:
+  Cycle Clamp(Cycle width) const;
+
+  AdaptiveEpochConfig cfg_;
+  bool have_prev_ = false;
+  DerivedMetrics prev_;
+  int stable_streak_ = 0;
+  std::uint64_t shrinks_ = 0;
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace redcache::obs

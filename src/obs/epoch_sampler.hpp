@@ -15,11 +15,21 @@
 // down).
 //
 // Invariant (tested): the per-epoch deltas of a counter sum exactly to its
-// final cumulative value, because deltas telescope.
+// final cumulative value, because deltas telescope — regardless of epoch
+// width, adaptive resizing, or an early (serve-mode EOF) residual epoch.
+//
+// Two optional attachments (DESIGN.md section 14):
+//  - a TelemetrySink (obs/telemetry_sink.hpp): each record is serialized
+//    as one NDJSON line and written the moment the epoch closes, so a
+//    long-running serve simulation can be watched live;
+//  - an AdaptiveEpochController (obs/adaptive_epoch.hpp): the sampling
+//    period shrinks across detected phase changes and grows back when the
+//    series is flat, clamped to a [min, max] band.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +37,10 @@
 #include "common/types.hpp"
 
 namespace redcache::obs {
+
+class AdaptiveEpochController;
+struct AdaptiveEpochConfig;
+class TelemetrySink;
 
 /// Prefix marking point-in-time values (recorded raw, never differenced).
 inline constexpr const char* kGaugePrefix = "gauge.";
@@ -38,6 +52,31 @@ struct EpochRecord {
   std::map<std::string, std::uint64_t> gauges;  ///< raw values at `end`
 };
 
+/// Per-epoch derived metrics computed from delta+gauges. All rates are
+/// guarded against empty epochs (0/0 -> 0). Shared by the JSON / CSV /
+/// NDJSON writers and the adaptive epoch controller.
+struct DerivedMetrics {
+  double hit_rate = 0.0;
+  double bypass_rate = 0.0;
+  double bw_bytes_per_cycle = 0.0;
+};
+DerivedMetrics DeriveMetrics(const EpochRecord& e);
+
+/// How a run's telemetry epochs are paced: a fixed period, or the adaptive
+/// controller seeded from the base period. Parsed from the CLI `--epoch`
+/// value ("N", "auto", or "auto:MIN:MAX").
+struct EpochSpec {
+  Cycle cycles = 0;  ///< base period; 0 = the preset default
+  bool adaptive = false;
+  Cycle min_cycles = 0;  ///< adaptive lower clamp; 0 = base / 8
+  Cycle max_cycles = 0;  ///< adaptive upper clamp; 0 = base * 4
+};
+
+/// Parse "--epoch" syntax: "250000" (fixed), "auto" (adaptive with derived
+/// clamps), "auto:MIN:MAX" (explicit clamp band). Returns false (out
+/// untouched) on anything else.
+bool ParseEpochSpec(const std::string& text, EpochSpec& out);
+
 class EpochSampler {
  public:
   /// `epoch_cycles` >= 1: nominal sampling period in simulated CPU cycles.
@@ -46,8 +85,31 @@ class EpochSampler {
   /// (except the Finalize residual). Driven by other loops a boundary may
   /// still be overshot; the record then covers the actual [begin, end).
   explicit EpochSampler(Cycle epoch_cycles);
+  ~EpochSampler();
+  EpochSampler(const EpochSampler&) = delete;
+  EpochSampler& operator=(const EpochSampler&) = delete;
 
+  /// Current sampling period. Constant unless adaptation is enabled.
   Cycle epoch_cycles() const { return epoch_cycles_; }
+
+  /// Enable variance-driven epoch resizing (DESIGN.md section 14). Must be
+  /// called before the first Sample. With adaptation on, every record also
+  /// carries a "telemetry.epoch_cycles" gauge (the width that produced it)
+  /// so the narrowing is visible in the exported series; with it off the
+  /// output is byte-identical to pre-adaptive builds.
+  void EnableAdaptive(const AdaptiveEpochConfig& cfg);
+  bool adaptive() const { return adaptive_ != nullptr; }
+  const AdaptiveEpochController* adaptive_controller() const {
+    return adaptive_.get();
+  }
+
+  /// Attach a streaming sink: every record is written as one NDJSON epoch
+  /// line the moment it closes. With `retain_epochs` false only the most
+  /// recent record is kept in memory (bounded for arbitrarily long serve
+  /// runs); the end-of-run JSON/CSV writers then see just that record, so
+  /// retention should stay on when both outputs are wanted. The sink is
+  /// borrowed and must outlive the sampler's last Sample/Finalize.
+  void SetSink(TelemetrySink* sink, bool retain_epochs);
 
   /// Cheap inline check for the run loop.
   bool Due(Cycle now) const { return now >= next_due_; }
@@ -64,7 +126,21 @@ class EpochSampler {
   /// moved and no time passed since the last sample).
   void Finalize(Cycle end, const StatSet& cumulative);
 
+  /// Retained records (all of them, unless a sink disabled retention).
   const std::vector<EpochRecord>& epochs() const { return epochs_; }
+
+  /// Records ever closed, including residuals and non-retained ones.
+  std::uint64_t total_epochs() const { return total_epochs_; }
+
+  /// Final cumulative value of every non-gauge counter seen so far — the
+  /// telescoping target the NDJSON end record publishes for validators.
+  const std::map<std::string, std::uint64_t>& cumulative() const {
+    return prev_;
+  }
+
+  /// Narrowest / widest period actually used (equal unless adaptive).
+  Cycle min_width_used() const { return min_width_used_; }
+  Cycle max_width_used() const { return max_width_used_; }
 
  private:
   void Record(Cycle now, const StatSet& cumulative);
@@ -72,6 +148,12 @@ class EpochSampler {
   Cycle epoch_cycles_;
   Cycle next_due_;
   Cycle last_sample_ = 0;
+  Cycle min_width_used_;
+  Cycle max_width_used_;
+  bool retain_ = true;
+  std::uint64_t total_epochs_ = 0;
+  TelemetrySink* sink_ = nullptr;
+  std::unique_ptr<AdaptiveEpochController> adaptive_;
   std::map<std::string, std::uint64_t> prev_;
   std::vector<EpochRecord> epochs_;
 };
@@ -81,6 +163,12 @@ struct TelemetryMeta {
   std::string arch;
   std::string workload;
   std::string preset;
+  /// Resolved registry policy name (canonical casing); may differ from
+  /// `arch` for extension controllers ("RedCache-4way") and aliases.
+  std::string policy;
+  /// Canonical mix descriptor (MixSpec::Describe) when a multi-tenant mix
+  /// was active; empty for single-tenant runs.
+  std::string mix;
   Cycle exec_cycles = 0;
 };
 
@@ -97,7 +185,8 @@ std::string TelemetryJson(const EpochSampler& sampler,
 
 /// CSV: one row per epoch; columns are begin, end, the derived metrics,
 /// then the union of gauge and delta names in natural order (missing
-/// values are empty cells).
+/// values are empty cells) — the exact key set the JSON writer emits.
+/// Meta values containing commas/quotes/spaces are double-quote escaped.
 bool WriteTelemetryCsv(const std::string& path, const EpochSampler& sampler,
                        const TelemetryMeta& meta);
 std::string TelemetryCsv(const EpochSampler& sampler,

@@ -1,0 +1,220 @@
+#include "obs/telemetry_sink.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/adaptive_epoch.hpp"
+#include "obs/json.hpp"
+
+namespace redcache::obs {
+
+namespace {
+
+/// Printed with enough digits to round-trip; matches the JSON/CSV writers.
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// A dead telemetry reader must surface as a write error (EPIPE), not a
+/// process-killing SIGPIPE, so a serve-mode drain stays graceful. Done once,
+/// lazily, when the first fd sink opens — embedders that never stream are
+/// untouched.
+void IgnoreSigpipeOnce() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+FdTelemetrySink::FdTelemetrySink(int fd, bool owns_fd, std::string target)
+    : fd_(fd), owns_fd_(owns_fd), target_(std::move(target)) {}
+
+FdTelemetrySink::~FdTelemetrySink() {
+  if (owns_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<FdTelemetrySink> FdTelemetrySink::OpenPath(
+    const std::string& path) {
+  IgnoreSigpipeOnce();
+  if (path == "-") {
+    return std::unique_ptr<FdTelemetrySink>(
+        new FdTelemetrySink(STDOUT_FILENO, /*owns_fd=*/false, "stdout"));
+  }
+  // O_WRONLY|O_CREAT|O_TRUNC covers plain files and pre-made FIFOs alike
+  // (opening a FIFO for writing blocks until a reader attaches, which is
+  // the behavior any pipe writer has).
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open telemetry sink '" + path +
+                             "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<FdTelemetrySink>(
+      new FdTelemetrySink(fd, /*owns_fd=*/true, path));
+}
+
+bool FdTelemetrySink::WriteLine(const std::string& line) {
+  if (broken_) return false;
+  std::string buf = line;
+  buf += '\n';
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE (reader went away) or any other hard error: disarm the sink so
+    // the simulation finishes its drain instead of dying mid-run.
+    broken_ = true;
+    return false;
+  }
+  lines_written_++;
+  return true;
+}
+
+std::unique_ptr<TelemetrySink> OpenTelemetrySink(const std::string& path) {
+  return FdTelemetrySink::OpenPath(path);
+}
+
+bool StreamingTelemetryPath(const std::string& path) {
+  if (path == "-") return true;
+  const std::string suffix = ".ndjson";
+  return path.size() > suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+std::string NdjsonHeaderLine(const TelemetryMeta& meta,
+                             const EpochSampler& sampler) {
+  std::ostringstream os;
+  os << "{\"type\":\"header\",\"schema\":1,\"arch\":\""
+     << JsonEscape(meta.arch) << "\",\"workload\":\""
+     << JsonEscape(meta.workload) << "\",\"preset\":\""
+     << JsonEscape(meta.preset) << "\",\"policy\":\""
+     << JsonEscape(meta.policy) << "\",\"mix\":\"" << JsonEscape(meta.mix)
+     << "\",\"epoch_cycles\":" << sampler.epoch_cycles()
+     << ",\"adaptive\":" << (sampler.adaptive() ? "true" : "false");
+  if (sampler.adaptive()) {
+    const AdaptiveEpochConfig& cfg = sampler.adaptive_controller()->config();
+    os << ",\"epoch_min\":" << cfg.min_cycles
+       << ",\"epoch_max\":" << cfg.max_cycles;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string NdjsonEpochLine(std::uint64_t seq, const EpochRecord& e) {
+  const DerivedMetrics d = DeriveMetrics(e);
+  std::ostringstream os;
+  os << "{\"type\":\"epoch\",\"seq\":" << seq << ",\"begin\":" << e.begin
+     << ",\"end\":" << e.end
+     << ",\"derived\":{\"hit_rate\":" << FormatDouble(d.hit_rate)
+     << ",\"bypass_rate\":" << FormatDouble(d.bypass_rate)
+     << ",\"bw_bytes_per_cycle\":" << FormatDouble(d.bw_bytes_per_cycle)
+     << "},\"gauges\":{";
+  bool first = true;
+  for (const auto& [name, value] : e.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  os << "},\"delta\":{";
+  first = true;
+  for (const auto& [name, value] : e.delta) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string NdjsonEndLine(const TelemetryMeta& meta,
+                          const EpochSampler& sampler) {
+  std::ostringstream os;
+  os << "{\"type\":\"end\",\"exec_cycles\":" << meta.exec_cycles
+     << ",\"num_epochs\":" << sampler.total_epochs()
+     << ",\"epoch_min_used\":" << sampler.min_width_used()
+     << ",\"epoch_max_used\":" << sampler.max_width_used() << ",\"totals\":{";
+  bool first = true;
+  for (const auto& [name, value] : sampler.cumulative()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  os << "}}";
+  return os.str();
+}
+
+TelemetrySession::TelemetrySession(std::string path, const EpochSpec& epoch,
+                                   Cycle preset_epoch_cycles)
+    : path_(std::move(path)) {
+  const Cycle base = epoch.cycles > 0 ? epoch.cycles : preset_epoch_cycles;
+  sampler_ = std::make_unique<EpochSampler>(base);
+  if (epoch.adaptive) {
+    AdaptiveEpochConfig cfg;
+    cfg.min_cycles =
+        epoch.min_cycles > 0 ? epoch.min_cycles : std::max<Cycle>(base / 8, 1);
+    cfg.max_cycles = epoch.max_cycles > 0 ? epoch.max_cycles : base * 4;
+    if (cfg.max_cycles < cfg.min_cycles) cfg.max_cycles = cfg.min_cycles;
+    sampler_->EnableAdaptive(cfg);
+  }
+  if (!path_.empty() && StreamingTelemetryPath(path_)) {
+    sink_ = OpenTelemetrySink(path_);
+    // Streaming runs can be arbitrarily long (serve mode): do not retain
+    // the per-epoch series in memory, the sink already has it.
+    sampler_->SetSink(sink_.get(), /*retain_epochs=*/false);
+  }
+}
+
+TelemetrySession::~TelemetrySession() = default;
+
+bool TelemetrySession::Begin(const TelemetryMeta& meta) {
+  if (!sink_) return true;
+  return sink_->WriteLine(NdjsonHeaderLine(meta, *sampler_));
+}
+
+bool TelemetrySession::Close(const TelemetryMeta& meta) {
+  if (path_.empty()) return true;
+  if (sink_) return sink_->WriteLine(NdjsonEndLine(meta, *sampler_));
+  const std::string suffix = ".csv";
+  const bool csv = path_.size() > suffix.size() &&
+                   path_.compare(path_.size() - suffix.size(), suffix.size(),
+                                 suffix) == 0;
+  return csv ? WriteTelemetryCsv(path_, *sampler_, meta)
+             : WriteTelemetryJson(path_, *sampler_, meta);
+}
+
+std::string TelemetrySession::Summary() const {
+  std::ostringstream os;
+  os << sampler_->total_epochs() << " epochs";
+  if (sampler_->adaptive()) {
+    os << " (adaptive " << sampler_->min_width_used() << ".."
+       << sampler_->max_width_used() << " cycles)";
+  } else {
+    os << " (" << sampler_->epoch_cycles() << " cycles each)";
+  }
+  if (!path_.empty()) {
+    os << " -> " << (sink_ ? sink_->describe() : path_);
+    if (sink_) os << (sink_->ok() ? " (NDJSON stream)" : " (stream broken)");
+  }
+  return os.str();
+}
+
+}  // namespace redcache::obs

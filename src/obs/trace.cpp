@@ -39,41 +39,8 @@ std::size_t RoundUpPow2(std::size_t v) {
   return p;
 }
 
-const char* DeviceName(std::uint8_t device) {
-  switch (device) {
-    case kTraceDeviceHbm: return "hbm";
-    case kTraceDeviceMainMem: return "ddr4";
-    default: return "policy";
-  }
-}
-
 bool IsCommand(TraceEventType t) {
   return t <= TraceEventType::kCmdRefresh;
-}
-
-/// Stable per-track thread id: commands render one lane per (channel,
-/// rank, bank) so overlapping bank activity never produces mis-nested
-/// slices; refreshes get a rank-level lane; policy events share lane 0.
-std::uint32_t TrackTid(const TraceEvent& e) {
-  if (e.device == kTraceDevicePolicy) return 0;
-  if (e.type == TraceEventType::kCmdRefresh) {
-    return (std::uint32_t{e.channel} << 16) | 0xFF00u | e.rank;
-  }
-  return (std::uint32_t{e.channel} << 16) | (std::uint32_t{e.rank} << 8) |
-         e.bank;
-}
-
-std::string TrackName(const TraceEvent& e) {
-  if (e.device == kTraceDevicePolicy) return "decisions";
-  std::ostringstream os;
-  os << "chan" << e.channel;
-  if (e.type == TraceEventType::kCmdRefresh) {
-    os << ".rank" << static_cast<unsigned>(e.rank) << ".refresh";
-  } else {
-    os << ".rank" << static_cast<unsigned>(e.rank) << ".bank"
-       << static_cast<unsigned>(e.bank);
-  }
-  return os.str();
 }
 
 const char* RcuFlushReason(std::uint64_t arg) {
@@ -101,6 +68,51 @@ void AppendArgs(std::ostringstream& os, const TraceEvent& e) {
 }
 
 }  // namespace
+
+const char* TraceDeviceName(std::uint8_t device) {
+  switch (device) {
+    case kTraceDeviceHbm: return "hbm";
+    case kTraceDeviceMainMem: return "ddr4";
+    default: return "policy";
+  }
+}
+
+// Commands render one lane per (channel, rank, bank) so overlapping bank
+// activity never produces mis-nested slices.
+std::uint32_t TraceTrackTid(const TraceEvent& e) {
+  if (e.device == kTraceDevicePolicy) return 0;
+  if (e.type == TraceEventType::kCmdRefresh) {
+    return (std::uint32_t{e.channel} << 16) | 0xFF00u | e.rank;
+  }
+  return (std::uint32_t{e.channel} << 16) | (std::uint32_t{e.rank} << 8) |
+         e.bank;
+}
+
+std::string TraceTrackName(const TraceEvent& e) {
+  if (e.device == kTraceDevicePolicy) return "decisions";
+  std::ostringstream os;
+  os << "chan" << e.channel;
+  if (e.type == TraceEventType::kCmdRefresh) {
+    os << ".rank" << static_cast<unsigned>(e.rank) << ".refresh";
+  } else {
+    os << ".rank" << static_cast<unsigned>(e.rank) << ".bank"
+       << static_cast<unsigned>(e.bank);
+  }
+  return os.str();
+}
+
+std::string TraceEventJson(const TraceEvent& e) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << ToString(e.type) << "\",\"cat\":\""
+     << (IsCommand(e.type) ? "dram" : "policy")
+     << "\",\"ph\":\"X\",\"ts\":" << e.cycle
+     << ",\"dur\":" << std::max<std::uint32_t>(e.dur, 1)
+     << ",\"pid\":" << static_cast<unsigned>(e.device)
+     << ",\"tid\":" << TraceTrackTid(e) << ",";
+  AppendArgs(os, e);
+  os << "}";
+  return os.str();
+}
 
 TraceBuffer::TraceBuffer(std::size_t capacity) {
   const std::size_t cap = RoundUpPow2(std::max<std::size_t>(capacity, 2));
@@ -139,29 +151,22 @@ std::string ChromeTraceJson(const TraceBuffer& trace) {
     comma();
     os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
        << static_cast<unsigned>(d) << ",\"tid\":0,\"args\":{\"name\":\""
-       << DeviceName(d) << "\"}}";
+       << TraceDeviceName(d) << "\"}}";
   }
   // One thread_name record per track (derived from any event on it).
   std::set<std::pair<std::uint8_t, std::uint32_t>> named;
   for (const TraceEvent& e : events) {
-    const auto key = std::make_pair(e.device, TrackTid(e));
+    const auto key = std::make_pair(e.device, TraceTrackTid(e));
     if (!named.insert(key).second) continue;
     comma();
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
-       << static_cast<unsigned>(e.device) << ",\"tid\":" << TrackTid(e)
-       << ",\"args\":{\"name\":\"" << JsonEscape(TrackName(e)) << "\"}}";
+       << static_cast<unsigned>(e.device) << ",\"tid\":" << TraceTrackTid(e)
+       << ",\"args\":{\"name\":\"" << JsonEscape(TraceTrackName(e)) << "\"}}";
   }
 
   for (const TraceEvent& e : events) {
     comma();
-    os << "{\"name\":\"" << ToString(e.type) << "\",\"cat\":\""
-       << (IsCommand(e.type) ? "dram" : "policy")
-       << "\",\"ph\":\"X\",\"ts\":" << e.cycle
-       << ",\"dur\":" << std::max<std::uint32_t>(e.dur, 1)
-       << ",\"pid\":" << static_cast<unsigned>(e.device)
-       << ",\"tid\":" << TrackTid(e) << ",";
-    AppendArgs(os, e);
-    os << "}";
+    os << TraceEventJson(e);
   }
   os << "]}";
   return os.str();

@@ -74,16 +74,35 @@ struct TraceEvent {
 
 const char* ToString(TraceEventType t);
 
+/// Receives events the ring is about to overwrite, oldest first — the hook
+/// behind windowed full-run tracing (obs/trace_spill.hpp): the ring keeps
+/// the most recent window in memory while the sink persists the history,
+/// so emitted == spilled + retained and nothing is lost.
+class TraceSpillSink {
+ public:
+  virtual ~TraceSpillSink() = default;
+  virtual void Consume(const TraceEvent& e) = 0;
+};
+
 /// Fixed-capacity ring of the most recent events; capacity is rounded up
-/// to a power of two. Overwrites the oldest entries when full.
+/// to a power of two. Overwrites the oldest entries when full — unless a
+/// spill sink is attached, which receives each overwritten event first.
 class TraceBuffer {
  public:
   explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
 
   void Emit(const TraceEvent& e) {
+    if (spill_ != nullptr && head_ >= events_.size()) {
+      spill_->Consume(events_[head_ & mask_]);
+    }
     events_[head_ & mask_] = e;
     head_++;
   }
+
+  /// Attach (or detach, with nullptr) the overwrite sink. The sink is
+  /// borrowed and must outlive the last Emit.
+  void SetSpill(TraceSpillSink* spill) { spill_ = spill; }
+  TraceSpillSink* spill() const { return spill_; }
 
   /// Total events ever emitted (>= size()).
   std::uint64_t emitted() const { return head_; }
@@ -107,6 +126,7 @@ class TraceBuffer {
   std::vector<TraceEvent> events_;
   std::uint64_t mask_ = 0;
   std::uint64_t head_ = 0;
+  TraceSpillSink* spill_ = nullptr;
 };
 
 /// The calling thread's active trace buffer; nullptr when tracing is off.
@@ -127,6 +147,16 @@ class TraceScope {
  private:
   TraceBuffer* prev_;
 };
+
+/// Chrome trace-event serialization primitives, shared by the whole-buffer
+/// writer below and the incremental spill writer (obs/trace_spill.hpp).
+const char* TraceDeviceName(std::uint8_t device);
+/// Stable per-track thread id: commands render one lane per (channel,
+/// rank, bank), refreshes a rank-level lane, policy events lane 0.
+std::uint32_t TraceTrackTid(const TraceEvent& e);
+std::string TraceTrackName(const TraceEvent& e);
+/// One complete ("X") trace-event object for `e`, no trailing separator.
+std::string TraceEventJson(const TraceEvent& e);
 
 /// Chrome trace-event JSON for the retained events (metadata tracks plus
 /// one "X" event per TraceEvent). Loads in Perfetto / chrome://tracing.

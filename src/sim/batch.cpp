@@ -512,6 +512,8 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
       profile->sim_seconds = SecondsSince(t_sim);
       profile->exec_cycles = result.exec_cycles;
       profile->tenants = tenant::QosFromStats(result.stats);
+      profile->telemetry_path = cell.spec.telemetry_path;
+      profile->telemetry_epochs = result.telemetry_epochs;
       profile->wall_seconds = SecondsSince(t_enter);
     }
     return result;
@@ -573,7 +575,11 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
     if (!loaded) {
       const auto t_sim = std::chrono::steady_clock::now();
       result = RunOne(cell.spec);
-      if (profile != nullptr) profile->sim_seconds = SecondsSince(t_sim);
+      if (profile != nullptr) {
+        profile->sim_seconds = SecondsSince(t_sim);
+        profile->telemetry_path = cell.spec.telemetry_path;
+        profile->telemetry_epochs = result.telemetry_epochs;
+      }
       if (!path.empty() && result.completed) {
         SaveCached(path, fingerprint, result);
         if (const std::uint64_t max_bytes = DiskCacheMaxBytes();
@@ -611,8 +617,9 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
 
 std::string BatchReportJson(const BatchReport& report) {
   std::size_t memo_hits = 0, disk_hits = 0, simulated = 0;
+  std::size_t telemetry_cells = 0;
   double fp_seconds = 0.0, sim_seconds = 0.0;
-  std::uint64_t ticks = 0, skipped = 0;
+  std::uint64_t ticks = 0, skipped = 0, telemetry_epochs = 0;
   for (const CellProfile& c : report.cells) {
     if (c.memo_hit) {
       memo_hits++;
@@ -625,6 +632,8 @@ std::string BatchReportJson(const BatchReport& report) {
     sim_seconds += c.sim_seconds;
     ticks += c.ticks_executed;
     skipped += c.cycles_skipped;
+    if (!c.telemetry_path.empty()) telemetry_cells++;
+    telemetry_epochs += c.telemetry_epochs;
   }
   std::string out = "{\"label\":\"" + obs::JsonEscape(report.label) + "\"";
   char buf[64];
@@ -642,7 +651,9 @@ std::string BatchReportJson(const BatchReport& report) {
   std::snprintf(buf, sizeof(buf), ",\"sim_seconds\":%.6f", sim_seconds);
   out += buf;
   out += ",\"ticks_executed\":" + std::to_string(ticks);
-  out += ",\"cycles_skipped\":" + std::to_string(skipped) + "}";
+  out += ",\"cycles_skipped\":" + std::to_string(skipped);
+  out += ",\"telemetry_cells\":" + std::to_string(telemetry_cells);
+  out += ",\"telemetry_epochs\":" + std::to_string(telemetry_epochs) + "}";
   out += ",\"cells\":[";
   bool first = true;
   for (const CellProfile& c : report.cells) {
@@ -665,6 +676,12 @@ std::string BatchReportJson(const BatchReport& report) {
     out += ",\"exec_cycles\":" + std::to_string(c.exec_cycles);
     out += ",\"ticks_executed\":" + std::to_string(c.ticks_executed);
     out += ",\"cycles_skipped\":" + std::to_string(c.cycles_skipped);
+    // Telemetry pointers: present only for cells that simulated under
+    // --telemetry-dir, so plain reports serialize byte-identically.
+    if (!c.telemetry_path.empty()) {
+      out += ",\"telemetry\":\"" + obs::JsonEscape(c.telemetry_path) + "\"";
+      out += ",\"telemetry_epochs\":" + std::to_string(c.telemetry_epochs);
+    }
     // Per-tenant QoS rows: present only for mix cells, so single-tenant
     // reports serialize byte-identically to pre-mix builds.
     if (!c.tenants.empty()) {
@@ -721,8 +738,19 @@ std::vector<RunResult> RunCells(const std::vector<CellSpec>& cells,
       cells.size(), opts,
       [&](std::size_t i) {
         // Distinct indices write distinct report slots: thread-safe.
-        return RunCellCached(cells[i],
-                             report != nullptr ? &report->cells[i] : nullptr);
+        CellProfile* profile =
+            report != nullptr ? &report->cells[i] : nullptr;
+        if (!opts.telemetry_dir.empty()) {
+          // Per-cell series, keyed like the disk cache so artifacts from
+          // different sweeps never collide. The copy keeps telemetry out
+          // of the caller's specs (and CellKey never hashes these fields).
+          CellSpec cell = cells[i];
+          cell.spec.telemetry_path =
+              opts.telemetry_dir + "/" + CellKey(cells[i]) + ".ndjson";
+          cell.spec.epoch = opts.epoch;
+          return RunCellCached(cell, profile);
+        }
+        return RunCellCached(cells[i], profile);
       },
       [&](std::size_t i) { return DescribeSpec(cells[i].spec); });
   if (report != nullptr) report->wall_seconds = SecondsSince(t0);

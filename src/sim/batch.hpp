@@ -47,6 +47,11 @@ struct CellProfile {
   /// counters. Empty for single-tenant cells, so reports stay unchanged
   /// unless a mix (or serve accounting) was actually active.
   std::vector<tenant::TenantQos> tenants;
+  /// Where this cell's telemetry series landed and how many epochs it
+  /// closed. Set only when the cell actually simulated under
+  /// BatchOptions::telemetry_dir — cache hits carry no telemetry.
+  std::string telemetry_path;
+  std::uint64_t telemetry_epochs = 0;
 };
 
 /// Aggregated profile of one RunCells invocation.
@@ -72,6 +77,12 @@ struct BatchOptions {
   std::string label = "batch";
   /// When set, RunCells fills in per-cell profiles and batch totals.
   BatchReport* report = nullptr;
+  /// When set, every cell that actually simulates streams its telemetry
+  /// series to `<telemetry_dir>/<CellKey>.ndjson` (observability only; the
+  /// path and epoch pacing never enter cache keys or fingerprints).
+  std::string telemetry_dir;
+  /// Epoch pacing for `telemetry_dir` series (fixed or adaptive).
+  obs::EpochSpec epoch;
 };
 
 /// Resolve a worker count: `requested` if nonzero, else REDCACHE_JOBS,

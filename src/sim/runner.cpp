@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dramcache/policy_registry.hpp"
+#include "obs/telemetry_sink.hpp"
 #include "tenant/accounting.hpp"
 #include "tenant/mix_trace.hpp"
 #include "tenant/stream_trace.hpp"
@@ -91,9 +92,41 @@ std::unique_ptr<System> BuildSystem(const RunSpec& spec) {
   return system;
 }
 
+obs::TelemetryMeta TelemetryMetaOf(const RunSpec& spec) {
+  obs::TelemetryMeta meta;
+  meta.arch = PolicyNameOf(spec);
+  meta.workload = spec.mix.active()
+                      ? spec.mix.Describe()
+                      : (!spec.serve_path.empty() ? "serve:" + spec.serve_path
+                                                  : spec.workload);
+  meta.preset = spec.preset.name;
+  // Canonical registry casing, so records from aliased/lowercased CLI
+  // spellings attribute to one policy name.
+  const std::string name = PolicyNameOf(spec);
+  meta.policy = PolicyRegistry::Instance().Has(name)
+                    ? PolicyRegistry::Instance().Get(name).name
+                    : name;
+  if (spec.mix.active()) meta.mix = spec.mix.Describe();
+  return meta;
+}
+
 RunResult RunOne(const RunSpec& spec) {
   auto system = BuildSystem(spec);
+  std::unique_ptr<obs::TelemetrySession> telemetry;
+  obs::TelemetryMeta meta;
+  if (!spec.telemetry_path.empty()) {
+    telemetry = std::make_unique<obs::TelemetrySession>(
+        spec.telemetry_path, spec.epoch, spec.preset.telemetry_epoch_cycles);
+    meta = TelemetryMetaOf(spec);
+    system->SetTelemetry(&telemetry->sampler());
+    telemetry->Begin(meta);
+  }
   RunResult result = system->Run(spec.max_cycles);
+  if (telemetry != nullptr) {
+    meta.exec_cycles = result.exec_cycles;
+    telemetry->Close(meta);
+    result.telemetry_epochs = telemetry->sampler().total_epochs();
+  }
   if (spec.verify && result.completed) {
     if (auto* checker = dynamic_cast<ShadowChecker*>(&system->controller())) {
       checker->CheckDrained();

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "dramcache/factory.hpp"
+#include "obs/epoch_sampler.hpp"
 #include "sim/presets.hpp"
 #include "sim/system.hpp"
 #include "tenant/mix.hpp"
@@ -45,6 +46,16 @@ struct RunSpec {
   /// runs are never batch-cached (the stream's content is not part of any
   /// key).
   std::string serve_path;
+  /// Observability only — excluded from cache keys, fingerprints and golden
+  /// comparisons (CellKey enumerates its fields explicitly, so these never
+  /// leak in). When non-empty, RunOne attaches an EpochSampler and writes
+  /// the telemetry series here: "-" or "*.ndjson" streams NDJSON records
+  /// live as epochs close; "*.csv" / anything else writes CSV / JSON at
+  /// end of run.
+  std::string telemetry_path;
+  /// Epoch pacing for `telemetry_path` (fixed width or adaptive band);
+  /// default uses the preset's telemetry_epoch_cycles.
+  obs::EpochSpec epoch;
 };
 
 /// `scale` combined with the REDCACHE_REFS_SCALE environment variable.
@@ -53,6 +64,11 @@ double EffectiveScale(double scale);
 /// The registry policy name this spec resolves to: `spec.policy`, or
 /// ToString(spec.arch) when the policy field is empty.
 std::string PolicyNameOf(const RunSpec& spec);
+
+/// Run identification for the spec's telemetry artifacts: arch/workload/
+/// preset plus the canonical registry policy name and the mix descriptor
+/// (exec_cycles is left for the caller to fill after the run).
+obs::TelemetryMeta TelemetryMetaOf(const RunSpec& spec);
 
 /// Build and run one simulation.
 RunResult RunOne(const RunSpec& spec);

@@ -179,6 +179,7 @@ StatSet System::TelemetrySnapshot(Cycle now) const {
   controller_->ExportStats(snap);
   controller_->SampleTelemetry(snap);
   ExportCoreStats(snap);
+  trace_->SampleTelemetry(snap);
   if (tenant_acct_ != nullptr) tenant_acct_->SampleTelemetry(snap, now);
   snap.Counter("gauge.wb_queue_depth") = wb_queue_.size();
   // Event-loop economics. The cumulative counters become per-epoch deltas

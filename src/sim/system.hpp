@@ -31,6 +31,9 @@ struct RunResult {
   /// skip/no-skip differential stay mode-independent.
   std::uint64_t ticks_executed = 0;
   std::uint64_t cycles_skipped = 0;
+  /// Telemetry epochs closed when RunSpec::telemetry_path was set; 0
+  /// otherwise (and on batch cache hits — observability is not cached).
+  std::uint64_t telemetry_epochs = 0;
 
   // Convenience accessors over `stats`.
   std::uint64_t HbmBytes() const { return stats.GetCounter("hbm.bytes_transferred"); }

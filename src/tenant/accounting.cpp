@@ -40,9 +40,22 @@ void TenantAccounting::ExportStats(StatSet& stats) const {
 
 void TenantAccounting::SampleTelemetry(StatSet& out, Cycle now) const {
   ExportStats(out);
+  std::uint64_t hbm_total = 0, mm_total = 0;
+  for (const Row& r : rows_) {
+    hbm_total += r.hbm_bytes;
+    mm_total += r.mm_bytes;
+  }
   for (std::uint32_t t = 0; t < rows_.size(); t++) {
     const Row& r = rows_[t];
     out.Counter("gauge." + Key(t, "refs")) = r.refs;
+    // Live capacity/bandwidth share: this tenant's slice of all bytes moved
+    // on each device so far. Starvation under co-scheduled dilution shows
+    // up here as one tenant's HBM share collapsing while its slowdown
+    // gauge climbs.
+    out.Counter("gauge." + Key(t, "hbm_share_pct")) =
+        hbm_total == 0 ? 0 : r.hbm_bytes * 100 / hbm_total;
+    out.Counter("gauge." + Key(t, "mm_share_pct")) =
+        mm_total == 0 ? 0 : r.mm_bytes * 100 / mm_total;
     // Progress-based slowdown estimate vs the solo run, in milli-units:
     // (cycles spent per ref so far) / (solo cycles per ref). Only defined
     // once a baseline is attached and the tenant has made progress.

@@ -58,4 +58,21 @@ bool MixTraceSource::Next(std::uint32_t core, MemRef& out) {
   return false;
 }
 
+void MixTraceSource::SampleTelemetry(StatSet& out) const {
+  const std::string gauge = "gauge.";
+  for (std::size_t t = 0; t < children_.size(); t++) {
+    StatSet child;
+    children_[t]->SampleTelemetry(child);
+    const std::string tenant = "tenant" + std::to_string(t) + ".";
+    for (const auto& [name, value] : child.counters()) {
+      // Keep gauges gauges: the tenant qualifier goes after the prefix.
+      const std::string renamed =
+          name.rfind(gauge, 0) == 0
+              ? gauge + tenant + name.substr(gauge.size())
+              : tenant + name;
+      out.Counter(renamed) = value;
+    }
+  }
+}
+
 }  // namespace redcache::tenant

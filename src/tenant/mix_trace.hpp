@@ -41,6 +41,12 @@ class MixTraceSource : public TraceSource {
   std::size_t num_children() const { return children_.size(); }
   TraceSource& child(std::size_t t) { return *children_[t]; }
 
+  /// Re-namespace each child's telemetry per tenant: child t's counter
+  /// "serve.records" becomes "tenant<t>.serve.records" and its gauge
+  /// "gauge.serve.eof" becomes "gauge.tenant<t>.serve.eof", so a serve
+  /// tenant's ingest feed stays attributable inside a mix.
+  void SampleTelemetry(StatSet& out) const override;
+
  private:
   struct Lane {
     std::uint32_t tenant = 0;  // whose turn it is

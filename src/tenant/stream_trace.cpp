@@ -145,4 +145,14 @@ bool StreamTraceSource::Next(std::uint32_t core, MemRef& out) {
   return true;
 }
 
+void StreamTraceSource::SampleTelemetry(StatSet& out) const {
+  out.Counter("serve.records") = total_records_;
+  std::uint64_t queued = 0;
+  for (const auto& q : per_core_) queued += q.size();
+  out.Counter("gauge.serve.queue_depth") = queued;
+  out.Counter("gauge.serve.eof") = eof_ ? 1 : 0;
+  out.Counter("gauge.serve.stop_requested") = StopRequested() ? 1 : 0;
+  out.Counter("gauge.serve.footprint_bytes") = footprint_;
+}
+
 }  // namespace redcache::tenant

@@ -52,6 +52,12 @@ class StreamTraceSource : public TraceSource {
   std::uint64_t total_records() const { return total_records_; }
   bool eof() const { return eof_; }
 
+  /// Live ingest feed for the telemetry pipeline: `serve.records`
+  /// (cumulative, so epochs show the ingest rate) plus point-in-time
+  /// gauges — buffered queue depth across cores (backpressure), EOF and
+  /// stop-flag state, and the footprint bound seen so far.
+  void SampleTelemetry(StatSet& out) const override;
+
  private:
   /// One blocking read; parses complete records into the per-core queues.
   /// Returns false when the stream is finished (EOF, stop, or error).

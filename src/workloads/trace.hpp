@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/stats.hpp"
 #include "common/types.hpp"
 
 namespace redcache {
@@ -32,6 +33,13 @@ class TraceSource {
   virtual std::uint64_t footprint_bytes() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Contribute source-side counters/gauges to a telemetry snapshot (see
+  /// obs/epoch_sampler.hpp for the "gauge." prefix convention). Default:
+  /// nothing — synthetic generators have no ingest state worth watching.
+  /// Serve-mode streams report queue depth / EOF / backpressure here, and
+  /// the multi-tenant mix re-namespaces its children per tenant.
+  virtual void SampleTelemetry(StatSet& out) const { (void)out; }
 };
 
 }  // namespace redcache

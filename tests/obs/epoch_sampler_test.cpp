@@ -6,7 +6,9 @@
 #include <sstream>
 #include <string>
 
+#include "obs/adaptive_epoch.hpp"
 #include "obs/json.hpp"
+#include "obs/telemetry_sink.hpp"
 
 namespace redcache::obs {
 namespace {
@@ -110,8 +112,11 @@ TEST(TelemetryJson, ParsesAndCarriesDerivedMetrics) {
   s.Counter("gauge.gamma") = 8;
   sampler.Sample(100, s);
 
-  const TelemetryMeta meta{.arch = "RedCache", .workload = "LU",
-                           .preset = "eval", .exec_cycles = 100};
+  TelemetryMeta meta;
+  meta.arch = "RedCache";
+  meta.workload = "LU";
+  meta.preset = "eval";
+  meta.exec_cycles = 100;
   const std::string json = TelemetryJson(sampler, meta);
   JsonValue doc;
   std::string err;
@@ -145,8 +150,10 @@ TEST(TelemetryCsv, HeaderUnionInNaturalOrderWithEmptyCells) {
   b.Counter("gauge.rcu_depth") = 2;
   sampler.Sample(20, b);
 
-  const std::string csv =
-      TelemetryCsv(sampler, {.arch = "RedCache", .workload = "LU"});
+  TelemetryMeta meta;
+  meta.arch = "RedCache";
+  meta.workload = "LU";
+  const std::string csv = TelemetryCsv(sampler, meta);
   std::istringstream is(csv);
   std::string comment, header, row1, row2;
   ASSERT_TRUE(std::getline(is, comment));
@@ -160,6 +167,187 @@ TEST(TelemetryCsv, HeaderUnionInNaturalOrderWithEmptyCells) {
   // Epoch 1 has no gauge and no chan10 column value: empty cells.
   EXPECT_EQ(row1, "0,10,0,0,0,,1,");
   EXPECT_EQ(row2, "10,20,0,0,0,2,0,4");
+}
+
+TEST(TelemetryCsv, MetaLineCarriesPolicyAndEscapesMixDescriptor) {
+  EpochSampler sampler(10);
+  StatSet a;
+  a.Counter("ctrl.cache_hits") = 1;
+  sampler.Sample(10, a);
+  TelemetryMeta meta;
+  meta.arch = "RedCache";
+  meta.workload = "LU";
+  meta.policy = "RedCache";
+  meta.mix = "LU:2,RDX:1@8/offset";  // commas would break key=value parsing
+  const std::string csv = TelemetryCsv(sampler, meta);
+  const std::string comment = csv.substr(0, csv.find('\n'));
+  EXPECT_NE(comment.find("policy=RedCache"), std::string::npos);
+  EXPECT_NE(comment.find("mix=\"LU:2,RDX:1@8/offset\""), std::string::npos);
+}
+
+TEST(TelemetryJson, MetaCarriesPolicyAndMix) {
+  EpochSampler sampler(10);
+  StatSet a;
+  a.Counter("ctrl.cache_hits") = 1;
+  sampler.Sample(10, a);
+  TelemetryMeta meta;
+  meta.arch = "banshee";
+  meta.policy = "Banshee";
+  meta.mix = "LU:1,FT:1/interleave";
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(TelemetryJson(sampler, meta), doc, &err)) << err;
+  const JsonValue* m = doc.Find("meta");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->Find("policy")->string, "Banshee");
+  EXPECT_EQ(m->Find("mix")->string, "LU:1,FT:1/interleave");
+}
+
+TEST(ParseEpochSpec, AcceptsFixedAutoAndBandedForms) {
+  EpochSpec spec;
+  ASSERT_TRUE(ParseEpochSpec("250000", spec));
+  EXPECT_EQ(spec.cycles, 250000u);
+  EXPECT_FALSE(spec.adaptive);
+
+  ASSERT_TRUE(ParseEpochSpec("auto", spec));
+  EXPECT_TRUE(spec.adaptive);
+  EXPECT_EQ(spec.cycles, 0u);  // base resolves from the preset
+  EXPECT_EQ(spec.min_cycles, 0u);
+  EXPECT_EQ(spec.max_cycles, 0u);
+
+  ASSERT_TRUE(ParseEpochSpec("auto:1000:8000", spec));
+  EXPECT_TRUE(spec.adaptive);
+  EXPECT_EQ(spec.min_cycles, 1000u);
+  EXPECT_EQ(spec.max_cycles, 8000u);
+
+  EpochSpec untouched;
+  EXPECT_FALSE(ParseEpochSpec("", untouched));
+  EXPECT_FALSE(ParseEpochSpec("0", untouched));
+  EXPECT_FALSE(ParseEpochSpec("fast", untouched));
+  EXPECT_FALSE(ParseEpochSpec("auto:10", untouched));
+  EXPECT_FALSE(ParseEpochSpec("auto:8000:1000", untouched));  // inverted band
+  EXPECT_FALSE(ParseEpochSpec("auto:10:20x", untouched));
+  EXPECT_FALSE(untouched.adaptive);
+}
+
+// A StatSet whose derived rates the adaptive controller reads: hit_rate is
+// hits / (hits + misses + bypasses).
+StatSet RateSnap(std::uint64_t hits, std::uint64_t misses) {
+  StatSet s;
+  s.Counter("ctrl.cache_hits") = hits;
+  s.Counter("ctrl.cache_misses") = misses;
+  return s;
+}
+
+TEST(AdaptiveEpoch, ShrinksAcrossPhaseChangeAndGrowsBackWhenFlat) {
+  EpochSampler sampler(1000);
+  AdaptiveEpochConfig cfg;
+  cfg.min_cycles = 125;
+  cfg.max_cycles = 4000;
+  cfg.stable_epochs_to_grow = 2;
+  sampler.EnableAdaptive(cfg);
+
+  // Two identical epochs seed the controller with a flat baseline
+  // (hit rate 0.5): prev is seeded on the first, score 0 on the second.
+  Cycle now = 1000;
+  std::uint64_t hits = 500, misses = 500;
+  sampler.Sample(now, RateSnap(hits, misses));
+  now += sampler.epoch_cycles();
+  hits += 500;
+  misses += 500;
+  sampler.Sample(now, RateSnap(hits, misses));
+  const Cycle before_phase = sampler.epoch_cycles();
+
+  // Phase change: the next epoch is all misses, hit rate 0.5 -> 0.
+  now += sampler.epoch_cycles();
+  misses += 1000;
+  sampler.Sample(now, RateSnap(hits, misses));
+  EXPECT_LT(sampler.epoch_cycles(), before_phase);
+  ASSERT_NE(sampler.adaptive_controller(), nullptr);
+  EXPECT_GE(sampler.adaptive_controller()->shrinks(), 1u);
+
+  // Flat tail: all-miss epochs forever. After enough stable epochs the
+  // width doubles back up to the clamp.
+  for (int i = 0; i < 20; ++i) {
+    now += sampler.epoch_cycles();
+    misses += 1000;
+    sampler.Sample(now, RateSnap(hits, misses));
+  }
+  EXPECT_EQ(sampler.epoch_cycles(), cfg.max_cycles);
+  EXPECT_GE(sampler.adaptive_controller()->grows(), 1u);
+  EXPECT_LE(sampler.min_width_used(), before_phase / 2);
+  EXPECT_EQ(sampler.max_width_used(), cfg.max_cycles);
+}
+
+TEST(AdaptiveEpoch, RecordsCarryWidthGaugeOnlyWhenAdaptive) {
+  EpochSampler fixed(100);
+  fixed.Sample(100, RateSnap(1, 1));
+  EXPECT_EQ(fixed.epochs()[0].gauges.count("telemetry.epoch_cycles"), 0u);
+
+  EpochSampler adaptive(100);
+  adaptive.EnableAdaptive({});
+  adaptive.Sample(100, RateSnap(1, 1));
+  EXPECT_EQ(adaptive.epochs()[0].gauges.at("telemetry.epoch_cycles"), 100u);
+}
+
+TEST(AdaptiveEpoch, DeltasTelescopeAcrossResizingAndResidualFinalize) {
+  // The ISSUE's satellite invariant: adaptive resizing plus an early-EOF
+  // residual epoch must not break telescoping.
+  EpochSampler sampler(1000);
+  AdaptiveEpochConfig cfg;
+  cfg.min_cycles = 100;
+  cfg.max_cycles = 2000;
+  sampler.EnableAdaptive(cfg);
+
+  std::uint64_t hits = 0, misses = 0;
+  Cycle now = 0;
+  // Alternate hit-heavy and miss-heavy epochs so the width keeps moving.
+  for (int i = 0; i < 12; ++i) {
+    now += sampler.epoch_cycles();
+    if (i % 2 == 0) {
+      hits += 900 + static_cast<std::uint64_t>(i);
+      misses += 100;
+    } else {
+      hits += 100;
+      misses += 900 + static_cast<std::uint64_t>(i);
+    }
+    sampler.Sample(now, RateSnap(hits, misses));
+  }
+  ASSERT_GT(sampler.adaptive_controller()->shrinks(), 0u);
+  // Mid-epoch end (serve-mode EOF): the residual partial epoch closes here.
+  hits += 37;
+  sampler.Finalize(now + 41, RateSnap(hits, misses));
+
+  std::int64_t hit_sum = 0, miss_sum = 0;
+  for (const EpochRecord& e : sampler.epochs()) {
+    hit_sum += e.delta.at("ctrl.cache_hits");
+    miss_sum += e.delta.at("ctrl.cache_misses");
+  }
+  EXPECT_EQ(hit_sum, static_cast<std::int64_t>(hits));
+  EXPECT_EQ(miss_sum, static_cast<std::int64_t>(misses));
+  EXPECT_EQ(sampler.cumulative().at("ctrl.cache_hits"), hits);
+  for (std::size_t i = 1; i < sampler.epochs().size(); ++i) {
+    EXPECT_EQ(sampler.epochs()[i].begin, sampler.epochs()[i - 1].end);
+  }
+  EXPECT_EQ(sampler.total_epochs(), sampler.epochs().size());
+}
+
+TEST(EpochSampler, SinkWithoutRetentionKeepsOnlyLastRecordButCounts) {
+  BufferTelemetrySink sink;
+  EpochSampler sampler(10);
+  sampler.SetSink(&sink, /*retain_epochs=*/false);
+  for (int i = 1; i <= 5; ++i) {
+    sampler.Sample(static_cast<Cycle>(10 * i),
+                   RateSnap(static_cast<std::uint64_t>(i), 0));
+  }
+  EXPECT_EQ(sampler.epochs().size(), 1u);  // bounded memory
+  EXPECT_EQ(sampler.total_epochs(), 5u);
+  EXPECT_EQ(sink.lines.size(), 5u);
+  // Finalize's gauge-refresh path still has a record to refresh.
+  StatSet last = RateSnap(5, 0);
+  last.Counter("gauge.rcu_depth") = 3;
+  sampler.Finalize(50, last);
+  EXPECT_EQ(sampler.epochs().back().gauges.at("rcu_depth"), 3u);
 }
 
 }  // namespace

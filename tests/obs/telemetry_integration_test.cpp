@@ -81,9 +81,12 @@ TEST(TelemetryIntegration, EpochDeltasSumToFinalCounters) {
   // And the serialized series parses.
   obs::JsonValue doc;
   std::string err;
-  const std::string json = obs::TelemetryJson(
-      sampler, {.arch = "RedCache", .workload = "LU", .preset = "eval",
-                .exec_cycles = r.exec_cycles});
+  obs::TelemetryMeta meta;
+  meta.arch = "RedCache";
+  meta.workload = "LU";
+  meta.preset = "eval";
+  meta.exec_cycles = r.exec_cycles;
+  const std::string json = obs::TelemetryJson(sampler, meta);
   ASSERT_TRUE(obs::ParseJson(json, doc, &err)) << err;
   EXPECT_EQ(doc.Find("epochs")->array.size(), sampler.epochs().size());
 }

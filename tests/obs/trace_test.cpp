@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "obs/json.hpp"
 #include "obs/trace_macros.hpp"
+#include "obs/trace_spill.hpp"
 
 namespace redcache::obs {
 namespace {
@@ -163,6 +168,120 @@ TEST(ValidateChromeTrace, RejectsBadDocuments) {
   EXPECT_FALSE(ValidateChromeTrace(
       R"({"traceEvents":[{"ph":"X","ts":1,"dur":1,"pid":0,"tid":0}]})", &err));
   EXPECT_FALSE(err.empty());
+}
+
+class SpillCounter : public TraceSpillSink {
+ public:
+  void Consume(const TraceEvent& e) override { cycles.push_back(e.cycle); }
+  std::vector<Cycle> cycles;
+};
+
+TEST(TraceSpill, OverwriteHookSeesEvictedEventsOldestFirst) {
+  TraceBuffer t(4);
+  SpillCounter spill;
+  t.SetSpill(&spill);
+  for (Cycle c = 0; c < 10; ++c) t.Emit(CmdEvent(c));
+  // Ring keeps 6..9; the hook received exactly the overwritten 0..5.
+  ASSERT_EQ(spill.cycles.size(), 6u);
+  for (std::size_t i = 0; i < spill.cycles.size(); ++i) {
+    EXPECT_EQ(spill.cycles[i], static_cast<Cycle>(i));
+  }
+  t.SetSpill(nullptr);
+  for (Cycle c = 10; c < 14; ++c) t.Emit(CmdEvent(c));
+  EXPECT_EQ(spill.cycles.size(), 6u);  // detached: no further deliveries
+}
+
+TEST(TraceSpill, WindowedFullRunTraceValidatesAndAccountsForEveryEvent) {
+  const std::string path = testing::TempDir() + "/spill_test.json";
+  TraceBuffer ring(8);
+  TraceSpillWriter writer(path);
+  ASSERT_TRUE(writer.ok());
+  ring.SetSpill(&writer);
+
+  // 100 events through an 8-slot window, across two devices so tracks that
+  // exist *only* in the spilled prefix still get their metadata records.
+  const std::uint64_t kTotal = 100;
+  for (Cycle c = 0; c < kTotal; ++c) {
+    TraceEvent e = CmdEvent(c);
+    if (c < 20) {
+      e.device = kTraceDevicePolicy;
+      e.type = TraceEventType::kRetune;
+    }
+    ring.Emit(e);
+  }
+  ASSERT_TRUE(writer.Finish(ring));
+  EXPECT_EQ(writer.spilled(), kTotal - ring.capacity());
+
+  std::ifstream in(path);
+  std::stringstream body;
+  body << in.rdbuf();
+  std::string err;
+  ASSERT_TRUE(ValidateChromeTrace(body.str(), &err)) << err;
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(body.str(), doc, &err)) << err;
+  const JsonValue* other = doc.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->Find("emitted")->number, static_cast<double>(kTotal));
+  EXPECT_EQ(other->Find("spilled")->number,
+            static_cast<double>(kTotal - ring.capacity()));
+  EXPECT_EQ(other->Find("retained")->number,
+            static_cast<double>(ring.capacity()));
+  // The memory-cap proof: attached before the first overwrite, so nothing
+  // was lost despite the window being 8 deep.
+  EXPECT_EQ(other->Find("dropped")->number, 0.0);
+  EXPECT_EQ(other->Find("ring_capacity")->number,
+            static_cast<double>(ring.capacity()));
+
+  // Every emitted event is present exactly once (spilled prefix in cycle
+  // order, then the retained window), and the policy track — long evicted
+  // from the ring — still has its metadata pair.
+  std::uint64_t x_events = 0;
+  bool policy_named = false;
+  Cycle prev = 0;
+  for (const JsonValue& e : doc.Find("traceEvents")->array) {
+    const std::string& ph = e.Find("ph")->string;
+    if (ph == "X") {
+      const Cycle ts = static_cast<Cycle>(e.Find("ts")->number);
+      if (x_events > 0) EXPECT_GE(ts, prev);
+      prev = ts;
+      ++x_events;
+    } else if (ph == "M" && e.Find("name")->string == "process_name") {
+      const JsonValue* args = e.Find("args");
+      if (args != nullptr && args->Find("name") != nullptr &&
+          args->Find("name")->string ==
+              TraceDeviceName(kTraceDevicePolicy)) {
+        policy_named = true;
+      }
+    }
+  }
+  EXPECT_EQ(x_events, kTotal);
+  EXPECT_TRUE(policy_named);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSpill, LateAttachReportsPreAttachLossAsDropped) {
+  const std::string path = testing::TempDir() + "/spill_late.json";
+  TraceBuffer ring(4);
+  // 10 events before any writer exists: 6 are gone for good.
+  for (Cycle c = 0; c < 10; ++c) ring.Emit(CmdEvent(c));
+  TraceSpillWriter writer(path);
+  ASSERT_TRUE(writer.ok());
+  ring.SetSpill(&writer);
+  for (Cycle c = 10; c < 20; ++c) ring.Emit(CmdEvent(c));
+  ASSERT_TRUE(writer.Finish(ring));
+
+  std::ifstream in(path);
+  std::stringstream body;
+  body << in.rdbuf();
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(body.str(), doc, &err)) << err;
+  const JsonValue* other = doc.Find("otherData");
+  EXPECT_EQ(other->Find("spilled")->number, 10.0);   // cycles 6..15
+  EXPECT_EQ(other->Find("retained")->number, 4.0);   // cycles 16..19
+  EXPECT_EQ(other->Find("dropped")->number, 6.0);    // cycles 0..5, pre-attach
+  std::remove(path.c_str());
 }
 
 }  // namespace

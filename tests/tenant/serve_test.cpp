@@ -13,12 +13,14 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "dramcache/policy_registry.hpp"
+#include "obs/json.hpp"
 #include "sim/runner.hpp"
 #include "workloads/trace_file.hpp"
 
@@ -170,6 +172,83 @@ TEST(Serve, StopFlagEndsIngestionButDrainsBufferedRecords) {
   EXPECT_EQ(eager.total_records(), 0u);
 
   std::remove(trace.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(Serve, EarlyEofTelemetryTelescopesThroughResidualEpoch) {
+  // The ISSUE satellite: a serve run ending early (prefix EOF) with
+  // adaptive epoch resizing must close a residual partial epoch whose
+  // NDJSON deltas still telescope exactly to the end record's totals, and
+  // the stream must carry the live serve/QoS gauges.
+  char dir_tmpl[] = "/tmp/redcache_serve_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_tmpl), nullptr);
+  const std::string dir = dir_tmpl;
+  const std::string full = CaptureTrace(dir + "/full.rctr");
+  const std::string prefix = dir + "/prefix.rctr";
+  constexpr std::size_t kPrefixRecords = 1500;
+  WritePrefix(full, prefix, kPrefixRecords);
+
+  const std::string ndjson = dir + "/serve.ndjson";
+  RunSpec spec;
+  spec.policy = "RedCache";
+  spec.serve_path = prefix;
+  spec.telemetry_path = ndjson;
+  spec.epoch.cycles = 5000;  // narrow enough for several epochs + residual
+  spec.epoch.adaptive = true;
+  spec.epoch.min_cycles = 1000;
+  spec.epoch.max_cycles = 20000;
+  const RunResult r = RunOne(spec);
+  ASSERT_TRUE(r.completed);
+  ASSERT_GT(r.telemetry_epochs, 1u);
+
+  std::ifstream in(ndjson);
+  std::string line;
+  std::vector<obs::JsonValue> docs;
+  while (std::getline(in, line)) {
+    obs::JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(obs::ParseJson(line, doc, &err)) << err << "\n" << line;
+    docs.push_back(std::move(doc));
+  }
+  ASSERT_EQ(docs.size(), r.telemetry_epochs + 2);  // header + epochs + end
+  ASSERT_EQ(docs.front().Find("type")->string, "header");
+  EXPECT_EQ(docs.front().Find("adaptive")->boolean, true);
+  ASSERT_EQ(docs.back().Find("type")->string, "end");
+
+  // The residual epoch ends exactly at the run's end, not on an epoch
+  // boundary — the drain closed it.
+  const obs::JsonValue& last_epoch = docs[docs.size() - 2];
+  ASSERT_EQ(last_epoch.Find("type")->string, "epoch");
+  EXPECT_EQ(last_epoch.Find("end")->number,
+            static_cast<double>(r.exec_cycles));
+
+  // Telescoping: for every counter in totals, the epoch deltas sum to it.
+  const obs::JsonValue* totals = docs.back().Find("totals");
+  ASSERT_NE(totals, nullptr);
+  std::map<std::string, double> sums;
+  for (std::size_t i = 1; i + 1 < docs.size(); ++i) {
+    for (const auto& [name, v] : docs[i].Find("delta")->object) {
+      sums[name] += v.number;
+    }
+  }
+  for (const auto& [name, v] : totals->object) {
+    EXPECT_EQ(sums[name], v.number) << "telescoping broke for " << name;
+  }
+
+  // The live serve feed: ingest totals and end-state gauges are present,
+  // and the records counter telescopes to exactly the prefix size.
+  EXPECT_EQ(totals->Find("serve.records")->number,
+            static_cast<double>(kPrefixRecords));
+  const obs::JsonValue* gauges = last_epoch.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("serve.eof")->number, 1.0);
+  EXPECT_EQ(gauges->Find("serve.queue_depth")->number, 0.0);
+  // Adaptive pacing was active: every record carries the width gauge.
+  EXPECT_NE(gauges->Find("telemetry.epoch_cycles"), nullptr);
+
+  std::remove(full.c_str());
+  std::remove(prefix.c_str());
+  std::remove(ndjson.c_str());
   ::rmdir(dir.c_str());
 }
 

@@ -30,7 +30,9 @@
 #include "dramcache/footprint.hpp"
 #include "dramcache/policy_registry.hpp"
 #include "obs/epoch_sampler.hpp"
+#include "obs/telemetry_sink.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_spill.hpp"
 #include "sim/batch.hpp"
 #include "tenant/mix_trace.hpp"
 #include "tenant/qos.hpp"
@@ -47,10 +49,14 @@ struct CliOptions {
   std::string workload = "LU";
   std::optional<std::string> replay_path;
   std::optional<std::string> capture_path;
-  std::optional<std::string> telemetry_path;  ///< epoch series (.csv or JSON)
+  std::optional<std::string> telemetry_path;  ///< epoch series ("-" = stdout
+                                              ///< NDJSON, .ndjson stream,
+                                              ///< .csv, else JSON)
   std::optional<std::string> trace_out_path;  ///< Chrome trace-event JSON
   std::optional<std::string> report_path;     ///< --sweep batch report JSON
-  std::optional<Cycle> epoch_cycles;          ///< telemetry epoch override
+  obs::EpochSpec epoch;                       ///< --epoch N | auto[:MIN:MAX]
+  std::size_t trace_window = 0;  ///< --trace ring capacity; spill the rest
+  std::string telemetry_dir;     ///< --sweep per-cell NDJSON directory
   double scale = 1.0;
   bool paper_preset = false;
   bool dump_stats = false;
@@ -81,10 +87,17 @@ void PrintUsage() {
       "  --workload LABEL   Table II label (default LU)\n"
       "  --replay FILE      replay a captured trace instead of a workload\n"
       "  --capture FILE     write the workload's trace to FILE and exit\n"
-      "  --telemetry FILE   write per-epoch time series (JSON; .csv => CSV)\n"
+      "  --telemetry FILE   write per-epoch time series. \"-\" streams NDJSON\n"
+      "                     records to stdout as epochs close (live); .ndjson\n"
+      "                     streams to a file/FIFO; .csv => CSV; else JSON\n"
       "  --trace FILE       write a Chrome trace-event JSON (Perfetto /\n"
       "                     chrome://tracing) of DRAM commands + decisions\n"
-      "  --epoch N          telemetry epoch in CPU cycles (default preset)\n"
+      "  --trace-window N   keep an N-event ring and spill older events to\n"
+      "                     the --trace file incrementally: full-run traces\n"
+      "                     in bounded memory (default: ring only, last 256K)\n"
+      "  --epoch SPEC       telemetry epoch pacing: N cycles, \"auto\"\n"
+      "                     (variance-driven, clamped to [preset/8, 4x]),\n"
+      "                     or \"auto:MIN:MAX\" (explicit clamp band)\n"
       "  --scale X          workload scale factor (default 1.0)\n"
       "  --paper            use the verbatim Table I preset (2 GiB HBM)\n"
       "  --hbm-mib N        override HBM cache capacity\n"
@@ -111,7 +124,10 @@ void PrintUsage() {
       "  --stats            dump every counter after the run\n"
       "  --sweep            run an (arch x workload) matrix on a worker pool\n"
       "  --report FILE      write a host-side profiling report of --sweep\n"
-      "                     (per-cell wall time, cache layer, phases)\n"
+      "                     (per-cell wall time, cache layer, phases,\n"
+      "                     per-cell telemetry paths + epoch counts)\n"
+      "  --telemetry-dir D  with --sweep: stream each simulated cell's\n"
+      "                     NDJSON series to D/<cell-key>.ndjson\n"
       "  --policies A,B,..  policies for --sweep (default: every policy\n"
       "                     registered with sweep=true). --archs is an alias.\n"
       "  --workloads X,Y,.. workloads for --sweep (default: all Table II)\n"
@@ -157,7 +173,23 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
     } else if (arg == "--epoch") {
       const char* v = value();
       if (v == nullptr) return false;
-      opt.epoch_cycles = std::strtoull(v, nullptr, 10);
+      if (!obs::ParseEpochSpec(v, opt.epoch)) {
+        std::fprintf(stderr,
+                     "bad --epoch %s (want N, auto, or auto:MIN:MAX)\n", v);
+        return false;
+      }
+    } else if (arg == "--trace-window") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.trace_window = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      if (opt.trace_window == 0) {
+        std::fprintf(stderr, "bad --trace-window %s (want N >= 1)\n", v);
+        return false;
+      }
+    } else if (arg == "--telemetry-dir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.telemetry_dir = v;
     } else if (arg == "--capture") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -255,28 +287,63 @@ RedCacheOptions TunedOptions(const CliOptions& opt) {
   return o;
 }
 
-/// Write the epoch series to `path` (.csv => CSV) and print the one-line
-/// summary. Shared by the single-run and mix/serve paths.
-bool WriteTelemetry(const std::string& path, const obs::EpochSampler& sampler,
-                    const std::string& arch, const std::string& workload,
-                    const char* preset_name, Cycle exec_cycles) {
-  obs::TelemetryMeta meta;
-  meta.arch = arch;
-  meta.workload = workload;
-  meta.preset = preset_name;
+/// Where human-readable run output goes: stderr when `--telemetry -` owns
+/// stdout for the NDJSON stream, stdout otherwise.
+FILE* HumanOut(const CliOptions& opt) {
+  return opt.telemetry_path && *opt.telemetry_path == "-" ? stderr : stdout;
+}
+
+/// Canonical registry casing for `name`; extension labels (RedCache-4way,
+/// footprint-2KB) pass through unchanged.
+std::string CanonicalPolicy(const std::string& name) {
+  return PolicyRegistry::Instance().Has(name)
+             ? PolicyRegistry::Instance().Get(name).name
+             : name;
+}
+
+/// Close the run's telemetry session (end record for streams, file write
+/// otherwise) and print the one-line summary. Shared by both run paths.
+bool FinishTelemetry(obs::TelemetrySession& session, obs::TelemetryMeta meta,
+                     Cycle exec_cycles, FILE* out) {
   meta.exec_cycles = exec_cycles;
-  const bool csv =
-      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
-  const bool ok = csv ? obs::WriteTelemetryCsv(path, sampler, meta)
-                      : obs::WriteTelemetryJson(path, sampler, meta);
-  if (!ok) {
-    std::fprintf(stderr, "failed to write telemetry to %s\n", path.c_str());
+  if (!session.Close(meta)) {
+    std::fprintf(stderr, "failed to write telemetry to %s\n",
+                 session.path().c_str());
     return false;
   }
-  std::printf("telemetry: %zu epochs (every %llu cycles) -> %s\n",
-              sampler.epochs().size(),
-              static_cast<unsigned long long>(sampler.epoch_cycles()),
-              path.c_str());
+  std::fprintf(out, "telemetry: %s\n", session.Summary().c_str());
+  return true;
+}
+
+/// Write the command trace: via the spill writer's Finish (windowed mode,
+/// file already holds the spilled prefix) or the whole-buffer writer.
+bool FinishTrace(const CliOptions& opt, obs::TraceBuffer& ring,
+                 obs::TraceSpillWriter* spill, FILE* out) {
+  const std::string& path = *opt.trace_out_path;
+  if (spill != nullptr) {
+    const std::uint64_t spilled = spill->spilled();
+    if (!spill->Finish(ring)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out,
+                 "trace: %llu events (%llu spilled, window %zu, 0 dropped) "
+                 "-> %s (load in Perfetto / chrome://tracing)\n",
+                 static_cast<unsigned long long>(ring.emitted()),
+                 static_cast<unsigned long long>(spilled), ring.capacity(),
+                 path.c_str());
+    return true;
+  }
+  if (!obs::WriteChromeTrace(path, ring)) {
+    std::fprintf(stderr, "failed to write trace to %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out,
+               "trace: %llu events (%llu dropped, ring %zu) -> %s "
+               "(load in Perfetto / chrome://tracing)\n",
+               static_cast<unsigned long long>(ring.emitted()),
+               static_cast<unsigned long long>(ring.dropped()),
+               ring.capacity(), path.c_str());
   return true;
 }
 
@@ -390,9 +457,25 @@ int RunSweep(const CliOptions& opt) {
   BatchOptions bopts;
   bopts.jobs = opt.jobs;
   bopts.label = "sweep";
+  bopts.telemetry_dir = opt.telemetry_dir;
+  bopts.epoch = opt.epoch;
   BatchReport report;
-  if (opt.report_path) bopts.report = &report;
+  if (opt.report_path || !opt.telemetry_dir.empty()) bopts.report = &report;
   const std::vector<RunResult> results = RunCells(cells, bopts);
+  if (!opt.telemetry_dir.empty()) {
+    std::size_t streamed = 0;
+    std::uint64_t epochs = 0;
+    for (const CellProfile& c : report.cells) {
+      if (c.telemetry_path.empty()) continue;
+      streamed++;
+      epochs += c.telemetry_epochs;
+    }
+    std::printf("telemetry: %zu/%zu cells streamed %llu epochs -> %s/ "
+                "(cache hits carry no telemetry)\n",
+                streamed, report.cells.size(),
+                static_cast<unsigned long long>(epochs),
+                opt.telemetry_dir.c_str());
+  }
   if (opt.report_path) {
     if (!WriteBatchReportJson(*opt.report_path, report)) {
       std::fprintf(stderr, "failed to write report to %s\n",
@@ -517,20 +600,47 @@ int RunMixServe(const CliOptions& opt) {
   }
 
   auto system = BuildSystem(spec);
+  FILE* out = HumanOut(opt);
 
-  std::optional<obs::EpochSampler> sampler;
+  // Observability: live telemetry stream and/or (windowed) command trace —
+  // a long serve run traces end-to-end through --trace-window in bounded
+  // memory exactly like a single-shot run.
+  std::unique_ptr<obs::TelemetrySession> telemetry;
+  obs::TelemetryMeta meta = TelemetryMetaOf(spec);
+  const std::string workload_label = system->trace().name();
+  meta.workload = workload_label;
   if (opt.telemetry_path) {
-    sampler.emplace(opt.epoch_cycles.value_or(preset.telemetry_epoch_cycles));
-    system->SetTelemetry(&*sampler);
+    telemetry = std::make_unique<obs::TelemetrySession>(
+        *opt.telemetry_path, opt.epoch, preset.telemetry_epoch_cycles);
+    system->SetTelemetry(&telemetry->sampler());
+    telemetry->Begin(meta);
   }
+  obs::TraceBuffer trace_buffer(opt.trace_window != 0
+                                    ? opt.trace_window
+                                    : obs::TraceBuffer::kDefaultCapacity);
+  std::unique_ptr<obs::TraceSpillWriter> spill;
+  std::optional<obs::TraceScope> trace_scope;
+  if (opt.trace_out_path) {
+    if (opt.trace_window != 0) {
+      spill = std::make_unique<obs::TraceSpillWriter>(*opt.trace_out_path);
+      if (!spill->ok()) {
+        std::fprintf(stderr, "cannot open trace file %s\n",
+                     opt.trace_out_path->c_str());
+        return 1;
+      }
+      trace_buffer.SetSpill(spill.get());
+    }
+    trace_scope.emplace(&trace_buffer);
+  }
+
   tenant::StreamTraceSource* stream = FindStream(system->trace());
   if (stream != nullptr) {
     InstallServeSignalHandlers();
     stream->SetStopFlag(&g_serve_stop);
   }
-  const std::string workload_label = system->trace().name();
 
   const RunResult r = system->Run();
+  trace_scope.reset();
 
   if (!r.completed) {
     std::fprintf(stderr, "simulation did not complete\n");
@@ -539,18 +649,19 @@ int RunMixServe(const CliOptions& opt) {
   if (spec.verify) {
     if (auto* checker = dynamic_cast<ShadowChecker*>(&system->controller())) {
       checker->CheckDrained();
-      std::printf("%s\n", checker->Summary().c_str());
+      std::fprintf(out, "%s\n", checker->Summary().c_str());
     }
   }
   if (stream != nullptr) {
-    std::printf("stream: %llu records ingested%s\n",
-                static_cast<unsigned long long>(stream->total_records()),
-                g_serve_stop != 0 ? " (stopped by signal, drained)" : "");
+    std::fprintf(out, "stream: %llu records ingested%s\n",
+                 static_cast<unsigned long long>(stream->total_records()),
+                 g_serve_stop != 0 ? " (stopped by signal, drained)" : "");
   }
 
   const auto hits = r.stats.GetCounter("ctrl.cache_hits");
   const auto misses = r.stats.GetCounter("ctrl.cache_misses");
-  std::printf(
+  std::fprintf(
+      out,
       "%s on %s: %llu cycles (%.2f ms @3.2GHz), hit rate %.1f%%, "
       "HBM %.3f GB, DDR4 %.3f GB, system energy %.2f mJ\n",
       opt.arch.c_str(), workload_label.c_str(),
@@ -574,18 +685,21 @@ int RunMixServe(const CliOptions& opt) {
       const std::string label = row.tenant < spec.mix.num_tenants()
                                     ? spec.mix.tenants[row.tenant].workload
                                     : "?";
-      std::printf("%s\n", tenant::FormatQosLine(rows, row, label).c_str());
+      std::fprintf(out, "%s\n",
+                   tenant::FormatQosLine(rows, row, label).c_str());
     }
   }
 
-  if (opt.telemetry_path) {
-    if (!WriteTelemetry(*opt.telemetry_path, *sampler, opt.arch,
-                        workload_label, preset.name, r.exec_cycles)) {
-      return 1;
-    }
+  if (telemetry != nullptr &&
+      !FinishTelemetry(*telemetry, meta, r.exec_cycles, out)) {
+    return 1;
+  }
+  if (opt.trace_out_path &&
+      !FinishTrace(opt, trace_buffer, spill.get(), out)) {
+    return 1;
   }
   if (opt.dump_stats) {
-    std::printf("%s", r.stats.ToString().c_str());
+    std::fprintf(out, "%s", r.stats.ToString().c_str());
   }
   return 0;
 }
@@ -646,40 +760,50 @@ int Run(const CliOptions& opt) {
 
   System system(preset.hierarchy, preset.core, std::move(ctrl),
                 std::move(trace), opt.seed);
+  FILE* out = HumanOut(opt);
 
   // Observability: epoch sampler and/or command trace, both opt-in and
   // inert (single branch per probe) when the flags are absent.
-  std::optional<obs::EpochSampler> sampler;
+  std::unique_ptr<obs::TelemetrySession> telemetry;
+  obs::TelemetryMeta meta;
   if (opt.telemetry_path) {
-    sampler.emplace(opt.epoch_cycles.value_or(preset.telemetry_epoch_cycles));
-    system.SetTelemetry(&*sampler);
+    meta.arch = arch_label;
+    meta.workload = opt.replay_path ? *opt.replay_path : opt.workload;
+    meta.preset = preset.name;
+    meta.policy = CanonicalPolicy(arch_label);
+    telemetry = std::make_unique<obs::TelemetrySession>(
+        *opt.telemetry_path, opt.epoch, preset.telemetry_epoch_cycles);
+    system.SetTelemetry(&telemetry->sampler());
+    telemetry->Begin(meta);
   }
-  obs::TraceBuffer trace_buffer;
+  obs::TraceBuffer trace_buffer(opt.trace_window != 0
+                                    ? opt.trace_window
+                                    : obs::TraceBuffer::kDefaultCapacity);
+  std::unique_ptr<obs::TraceSpillWriter> spill;
   std::optional<obs::TraceScope> trace_scope;
-  if (opt.trace_out_path) trace_scope.emplace(&trace_buffer);
+  if (opt.trace_out_path) {
+    if (opt.trace_window != 0) {
+      spill = std::make_unique<obs::TraceSpillWriter>(*opt.trace_out_path);
+      if (!spill->ok()) {
+        std::fprintf(stderr, "cannot open trace file %s\n",
+                     opt.trace_out_path->c_str());
+        return 1;
+      }
+      trace_buffer.SetSpill(spill.get());
+    }
+    trace_scope.emplace(&trace_buffer);
+  }
 
   const RunResult r = system.Run();
   trace_scope.reset();
 
-  if (opt.telemetry_path) {
-    if (!WriteTelemetry(*opt.telemetry_path, *sampler, arch_label,
-                        opt.replay_path ? *opt.replay_path : opt.workload,
-                        preset.name, r.exec_cycles)) {
-      return 1;
-    }
+  if (telemetry != nullptr &&
+      !FinishTelemetry(*telemetry, meta, r.exec_cycles, out)) {
+    return 1;
   }
-  if (opt.trace_out_path) {
-    if (!obs::WriteChromeTrace(*opt.trace_out_path, trace_buffer)) {
-      std::fprintf(stderr, "failed to write trace to %s\n",
-                   opt.trace_out_path->c_str());
-      return 1;
-    }
-    std::printf(
-        "trace: %llu events (%llu dropped, ring %zu) -> %s "
-        "(load in Perfetto / chrome://tracing)\n",
-        static_cast<unsigned long long>(trace_buffer.emitted()),
-        static_cast<unsigned long long>(trace_buffer.dropped()),
-        trace_buffer.capacity(), opt.trace_out_path->c_str());
+  if (opt.trace_out_path &&
+      !FinishTrace(opt, trace_buffer, spill.get(), out)) {
+    return 1;
   }
   if (!r.completed) {
     std::fprintf(stderr, "simulation did not complete\n");
@@ -687,7 +811,7 @@ int Run(const CliOptions& opt) {
   }
   if (shadow != nullptr) {
     shadow->CheckDrained();
-    std::printf("%s\n", shadow->Summary().c_str());
+    std::fprintf(out, "%s\n", shadow->Summary().c_str());
     if (shadow->divergence_count() != 0) {
       for (const std::string& msg : shadow->divergence_messages()) {
         std::fprintf(stderr, "divergence: %s\n", msg.c_str());
@@ -698,7 +822,8 @@ int Run(const CliOptions& opt) {
 
   const auto hits = r.stats.GetCounter("ctrl.cache_hits");
   const auto misses = r.stats.GetCounter("ctrl.cache_misses");
-  std::printf(
+  std::fprintf(
+      out,
       "%s on %s: %llu cycles (%.2f ms @3.2GHz), hit rate %.1f%%, "
       "HBM %.3f GB, DDR4 %.3f GB, system energy %.2f mJ\n",
       arch_label.c_str(),
@@ -712,16 +837,17 @@ int Run(const CliOptions& opt) {
       static_cast<double>(r.HbmBytes()) / 1e9,
       static_cast<double>(r.MmBytes()) / 1e9, r.energy.SystemNj() / 1e6);
   const std::uint64_t span = r.ticks_executed + r.cycles_skipped;
-  std::printf("event loop: %llu ticks executed, %llu cycles skipped "
-              "(%.1f%%)\n",
-              static_cast<unsigned long long>(r.ticks_executed),
-              static_cast<unsigned long long>(r.cycles_skipped),
-              span == 0 ? 0.0
-                        : 100.0 * static_cast<double>(r.cycles_skipped) /
-                              static_cast<double>(span));
+  std::fprintf(out,
+               "event loop: %llu ticks executed, %llu cycles skipped "
+               "(%.1f%%)\n",
+               static_cast<unsigned long long>(r.ticks_executed),
+               static_cast<unsigned long long>(r.cycles_skipped),
+               span == 0 ? 0.0
+                         : 100.0 * static_cast<double>(r.cycles_skipped) /
+                               static_cast<double>(span));
 
   if (opt.dump_stats) {
-    std::printf("%s", r.stats.ToString().c_str());
+    std::fprintf(out, "%s", r.stats.ToString().c_str());
   }
   return 0;
 }
