@@ -14,6 +14,12 @@ tests and the `telemetry-live` CI job:
            the total (the telescoping invariant — regardless of epoch
            width, adaptive resizing, or an early-EOF residual epoch)
 
+Checkpoint-restored runs (header carries `restored_at` + `baseline`):
+the first epoch must begin at `restored_at`, and the telescoping target
+becomes sum(deltas) + baseline[counter] == totals[counter] — the deltas
+cover only post-restore progress while totals are cumulative over the
+whole (original + resumed) run.
+
 Usage:
   redcache_cli --workload LU --telemetry - | scripts/check_telemetry.py
   scripts/check_telemetry.py run.ndjson another.ndjson
@@ -72,6 +78,15 @@ def validate_stream(lines, name="<stdin>"):
                 _require(
                     0 < rec.get("epoch_min", 0) <= rec.get("epoch_max", 0),
                     lineno, "adaptive header needs 0 < epoch_min <= epoch_max")
+            if "restored_at" in rec:
+                _require(isinstance(rec["restored_at"], int)
+                         and rec["restored_at"] >= 0, lineno,
+                         "restored_at must be a non-negative integer")
+                _require(isinstance(rec.get("baseline"), dict), lineno,
+                         "restored header missing baseline object")
+                for counter, value in rec["baseline"].items():
+                    _require(isinstance(value, int), lineno,
+                             f"baseline[{counter!r}] is not an integer")
             header = rec
             continue
 
@@ -86,6 +101,13 @@ def validate_stream(lines, name="<stdin>"):
             if last_end is not None:
                 _require(begin == last_end, lineno,
                          f"gap: begin {begin} != previous end {last_end}")
+            elif "restored_at" in header:
+                # Restored runs resume epoch accounting at the checkpoint
+                # cycle — a first epoch starting anywhere else means the
+                # restore corrupted the epoch telescoping.
+                _require(begin == header["restored_at"], lineno,
+                         f"restored stream's first epoch begins at {begin}, "
+                         f"not restored_at {header['restored_at']}")
             last_end = stop
             for key in ("delta", "derived", "gauges"):
                 _require(isinstance(rec.get(key), dict), lineno,
@@ -109,11 +131,13 @@ def validate_stream(lines, name="<stdin>"):
             totals = rec.get("totals")
             _require(isinstance(totals, dict), lineno,
                      "end record missing totals object")
+            baseline = header.get("baseline", {})
             for counter, total in totals.items():
-                got = sums.get(counter, 0)
+                got = sums.get(counter, 0) + baseline.get(counter, 0)
                 _require(got == total, lineno,
                          f"telescoping broke for {counter!r}: "
-                         f"deltas sum to {got}, total is {total}")
+                         f"deltas{'+baseline' if baseline else ''} sum to "
+                         f"{got}, total is {total}")
             end = rec
         else:
             raise StreamError(lineno, f"unknown record type {kind!r}")
@@ -148,6 +172,9 @@ def print_summary(result):
           f"{mix} preset={header.get('preset', '?')}")
     print(f"  {end['num_epochs']} epochs over {end['exec_cycles']} cycles, "
           f"{result['counters']} counters, telescoping OK")
+    if "restored_at" in header:
+        print(f"  restored at cycle {header['restored_at']}, "
+              f"{len(header.get('baseline', {}))} baseline counters")
     if header.get("adaptive"):
         print(f"  adaptive: band [{header['epoch_min']}, "
               f"{header['epoch_max']}], used "

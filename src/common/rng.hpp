@@ -9,6 +9,8 @@
 #include <array>
 #include <cstdint>
 
+#include "common/serialize.hpp"
+
 namespace redcache {
 
 /// SplitMix64 step; also a good 64-bit mix/hash function.
@@ -74,6 +76,14 @@ class Rng {
   /// Zipf-like rank in [0, n) with exponent `s` (approximate, via inverse
   /// power transform; adequate for workload hot-set skew).
   std::uint64_t Zipf(std::uint64_t n, double s);
+
+  /// Checkpointing: the four xoshiro256** state words are the whole state.
+  void Snapshot(ser::Writer& w) const {
+    for (const std::uint64_t word : s_) w.U64(word);
+  }
+  void Restore(ser::Reader& r) {
+    for (std::uint64_t& word : s_) word = r.U64();
+  }
 
  private:
   static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {

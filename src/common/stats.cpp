@@ -74,18 +74,27 @@ std::uint64_t Histogram::Quantile(double q) const {
   return buckets_.size() * bucket_width_;  // in overflow
 }
 
-void Histogram::RestoreState(std::uint64_t bucket_width,
-                             std::vector<std::uint64_t> buckets,
-                             std::uint64_t overflow,
-                             std::uint64_t total_samples,
-                             std::uint64_t total_weight, double weighted_sum) {
+void Histogram::Snapshot(ser::Writer& w) const {
+  w.Section("hist");
+  w.U64(bucket_width_);
+  w.U64Seq(buckets_);
+  w.U64(overflow_);
+  w.U64(total_samples_);
+  w.U64(total_weight_);
+  w.F64(weighted_sum_);
+}
+
+void Histogram::Restore(ser::Reader& r) {
+  r.Section("hist");
+  const std::uint64_t bucket_width = r.U64();
+  std::vector<std::uint64_t> buckets = r.U64Vec();
   bucket_width_ = bucket_width == 0 ? 1 : bucket_width;
   buckets_ = buckets.empty() ? std::vector<std::uint64_t>(1, 0)
                              : std::move(buckets);
-  overflow_ = overflow;
-  total_samples_ = total_samples;
-  total_weight_ = total_weight;
-  weighted_sum_ = weighted_sum;
+  overflow_ = r.U64();
+  total_samples_ = r.U64();
+  total_weight_ = r.U64();
+  weighted_sum_ = r.F64();
 }
 
 void Histogram::Clear() {
@@ -143,6 +152,35 @@ void StatSet::Absorb(const StatSet& other, const std::string& prefix) {
 void StatSet::Clear() {
   counters_.clear();
   hists_.clear();
+}
+
+void StatSet::Snapshot(ser::Writer& w) const {
+  w.Section("stats");
+  w.U64(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    w.Str(name);
+    w.U64(value);
+  }
+  w.U64(hists_.size());
+  for (const auto& [name, hist] : hists_) {
+    w.Str(name);
+    hist.Snapshot(w);
+  }
+}
+
+void StatSet::Restore(ser::Reader& r) {
+  r.Section("stats");
+  Clear();
+  const std::size_t num_counters = r.SeqLen(16);  // name length + value
+  for (std::size_t i = 0; i < num_counters; ++i) {
+    const std::string name = r.Str();
+    counters_[name] = r.U64();
+  }
+  const std::size_t num_hists = r.SeqLen(16);
+  for (std::size_t i = 0; i < num_hists; ++i) {
+    const std::string name = r.Str();
+    hists_[name].Restore(r);
+  }
 }
 
 std::string StatSet::ToString() const {

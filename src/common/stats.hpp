@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
+
 namespace redcache {
 
 /// Numeric-aware name ordering: digit runs compare by value, so
@@ -36,12 +38,12 @@ class Histogram {
   std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
   double weighted_sum() const { return weighted_sum_; }
 
-  /// Overwrite the full state from previously observed values (cache /
-  /// snapshot restore). `buckets` must be non-empty and `bucket_width` >= 1.
-  void RestoreState(std::uint64_t bucket_width,
-                    std::vector<std::uint64_t> buckets, std::uint64_t overflow,
-                    std::uint64_t total_samples, std::uint64_t total_weight,
-                    double weighted_sum);
+  /// Checkpointing (ser::Checkpointable contract, by value not virtual —
+  /// histograms live in value-typed maps). Restore overwrites the full
+  /// state, including geometry, so a default-constructed histogram restores
+  /// to an exact copy of the snapshotted one.
+  void Snapshot(ser::Writer& w) const;
+  void Restore(ser::Reader& r);
 
   /// Mean of the weighted samples (0 if empty).
   double Mean() const;
@@ -88,6 +90,12 @@ class StatSet {
   void Clear();
 
   std::string ToString() const;
+
+  /// Checkpointing: counters and histograms, in the map's lexicographic
+  /// order (the same order fingerprint hashing depends on).
+  void Snapshot(ser::Writer& w) const;
+  /// Replaces the whole contents with the snapshotted set.
+  void Restore(ser::Reader& r);
 
  private:
   std::map<std::string, std::uint64_t> counters_;

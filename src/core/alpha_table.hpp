@@ -25,10 +25,12 @@
 //    responds monotonically to alpha.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace redcache {
@@ -80,6 +82,63 @@ class AlphaTable {
   std::uint64_t pages_hot() const { return pages_hot_; }
   std::uint64_t retunes_up() const { return retunes_up_; }
   std::uint64_t retunes_down() const { return retunes_down_; }
+
+  /// Checkpointing. The page map is emitted sorted by page id so the blob
+  /// is deterministic regardless of hash-table iteration order.
+  void Snapshot(ser::Writer& w) const {
+    w.Section("alpha");
+    w.U32(alpha_);
+    w.U32(epoch_);
+    // Copy entries out, then sort pairs: one map walk instead of a
+    // lookup per page — the page map is the bulk of a RedCache blob and
+    // sort-ids-then-at() dominated checkpoint capture.
+    std::vector<std::pair<Addr, PageState>> pages(counts_.begin(),
+                                                  counts_.end());
+    std::sort(pages.begin(), pages.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.U64(pages.size());
+    std::uint8_t* p = w.Raw(17 * pages.size());
+    for (const auto& [page, st] : pages) {
+      ser::PutU64(p, page);
+      for (int i = 0; i < 4; ++i) {
+        p[8 + i] = (st.progress >> (8 * i)) & 0xff;
+        p[12 + i] = (st.epoch >> (8 * i)) & 0xff;
+      }
+      p[16] = st.hot ? 1 : 0;
+      p += 17;
+    }
+    w.U64Seq(buffer_tags_);
+    w.U64(lookups_);
+    w.U64(buffer_misses_);
+    w.U64(pages_hot_);
+    w.U64(retunes_up_);
+    w.U64(retunes_down_);
+  }
+  void Restore(ser::Reader& r) {
+    r.Section("alpha");
+    alpha_ = r.U32();
+    epoch_ = r.U32();
+    counts_.clear();
+    const std::size_t n = r.SeqLen(17);
+    counts_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Addr page = r.U64();
+      PageState st;
+      st.progress = r.U32();
+      st.epoch = r.U32();
+      st.hot = r.Bool();
+      counts_.emplace(page, st);
+    }
+    if (r.SeqLen(8) != buffer_tags_.size()) {
+      throw ser::SerializeError("alpha buffer size mismatch");
+    }
+    for (Addr& t : buffer_tags_) t = r.U64();
+    lookups_ = r.U64();
+    buffer_misses_ = r.U64();
+    pages_hot_ = r.U64();
+    retunes_up_ = r.U64();
+    retunes_down_ = r.U64();
+  }
 
  private:
   struct PageState {

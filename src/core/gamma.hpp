@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace redcache {
@@ -87,6 +88,27 @@ class GammaController {
   std::uint64_t steps_up() const { return steps_up_; }
   std::uint64_t steps_down() const { return steps_down_; }
   std::uint64_t premature_invalidations() const { return premature_; }
+
+  void Snapshot(ser::Writer& w) const {
+    w.Section("gamma");
+    w.U32(gamma_);
+    w.U32(down_votes_);
+    w.U64(updates_);
+    w.U64(lifetime_samples_);
+    w.U64(steps_up_);
+    w.U64(steps_down_);
+    w.U64(premature_);
+  }
+  void Restore(ser::Reader& r) {
+    r.Section("gamma");
+    gamma_ = r.U32();
+    down_votes_ = r.U32();
+    updates_ = r.U64();
+    lifetime_samples_ = r.U64();
+    steps_up_ = r.U64();
+    steps_down_ = r.U64();
+    premature_ = r.U64();
+  }
 
  private:
   Params params_;

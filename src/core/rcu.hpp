@@ -18,6 +18,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 #include "dram/address.hpp"
 
@@ -62,6 +63,51 @@ class RcuManager {
   std::uint64_t merged_flushes() const { return merged_flushes_; }
   std::uint64_t idle_flushes() const { return idle_flushes_; }
   std::uint64_t capacity_flushes() const { return capacity_flushes_; }
+
+  static void SnapshotEntry(ser::Writer& w, const Entry& e) {
+    w.U64(e.block);
+    w.U32(e.loc.channel);
+    w.U32(e.loc.rank);
+    w.U32(e.loc.bank);
+    w.U64(e.loc.row);
+    w.U32(e.loc.column);
+  }
+  static Entry RestoreEntry(ser::Reader& r) {
+    Entry e;
+    e.block = r.U64();
+    e.loc.channel = r.U32();
+    e.loc.rank = r.U32();
+    e.loc.bank = r.U32();
+    e.loc.row = r.U64();
+    e.loc.column = r.U32();
+    return e;
+  }
+
+  void Snapshot(ser::Writer& w) const {
+    w.Section("rcu");
+    w.U64(entries_.size());
+    for (const Entry& e : entries_) SnapshotEntry(w, e);
+    w.U64(inserts_);
+    w.U64(updates_in_place_);
+    w.U64(searches_);
+    w.U64(block_hits_);
+    w.U64(merged_flushes_);
+    w.U64(idle_flushes_);
+    w.U64(capacity_flushes_);
+  }
+  void Restore(ser::Reader& r) {
+    r.Section("rcu");
+    entries_.clear();
+    const std::size_t n = r.SeqLen(32);
+    for (std::size_t i = 0; i < n; ++i) entries_.push_back(RestoreEntry(r));
+    inserts_ = r.U64();
+    updates_in_place_ = r.U64();
+    searches_ = r.U64();
+    block_hits_ = r.U64();
+    merged_flushes_ = r.U64();
+    idle_flushes_ = r.U64();
+    capacity_flushes_ = r.U64();
+  }
 
  private:
   std::size_t capacity_;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 #include "dram/request.hpp"
 #include "dram/timing.hpp"
@@ -79,6 +80,14 @@ class DramChannel {
   Cycle EnqueueWake() const {
     return std::min(pending_done_min_, std::max(next_cmd_slot_, sleep_until_));
   }
+
+  /// Checkpointing: timing lanes, the transaction queue with its slot pool
+  /// (slot indices are identity — the continuation test compares them), the
+  /// in-flight data, pacing state and counters. The derived scan state (row
+  /// demand, active-bank set, packed summaries, memoized idle hint) is
+  /// rebuilt from the restored queue.
+  void Snapshot(ser::Writer& w) const;
+  void Restore(ser::Reader& r);
 
  private:
   /// Cold per-transaction state, held in a fixed slot pool (queue_depth

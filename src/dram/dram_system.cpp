@@ -17,6 +17,15 @@ DramSystem::DramSystem(const DramConfig& cfg)
 RequestId DramSystem::Enqueue(Addr addr, bool is_write, Cycle now,
                               std::uint64_t user_tag, std::uint32_t bursts,
                               std::uint16_t tenant) {
+  if (functional_latency_ != 0) {
+    const RequestId id = next_id_++;
+    const Cycle done = now + functional_latency_;
+    func_pending_.push_back(
+        {id, BlockAlign(addr), is_write, done, tenant, user_tag});
+    func_min_ = std::min(func_min_, done);
+    inflight_++;
+    return id;
+  }
   DramRequest req;
   req.id = next_id_++;
   req.addr = BlockAlign(addr);
@@ -38,6 +47,24 @@ RequestId DramSystem::Enqueue(Addr addr, bool is_write, Cycle now,
 }
 
 void DramSystem::Tick(Cycle now) {
+  // Fixed-latency completions (functional mode, or the tail of one after a
+  // restore into detailed timing): stable compacting drain, like a channel's
+  // pending-done pass.
+  if (func_min_ <= now) {
+    std::size_t keep = 0;
+    Cycle next_min = ~Cycle{0};
+    for (std::size_t i = 0; i < func_pending_.size(); ++i) {
+      if (func_pending_[i].done <= now) {
+        completions_.push_back(func_pending_[i]);
+        inflight_--;
+      } else {
+        next_min = std::min(next_min, func_pending_[i].done);
+        func_pending_[keep++] = func_pending_[i];
+      }
+    }
+    func_pending_.resize(keep);
+    func_min_ = next_min;
+  }
   if (wakes_.NoneDue(now)) return;  // nothing can happen yet
   const std::size_t before = completions_.size();
   for (std::size_t c = 0; c < channels_.size(); ++c) {
@@ -49,12 +76,14 @@ void DramSystem::Tick(Cycle now) {
 }
 
 bool DramSystem::Refreshing(Addr addr, Cycle now) const {
+  if (functional_latency_ != 0) return false;
   const DramAddress loc = mapper_.Map(addr);
   return channels_[loc.channel]->RankRefreshing(loc.rank, now);
 }
 
 bool DramSystem::TransactionQueuesEmpty() const {
-  return std::all_of(channels_.begin(), channels_.end(),
+  return func_pending_.empty() &&
+         std::all_of(channels_.begin(), channels_.end(),
                      [](const auto& ch) { return ch->QueueEmpty(); });
 }
 
@@ -108,7 +137,53 @@ Cycle DramSystem::NextEventHint(Cycle now) const {
   // `now` means a not-yet-ticked channel; returning it (<= now) tells the
   // caller to keep visiting, exactly like the old fresh recomputation.
   (void)now;
-  return wakes_.Min();
+  return std::min(func_min_, wakes_.Min());
+}
+
+void DramSystem::Snapshot(ser::Writer& w) const {
+  w.Section("dram");
+  w.U64(next_id_);
+  w.U64(inflight_);
+  auto completion_list = [&w](const std::vector<DramCompletion>& list) {
+    w.U64(list.size());
+    for (const DramCompletion& d : list) {
+      w.U64(d.id);
+      w.U64(d.addr);
+      w.Bool(d.is_write);
+      w.U64(d.done);
+      w.U32(d.tenant);
+      w.U64(d.user_tag);
+    }
+  };
+  completion_list(completions_);
+  completion_list(func_pending_);
+  w.U64(func_min_);
+  for (const auto& ch : channels_) ch->Snapshot(w);
+}
+
+void DramSystem::Restore(ser::Reader& r) {
+  r.Section("dram");
+  next_id_ = r.U64();
+  inflight_ = r.U64();
+  auto completion_list = [&r](std::vector<DramCompletion>& list) {
+    list.clear();
+    const std::size_t n = r.SeqLen(1);
+    for (std::size_t i = 0; i < n; ++i) {
+      DramCompletion d;
+      d.id = r.U64();
+      d.addr = r.U64();
+      d.is_write = r.Bool();
+      d.done = r.U64();
+      d.tenant = static_cast<std::uint16_t>(r.U32());
+      d.user_tag = r.U64();
+      list.push_back(d);
+    }
+  };
+  completion_list(completions_);
+  completion_list(func_pending_);
+  func_min_ = r.U64();
+  for (auto& ch : channels_) ch->Restore(r);
+  wakes_.Reset(channels_.size());  // all due: spurious visits are no-ops
 }
 
 }  // namespace redcache

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "dram/address.hpp"
@@ -31,10 +32,10 @@ class DramSystem {
   std::uint32_t ChannelOf(Addr addr) const { return mapper_.Map(addr).channel; }
 
   bool CanAccept(Addr addr) const {
-    return channels_[ChannelOf(addr)]->CanAccept();
+    return functional_latency_ != 0 || channels_[ChannelOf(addr)]->CanAccept();
   }
   bool ChannelCanAccept(std::uint32_t channel) const {
-    return channels_[channel]->CanAccept();
+    return functional_latency_ != 0 || channels_[channel]->CanAccept();
   }
 
   /// Enqueue a transaction; returns its request id. The caller must have
@@ -87,6 +88,25 @@ class DramSystem {
 
   std::uint64_t inflight() const { return inflight_; }
 
+  /// Functional ("fast-forward") timing for the SMARTS sampler: every
+  /// transaction completes exactly `fixed_latency` cycles after Enqueue,
+  /// bypassing the channel schedulers entirely — queues never fill, refresh
+  /// never blocks. 0 restores detailed timing. Policy/tag state stays warm
+  /// because the owning controller still sees every access; only the device
+  /// timing is approximated, and the FF pass's timing stats are discarded.
+  void SetFunctionalTiming(Cycle fixed_latency) {
+    functional_latency_ = fixed_latency;
+  }
+  bool functional_timing() const { return functional_latency_ != 0; }
+
+  /// Checkpointing: request-id counter, in-flight bookkeeping, any pending
+  /// functional-mode completions and every channel. The per-channel wake
+  /// list is reset to "all due" on restore — a spurious channel visit is a
+  /// provable no-op (DESIGN.md §10) that immediately re-derives the exact
+  /// wake from the restored channel state.
+  void Snapshot(ser::Writer& w) const;
+  void Restore(ser::Reader& r);
+
  private:
   DramConfig cfg_;
   AddressMapper mapper_;
@@ -94,6 +114,14 @@ class DramSystem {
   std::vector<DramCompletion> completions_;
   RequestId next_id_ = 1;
   std::uint64_t inflight_ = 0;
+  /// Functional-mode state: fixed completion latency (0 = detailed) and the
+  /// not-yet-delivered fixed-latency completions, earliest-done memo first.
+  /// A checkpoint taken mid-fast-forward restores these into detailed mode
+  /// as a transient boundary effect (the requests complete at their fixed
+  /// times, then the detailed scheduler takes over).
+  Cycle functional_latency_ = 0;
+  std::vector<DramCompletion> func_pending_;
+  Cycle func_min_ = ~Cycle{0};
   /// Per-channel wake cycles (event core): Tick visits only channels whose
   /// wake is due, and NextEventHint is the stored minimum. A channel's wake
   /// is refreshed from its NextEventHint after every real tick and on

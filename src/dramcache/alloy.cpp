@@ -134,4 +134,28 @@ void AlloyController::ExportOwnStats(StatSet& stats) const {
   stats.Counter("ctrl.resident_lines") = ResidentLines();
 }
 
+void AlloyController::SnapshotPolicy(ser::Writer& w) const {
+  w.Section("alloy");
+  tags_.Snapshot(w);
+  w.U64(hits_);
+  w.U64(misses_);
+  w.U64(read_hits_);
+  w.U64(write_hits_);
+  w.U64(fills_);
+  w.U64(victim_writebacks_);
+  w.U64(evictions_);
+}
+
+void AlloyController::RestorePolicy(ser::Reader& r) {
+  r.Section("alloy");
+  tags_.Restore(r);
+  hits_ = r.U64();
+  misses_ = r.U64();
+  read_hits_ = r.U64();
+  write_hits_ = r.U64();
+  fills_ = r.U64();
+  victim_writebacks_ = r.U64();
+  evictions_ = r.U64();
+}
+
 }  // namespace redcache

@@ -31,6 +31,8 @@ class AlloyController : public ControllerBase {
   void OnDeviceComplete(Txn& txn, bool from_hbm, const DramCompletion& c,
                         Cycle now) override;
   void ExportOwnStats(StatSet& stats) const override;
+  void SnapshotPolicy(ser::Writer& w) const override;
+  void RestorePolicy(ser::Reader& r) override;
 
   /// Install `addr`'s line into its set; evicts (and writes back) the
   /// current occupant if dirty. `dirty` marks the new line.

@@ -38,6 +38,8 @@ class AssocRedCacheController : public ControllerBase {
   Cycle PolicyWake(Cycle now) const override;
   void ExportOwnStats(StatSet& stats) const override;
   void OnColumnCommand(const IssuedColumnCommand& cmd) override;
+  void SnapshotPolicy(ser::Writer& w) const override;
+  void RestorePolicy(ser::Reader& r) override;
 
  private:
   void HandleProbeResult(Txn& txn, const DramCompletion& c, Cycle now);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/bitops.hpp"
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace redcache {
@@ -92,6 +93,35 @@ class AssocTags {
     Line& l = lines_[set * ways_ + way];
     if (l.r_count != 0xff) ++l.r_count;
     return l.r_count;
+  }
+
+  void Snapshot(ser::Writer& w) const {
+    w.Section("atags");
+    w.U64(lines_.size());
+    for (const Line& l : lines_) {
+      w.U64(l.tag);
+      w.U64(l.lru);
+      w.U8(l.r_count);
+      w.Bool(l.valid);
+      w.Bool(l.dirty);
+      w.Bool(l.write_filled);
+    }
+    w.U64(tick_);
+  }
+  void Restore(ser::Reader& r) {
+    r.Section("atags");
+    if (r.SeqLen(20) != lines_.size()) {
+      throw ser::SerializeError("assoc tag store geometry mismatch");
+    }
+    for (Line& l : lines_) {
+      l.tag = r.U64();
+      l.lru = r.U64();
+      l.r_count = r.U8();
+      l.valid = r.Bool();
+      l.dirty = r.Bool();
+      l.write_filled = r.Bool();
+    }
+    tick_ = r.U64();
   }
 
  private:

@@ -31,6 +31,22 @@ class PresenceFilter {
   std::uint64_t checks() const { return checks_; }
   std::uint64_t definite_absences() const { return absences_; }
 
+  void Snapshot(ser::Writer& w) const {
+    w.Section("bloom");
+    w.U8Seq(counters_);
+    w.U64(checks_);
+    w.U64(absences_);
+  }
+  void Restore(ser::Reader& r) {
+    r.Section("bloom");
+    if (r.SeqLen(1) != counters_.size()) {
+      throw ser::SerializeError("presence filter size mismatch");
+    }
+    for (std::uint8_t& c : counters_) c = r.U8();
+    checks_ = r.U64();
+    absences_ = r.U64();
+  }
+
  private:
   std::size_t Slot(Addr line_addr, std::uint32_t i) const;
 
@@ -51,6 +67,8 @@ class BearController : public AlloyController {
   void OnDeviceComplete(Txn& txn, bool from_hbm, const DramCompletion& c,
                         Cycle now) override;
   void ExportOwnStats(StatSet& stats) const override;
+  void SnapshotPolicy(ser::Writer& w) const override;
+  void RestorePolicy(ser::Reader& r) override;
 
  private:
   bool SampledSet(std::uint64_t set) const { return set % 32 == 0; }

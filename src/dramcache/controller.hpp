@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "dram/dram_system.hpp"
@@ -80,6 +81,28 @@ class MemController {
   /// The concrete policy behind any verification decorators (the System
   /// uses this to reach device geometry for the energy model).
   virtual const MemController* underlying() const { return this; }
+
+  /// Checkpointing (common/serialize.hpp). The defaults refuse, so a
+  /// controller that has not opted in — notably the ShadowChecker verify
+  /// decorator, whose full shadow memory image is deliberately not
+  /// serializable — fails a checkpoint request loudly instead of silently
+  /// dropping state. ControllerBase implements the plumbing and gives each
+  /// policy SnapshotPolicy/RestorePolicy hooks for its own state.
+  virtual void Snapshot(ser::Writer& w) const {
+    (void)w;
+    throw ser::SerializeError(std::string("controller \"") + name() +
+                              "\" does not support checkpointing");
+  }
+  virtual void Restore(ser::Reader& r) {
+    (void)r;
+    throw ser::SerializeError(std::string("controller \"") + name() +
+                              "\" does not support checkpointing");
+  }
+
+  /// Switch the owned devices to fixed-latency functional timing (SMARTS
+  /// fast-forward; 0 restores detailed timing). Default: ignore — only
+  /// device-owning controllers have timing to approximate.
+  virtual void SetFunctionalTiming(Cycle /*fixed_latency*/) {}
 };
 
 /// Shared machinery. Subclasses implement StartTxn / OnDeviceComplete.
@@ -112,7 +135,24 @@ class ControllerBase : public MemController, protected ColumnCommandObserver {
   const DramSystem* mainmem() const { return mm_.get(); }
   const MemControllerConfig& config() const { return cfg_; }
 
+  /// Base-layer checkpointing: input queue, transaction pool (slot indices
+  /// are identity — device user_tags reference them), deferred device ops,
+  /// undelivered read completions, both devices, then the policy hooks.
+  void Snapshot(ser::Writer& w) const override;
+  void Restore(ser::Reader& r) override;
+
+  void SetFunctionalTiming(Cycle fixed_latency) override {
+    if (hbm_ != nullptr) hbm_->SetFunctionalTiming(fixed_latency);
+    mm_->SetFunctionalTiming(fixed_latency);
+  }
+
  protected:
+  /// Policy-state checkpoint hooks, called after the base state. A policy
+  /// whose only state is counters still implements these — the differential
+  /// test (tests/sim/checkpoint_test.cpp) runs every registered policy.
+  virtual void SnapshotPolicy(ser::Writer& /*w*/) const {}
+  virtual void RestorePolicy(ser::Reader& /*r*/) {}
+
   struct Txn {
     Addr addr = 0;            ///< demand block address
     std::uint64_t tag = 0;    ///< CPU-side tag (reads only)

@@ -119,4 +119,38 @@ void FootprintCacheController::ExportOwnStats(StatSet& stats) const {
   stats.Counter("ctrl.dirty_blocks_written_back") = dirty_blocks_written_back_;
 }
 
+void FootprintCacheController::SnapshotPolicy(ser::Writer& w) const {
+  w.Section("fp");
+  w.U64(pages_.size());
+  for (const PageEntry& e : pages_) {
+    w.U64(e.tag);
+    w.U64(e.present);
+    w.U64(e.dirty);
+    w.Bool(e.valid);
+  }
+  w.U64(block_hits_);
+  w.U64(block_misses_);
+  w.U64(page_misses_);
+  w.U64(page_evictions_);
+  w.U64(dirty_blocks_written_back_);
+}
+
+void FootprintCacheController::RestorePolicy(ser::Reader& r) {
+  r.Section("fp");
+  if (r.SeqLen(25) != pages_.size()) {
+    throw ser::SerializeError("footprint page table size mismatch");
+  }
+  for (PageEntry& e : pages_) {
+    e.tag = r.U64();
+    e.present = r.U64();
+    e.dirty = r.U64();
+    e.valid = r.Bool();
+  }
+  block_hits_ = r.U64();
+  block_misses_ = r.U64();
+  page_misses_ = r.U64();
+  page_evictions_ = r.U64();
+  dirty_blocks_written_back_ = r.U64();
+}
+
 }  // namespace redcache

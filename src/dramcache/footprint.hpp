@@ -29,6 +29,8 @@ class FootprintCacheController : public ControllerBase {
   void OnDeviceComplete(Txn& txn, bool from_hbm, const DramCompletion& c,
                         Cycle now) override;
   void ExportOwnStats(StatSet& stats) const override;
+  void SnapshotPolicy(ser::Writer& w) const override;
+  void RestorePolicy(ser::Reader& r) override;
 
  private:
   struct PageEntry {

@@ -513,4 +513,70 @@ void RedCacheController::ExportOwnStats(StatSet& stats) const {
       rcu_.idle_flushes() + rcu_.capacity_flushes();
 }
 
+void RedCacheController::SnapshotPolicy(ser::Writer& w) const {
+  w.Section("redc");
+  tags_.Snapshot(w);
+  alpha_.Snapshot(w);
+  gamma_.Snapshot(w);
+  rcu_.Snapshot(w);
+  w.U64(pending_rcu_flushes_.size());
+  for (const RcuManager::Entry& e : pending_rcu_flushes_) {
+    RcuManager::SnapshotEntry(w, e);
+  }
+  w.U64(epoch_request_count_);
+  w.U64(epoch_departures_);
+  w.U64(epoch_dead_departures_);
+  w.U64Seq(recent_invalidations_);
+  w.U64(hits_);
+  w.U64(misses_);
+  w.U64(read_hits_);
+  w.U64(write_hits_);
+  w.U64(fills_);
+  w.U64(victim_writebacks_);
+  w.U64(departures_);
+  w.U64(alpha_bypasses_);
+  w.U64(refresh_bypasses_);
+  w.U64(gamma_invalidations_);
+  w.U64(dirty_miss_bypasses_);
+  w.U64(write_miss_bypasses_);
+  w.U64(rcu_served_reads_);
+  w.U64(immediate_updates_);
+  w.U64(insitu_updates_);
+}
+
+void RedCacheController::RestorePolicy(ser::Reader& r) {
+  r.Section("redc");
+  tags_.Restore(r);
+  alpha_.Restore(r);
+  gamma_.Restore(r);
+  rcu_.Restore(r);
+  pending_rcu_flushes_.clear();
+  const std::size_t n = r.SeqLen(32);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending_rcu_flushes_.push_back(RcuManager::RestoreEntry(r));
+  }
+  epoch_request_count_ = r.U64();
+  epoch_departures_ = r.U64();
+  epoch_dead_departures_ = r.U64();
+  if (r.SeqLen(8) != recent_invalidations_.size()) {
+    throw ser::SerializeError("invalidation signature size mismatch");
+  }
+  for (Addr& a : recent_invalidations_) a = r.U64();
+  hits_ = r.U64();
+  misses_ = r.U64();
+  read_hits_ = r.U64();
+  write_hits_ = r.U64();
+  fills_ = r.U64();
+  victim_writebacks_ = r.U64();
+  departures_ = r.U64();
+  alpha_bypasses_ = r.U64();
+  refresh_bypasses_ = r.U64();
+  gamma_invalidations_ = r.U64();
+  dirty_miss_bypasses_ = r.U64();
+  write_miss_bypasses_ = r.U64();
+  rcu_served_reads_ = r.U64();
+  immediate_updates_ = r.U64();
+  insitu_updates_ = r.U64();
+}
+
 }  // namespace redcache

@@ -100,6 +100,8 @@ class RedCacheController : public ControllerBase {
   Cycle PolicyWake(Cycle now) const override;
   void ExportOwnStats(StatSet& stats) const override;
   void OnColumnCommand(const IssuedColumnCommand& cmd) override;
+  void SnapshotPolicy(ser::Writer& w) const override;
+  void RestorePolicy(ser::Reader& r) override;
 
  public:
   void SampleTelemetry(StatSet& out) const override;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/bitops.hpp"
+#include "common/serialize.hpp"
 #include "common/types.hpp"
 
 namespace redcache {
@@ -70,6 +71,36 @@ class DirectMappedTags {
     Line& l = lines_[set];
     if (l.r_count != 0xff) ++l.r_count;
     return l.r_count;
+  }
+
+  void Snapshot(ser::Writer& w) const {
+    w.Section("dmtags");
+    w.U64(lines_.size());
+    // 12-byte records via a bulk span — see sram/cache.hpp.
+    std::uint8_t* p = w.Raw(12 * lines_.size());
+    for (const Line& l : lines_) {
+      ser::PutU64(p, l.tag);
+      p[8] = l.r_count;
+      p[9] = l.valid ? 1 : 0;
+      p[10] = l.dirty ? 1 : 0;
+      p[11] = l.write_filled ? 1 : 0;
+      p += 12;
+    }
+  }
+  void Restore(ser::Reader& r) {
+    r.Section("dmtags");
+    if (r.SeqLen(12) != lines_.size()) {
+      throw ser::SerializeError("tag store geometry mismatch");
+    }
+    const std::uint8_t* p = r.Raw(12 * lines_.size());
+    for (Line& l : lines_) {
+      l.tag = ser::GetU64(p);
+      l.r_count = p[8];
+      l.valid = p[9] != 0;
+      l.dirty = p[10] != 0;
+      l.write_filled = p[11] != 0;
+      p += 12;
+    }
   }
 
  private:

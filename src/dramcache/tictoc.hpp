@@ -39,6 +39,8 @@ class TicTocController : public AlloyController {
   void OnDeviceComplete(Txn& txn, bool from_hbm, const DramCompletion& c,
                         Cycle now) override;
   void ExportOwnStats(StatSet& stats) const override;
+  void SnapshotPolicy(ser::Writer& w) const override;
+  void RestorePolicy(ser::Reader& r) override;
 
  private:
   /// Requests per bandwidth-observation window.

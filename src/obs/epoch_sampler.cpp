@@ -146,6 +146,22 @@ void EpochSampler::SetSink(TelemetrySink* sink, bool retain_epochs) {
   retain_ = retain_epochs;
 }
 
+void EpochSampler::SeedBaseline(Cycle at, const StatSet& cumulative) {
+  restored_ = true;
+  restored_at_ = at;
+  // Epoch boundaries resume from the restored cycle, not the nominal grid:
+  // a restore under different epoch settings must not fabricate a giant
+  // first epoch spanning [0, at) or a burst of degenerate ones.
+  last_sample_ = at;
+  next_due_ = at + epoch_cycles_;
+  baseline_.clear();
+  for (const auto& [name, value] : cumulative.counters()) {
+    if (IsGauge(name)) continue;
+    baseline_[name] = value;
+    prev_[name] = value;
+  }
+}
+
 void EpochSampler::Record(Cycle now, const StatSet& cumulative) {
   EpochRecord rec;
   rec.begin = last_sample_;

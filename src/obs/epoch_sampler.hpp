@@ -119,6 +119,23 @@ class EpochSampler {
   /// re-derives the same wake; it cannot perturb simulation state).
   Cycle next_due() const { return next_due_; }
 
+  /// Seed the telescoping baseline after a checkpoint restore. Epoch
+  /// accounting resumes at `at` (the restored cycle): the first epoch
+  /// begins there instead of 0, and `cumulative` — the restored run's
+  /// counters as of `at` — becomes the carried baseline, so the first
+  /// epoch's deltas measure only post-restore progress. The telescoping
+  /// invariant then reads: sum(deltas) + baseline == final totals, with
+  /// the baseline published in the NDJSON header for validators
+  /// (scripts/check_telemetry.py). Must be called before the first Sample.
+  void SeedBaseline(Cycle at, const StatSet& cumulative);
+  bool restored() const { return restored_; }
+  Cycle restored_at() const { return restored_at_; }
+  /// Pre-restore cumulative value of every non-gauge counter (empty unless
+  /// SeedBaseline was called).
+  const std::map<std::string, std::uint64_t>& baseline() const {
+    return baseline_;
+  }
+
   /// Record the epoch ending at `now` from the cumulative snapshot.
   void Sample(Cycle now, const StatSet& cumulative);
 
@@ -148,6 +165,9 @@ class EpochSampler {
   Cycle epoch_cycles_;
   Cycle next_due_;
   Cycle last_sample_ = 0;
+  bool restored_ = false;
+  Cycle restored_at_ = 0;
+  std::map<std::string, std::uint64_t> baseline_;
   Cycle min_width_used_;
   Cycle max_width_used_;
   bool retain_ = true;

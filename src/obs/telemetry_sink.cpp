@@ -115,6 +115,19 @@ std::string NdjsonHeaderLine(const TelemetryMeta& meta,
     os << ",\"epoch_min\":" << cfg.min_cycles
        << ",\"epoch_max\":" << cfg.max_cycles;
   }
+  // Present only for checkpoint-restored runs: where epoch accounting
+  // resumes, and the pre-restore cumulative counters the deltas exclude.
+  // Validators check sum(deltas) + baseline == the end record's totals.
+  if (sampler.restored()) {
+    os << ",\"restored_at\":" << sampler.restored_at() << ",\"baseline\":{";
+    bool first = true;
+    for (const auto& [name, value] : sampler.baseline()) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << JsonEscape(name) << "\":" << value;
+    }
+    os << "}";
+  }
   os << "}";
   return os.str();
 }

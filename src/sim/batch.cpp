@@ -9,12 +9,14 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <tuple>
 #include <utility>
 
+#include "common/serialize.hpp"
 #include "energy/model.hpp"
 #include "obs/json.hpp"
 
@@ -96,10 +98,6 @@ std::uint64_t PresetFieldHash(const SimPreset& p) {
   return FnvU64(h, p.mem.line_blocks);
 }
 
-// Bump when the cache file format or the canary definition changes.
-// v2: per-workload canaries, histogram serialization, seed/max_cycles in key.
-constexpr std::uint64_t kCacheFormatVersion = 2;
-
 // ---------------------------------------------------------------------------
 // Progress reporting.
 
@@ -131,95 +129,50 @@ std::string HexU64(std::uint64_t v) {
 }
 
 // ---------------------------------------------------------------------------
-// Disk cache (text format, one file per cell):
-//   fingerprint <hex>
-//   exec_cycles <n>
-//   counters <k>
-//   <counter name> <value>            (k lines)
-//   hists <m>
-//   <hist name> <bucket_width> <num_buckets> <overflow> <total_samples>
-//       <total_weight> <weighted_sum as hex double bits>
-//   <bucket 0> ... <bucket num_buckets-1>
-//   (two lines per histogram, m times)
-// A fingerprint mismatch (including entries written by an older format
-// version — the version feeds the fingerprint) is treated as a miss; the
-// entry is overwritten after re-simulation. Energy is not stored: it is
-// derived from counters and recomputed on load.
-
-std::uint64_t DoubleBits(double d) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(d));
-  std::memcpy(&bits, &d, sizeof(bits));
-  return bits;
-}
-
-double DoubleFromBits(std::uint64_t bits) {
-  double d = 0;
-  std::memcpy(&d, &bits, sizeof(d));
-  return d;
-}
+// Disk cache (binary, format v3, one ".stats" file per cell). Shares the
+// checkpoint serializer: a self-describing header (section tag, format
+// version, behavioral fingerprint) followed by exec_cycles and the full
+// StatSet via StatSet::Snapshot — the hand-rolled text histogram encoding
+// is gone. ANY malformed byte (truncation, corruption, a stale version, a
+// section-tag mismatch) throws ser::SerializeError inside LoadCached and
+// is treated as a plain miss; the entry is overwritten after
+// re-simulation. Energy is not stored: it is derived from counters and
+// recomputed on load.
 
 bool LoadCached(const std::string& path, std::uint64_t fingerprint,
                 RunResult& out) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return false;
-  std::string name;
-  std::string fp_hex;
-  if (!(in >> name >> fp_hex) || name != "fingerprint") return false;
-  if (fp_hex != HexU64(fingerprint)) return false;
-  std::uint64_t value = 0;
-  if (!(in >> name >> value) || name != "exec_cycles") return false;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  try {
+    ser::Reader r(bytes);
+    r.Section("rcache");
+    if (r.U64() != kCacheFormatVersion) return false;
+    if (r.U64() != fingerprint) return false;
+    out.exec_cycles = r.U64();
+    out.stats.Restore(r);
+    r.ExpectEnd();
+  } catch (const ser::SerializeError&) {
+    return false;  // corrupt or truncated entry == miss
+  }
   out.completed = true;
-  out.exec_cycles = value;
-  std::size_t num_counters = 0;
-  if (!(in >> name >> num_counters) || name != "counters") return false;
-  for (std::size_t i = 0; i < num_counters; ++i) {
-    if (!(in >> name >> value)) return false;
-    out.stats.Counter(name) = value;
-  }
-  std::size_t num_hists = 0;
-  if (!(in >> name >> num_hists) || name != "hists") return false;
-  for (std::size_t i = 0; i < num_hists; ++i) {
-    std::uint64_t bucket_width = 0, overflow = 0, samples = 0, weight = 0;
-    std::size_t num_buckets = 0;
-    std::string sum_hex;
-    if (!(in >> name >> bucket_width >> num_buckets >> overflow >> samples >>
-          weight >> sum_hex)) {
-      return false;
-    }
-    if (bucket_width == 0 || num_buckets == 0) return false;
-    std::vector<std::uint64_t> buckets(num_buckets);
-    for (auto& b : buckets) {
-      if (!(in >> b)) return false;
-    }
-    const std::uint64_t sum_bits =
-        std::strtoull(sum_hex.c_str(), nullptr, 16);
-    out.stats.Hist(name, bucket_width, num_buckets)
-        .RestoreState(bucket_width, std::move(buckets), overflow, samples,
-                      weight, DoubleFromBits(sum_bits));
-  }
   return true;
 }
 
 void SaveCached(const std::string& path, std::uint64_t fingerprint,
                 const RunResult& r) {
-  std::ofstream out(path);
+  ser::Writer w;
+  w.Section("rcache");
+  w.U64(kCacheFormatVersion);
+  w.U64(fingerprint);
+  w.U64(r.exec_cycles);
+  r.stats.Snapshot(w);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return;
-  out << "fingerprint " << HexU64(fingerprint) << '\n';
-  out << "exec_cycles " << r.exec_cycles << '\n';
-  out << "counters " << r.stats.counters().size() << '\n';
-  for (const auto& [name, value] : r.stats.counters()) {
-    out << name << ' ' << value << '\n';
-  }
-  out << "hists " << r.stats.hists().size() << '\n';
-  for (const auto& [name, h] : r.stats.hists()) {
-    out << name << ' ' << h.bucket_width() << ' ' << h.num_buckets() << ' '
-        << h.overflow() << ' ' << h.total_samples() << ' ' << h.total_weight()
-        << ' ' << HexU64(DoubleBits(h.weighted_sum())) << '\n';
-    for (std::size_t i = 0; i < h.num_buckets(); ++i) {
-      out << h.bucket(i) << (i + 1 == h.num_buckets() ? '\n' : ' ');
-    }
-  }
+  const auto& buf = w.buffer();
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
 }
 
 // Shared worker-pool driver: runs task(0..n-1) with results keyed by index,
@@ -503,9 +456,11 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile) {
     profile->arch = PolicyNameOf(cell.spec);
     profile->workload = cell.spec.workload;
   }
-  // Serve cells replay an external stream whose content no key covers:
-  // never memoize or disk-cache them.
-  if (!cell.spec.serve_path.empty()) {
+  // Serve cells replay an external stream whose content no key covers, and
+  // restored/checkpointing cells depend on (or produce) blob files outside
+  // any key: never memoize or disk-cache either.
+  if (!cell.spec.serve_path.empty() || !cell.spec.restore_path.empty() ||
+      !cell.spec.checkpoint_path.empty()) {
     const auto t_sim = std::chrono::steady_clock::now();
     RunResult result = RunOne(cell.spec);
     if (profile != nullptr) {
@@ -681,6 +636,15 @@ std::string BatchReportJson(const BatchReport& report) {
     if (!c.telemetry_path.empty()) {
       out += ",\"telemetry\":\"" + obs::JsonEscape(c.telemetry_path) + "\"";
       out += ",\"telemetry_epochs\":" + std::to_string(c.telemetry_epochs);
+    }
+    // Sampling quality: present only for sampled cells, so full-detail
+    // reports serialize byte-identically to pre-sampling builds.
+    if (c.sampled) {
+      out += ",\"sampled\":true";
+      out += ",\"sampling_intervals\":" + std::to_string(c.sampling_intervals);
+      std::snprintf(buf, sizeof(buf), ",\"sampling_ci_pct\":%.4f",
+                    c.sampling_ci_pct);
+      out += buf;
     }
     // Per-tenant QoS rows: present only for mix cells, so single-tenant
     // reports serialize byte-identically to pre-mix builds.

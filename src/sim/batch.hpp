@@ -52,6 +52,11 @@ struct CellProfile {
   /// BatchOptions::telemetry_dir — cache hits carry no telemetry.
   std::string telemetry_path;
   std::uint64_t telemetry_epochs = 0;
+  /// SMARTS sampled-execution quality (sim/sampling.hpp): set only when
+  /// the cell ran sampled, so plain reports serialize byte-identically.
+  bool sampled = false;
+  std::uint64_t sampling_intervals = 0;
+  double sampling_ci_pct = 0.0;  ///< 95% CI half-width, % of the estimate
 };
 
 /// Aggregated profile of one RunCells invocation.
@@ -144,6 +149,13 @@ RunResult RunCellCached(const CellSpec& cell, CellProfile* profile);
 /// their total size is <= max_bytes. No-op when already within bound.
 /// Exposed for tests; RunCellCached calls it after each store.
 void EnforceDiskCacheBound(const std::string& dir, std::uint64_t max_bytes);
+
+/// On-disk cache entry format version; feeds SimFingerprint so bumping it
+/// invalidates every existing entry.
+/// v2: per-workload canaries, histogram serialization, seed/max_cycles in key.
+/// v3: binary via the common serializer (ser::Writer/Reader); the hand-rolled
+///     text histogram format is retired and stats use StatSet::Snapshot.
+constexpr std::uint64_t kCacheFormatVersion = 3;
 
 /// RunBatch over cells with memo + disk cache; duplicate keys (shared
 /// baselines) simulate once. `results[i]` corresponds to `cells[i]`.

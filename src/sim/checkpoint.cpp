@@ -1,0 +1,144 @@
+#include "sim/checkpoint.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/batch.hpp"
+
+namespace redcache::ckpt {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'K', 'P'};
+
+/// Payload checksum — magic+version+checksum precede it, the checksum
+/// covers everything after itself (spec key, cycle, full state), so any
+/// flipped bit in a blob is rejected deterministically instead of
+/// depending on a section tag happening to misalign. FNV-1a folded over
+/// 8-byte little-endian words (byte-wise tail): blobs are megabytes and
+/// sampled runs checksum dozens of them, so the byte-serial variant was
+/// measurable in capture time. Not standard FNV, but self-consistent.
+std::uint64_t Fnv64(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    h ^= ser::GetU64(p + i);
+    h *= 1099511628211ull;
+  }
+  for (; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Reads magic + version + stored payload checksum; leaves the reader
+/// positioned at the payload (spec_key, cycle, state).
+std::uint64_t ReadPreamble(ser::Reader& r) {
+  for (const char c : kMagic) {
+    if (r.U8() != static_cast<std::uint8_t>(c)) {
+      throw ser::SerializeError("not a checkpoint file (bad magic)");
+    }
+  }
+  const std::uint32_t version = r.U32();
+  if (version != kCheckpointVersion) {
+    throw ser::SerializeError(
+        "checkpoint format v" + std::to_string(version) +
+        " is not supported (expected v" + std::to_string(kCheckpointVersion) +
+        ")");
+  }
+  return r.U64();
+}
+
+CheckpointMeta ReadMeta(ser::Reader& r) {
+  CheckpointMeta meta;
+  meta.version = kCheckpointVersion;
+  meta.spec_key = r.Str();
+  meta.cycle = r.U64();
+  return meta;
+}
+
+}  // namespace
+
+std::string SpecKeyOf(const RunSpec& spec) {
+  return CellKey(CellSpec{spec, /*variant=*/""});
+}
+
+std::string Capture(const System& sys, Cycle now,
+                    const std::string& spec_key) {
+  // Blob sizes are stable across captures of the same run, so remember the
+  // last payload size as the reserve hint — sampled runs capture dozens of
+  // megabyte-scale blobs and growth reallocations dominated without it.
+  static std::atomic<std::size_t> size_hint{1 << 16};
+
+  ser::Writer w;
+  w.Reserve(size_hint.load(std::memory_order_relaxed) + 1024);
+  for (const char c : kMagic) w.U8(static_cast<std::uint8_t>(c));
+  w.U32(kCheckpointVersion);
+  const std::size_t checksum_off = w.buffer().size();
+  w.U64(0);  // checksum placeholder, patched below
+  const std::size_t payload_off = w.buffer().size();
+  w.Str(spec_key);
+  w.U64(now);
+  sys.Snapshot(w, now);
+  w.PatchU64(checksum_off, Fnv64(w.buffer().data() + payload_off,
+                                 w.buffer().size() - payload_off));
+  size_hint.store(w.buffer().size(), std::memory_order_relaxed);
+  return w.TakeString();
+}
+
+CheckpointMeta PeekMeta(const std::string& blob) {
+  ser::Reader r(blob);
+  ReadPreamble(r);  // Peek does not pay for a full-payload checksum walk.
+  return ReadMeta(r);
+}
+
+CheckpointMeta RestoreInto(System& sys, const std::string& blob,
+                           const std::string& spec_key) {
+  ser::Reader r(blob);
+  const std::uint64_t stored = ReadPreamble(r);
+  const std::size_t payload_off = blob.size() - r.remaining();
+  const std::uint64_t actual =
+      Fnv64(reinterpret_cast<const std::uint8_t*>(blob.data()) + payload_off,
+            blob.size() - payload_off);
+  if (actual != stored) {
+    throw ser::SerializeError("checkpoint payload checksum mismatch "
+                              "(file is corrupt)");
+  }
+  const CheckpointMeta meta = ReadMeta(r);
+  if (meta.spec_key != spec_key) {
+    throw ser::SerializeError(
+        "checkpoint was captured for a different run configuration\n"
+        "  checkpoint: " +
+        meta.spec_key + "\n  this run:   " + spec_key);
+  }
+  sys.Restore(r);
+  r.ExpectEnd();
+  return meta;
+}
+
+void SaveFile(const std::string& path, const std::string& blob) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open checkpoint file for writing: " +
+                             path);
+  }
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) {
+    throw std::runtime_error("short write to checkpoint file: " + path);
+  }
+}
+
+std::string LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open checkpoint file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace redcache::ckpt

@@ -6,6 +6,7 @@
 
 #include "dramcache/policy_registry.hpp"
 #include "obs/telemetry_sink.hpp"
+#include "sim/checkpoint.hpp"
 #include "tenant/accounting.hpp"
 #include "tenant/mix_trace.hpp"
 #include "tenant/stream_trace.hpp"
@@ -112,14 +113,39 @@ obs::TelemetryMeta TelemetryMetaOf(const RunSpec& spec) {
 
 RunResult RunOne(const RunSpec& spec) {
   auto system = BuildSystem(spec);
+  // Checkpoint blobs are keyed by the spec's CellKey, so a blob can never
+  // restore into a run built from different inputs.
+  std::string spec_key;
+  if (!spec.checkpoint_path.empty() || !spec.restore_path.empty()) {
+    spec_key = ckpt::SpecKeyOf(spec);
+  }
+  if (!spec.restore_path.empty()) {
+    ckpt::RestoreInto(*system, ckpt::LoadFile(spec.restore_path), spec_key);
+  }
   std::unique_ptr<obs::TelemetrySession> telemetry;
   obs::TelemetryMeta meta;
   if (!spec.telemetry_path.empty()) {
     telemetry = std::make_unique<obs::TelemetrySession>(
         spec.telemetry_path, spec.epoch, spec.preset.telemetry_epoch_cycles);
     meta = TelemetryMetaOf(spec);
+    if (!spec.restore_path.empty()) {
+      // Seed the telescoping baseline BEFORE Begin, so the NDJSON header
+      // carries restored_at + the pre-restore cumulative counters and the
+      // validator's sum(deltas) + baseline == totals check holds whatever
+      // epoch settings the resumed run uses.
+      const Cycle at = system->resume_cycle();
+      telemetry->sampler().SeedBaseline(at, system->CumulativeStats(at));
+    }
     system->SetTelemetry(&telemetry->sampler());
     telemetry->Begin(meta);
+  }
+  if (!spec.checkpoint_path.empty()) {
+    System* sys = system.get();
+    const std::string path = spec.checkpoint_path;
+    system->SetCheckpointHook(
+        spec.checkpoint_at, /*every=*/0, [sys, path, spec_key](Cycle now) {
+          ckpt::SaveFile(path, ckpt::Capture(*sys, now, spec_key));
+        });
   }
   RunResult result = system->Run(spec.max_cycles);
   if (telemetry != nullptr) {

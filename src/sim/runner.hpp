@@ -56,6 +56,17 @@ struct RunSpec {
   /// Epoch pacing for `telemetry_path` (fixed width or adaptive band);
   /// default uses the preset's telemetry_epoch_cycles.
   obs::EpochSpec epoch;
+  /// Checkpoint/restore (DESIGN.md section 15). When `checkpoint_path` is
+  /// set, RunOne writes a checkpoint blob there at the first event-loop
+  /// visit at or after cycle `checkpoint_at` (the loop clamps skip-ahead so
+  /// that visit lands exactly on the cycle). When `restore_path` is set,
+  /// the freshly built System restores from that blob before running and
+  /// resumes at the checkpointed cycle; a blob from a different spec is
+  /// rejected. Both are excluded from cache keys (a restored run is never
+  /// batch-cached; see RunCellCached).
+  std::string checkpoint_path;
+  Cycle checkpoint_at = 0;
+  std::string restore_path;
 };
 
 /// `scale` combined with the REDCACHE_REFS_SCALE environment variable.

@@ -23,6 +23,9 @@ System::System(const HierarchyConfig& hierarchy_cfg,
     cores_.push_back(std::make_unique<Core>(c, core_params, trace_.get(),
                                             &hierarchy_, port, seed));
   }
+  hints_.assign(cores_.size(), 0);
+  // A core is re-polled when its hint comes due or a completion arrived.
+  poll_.assign(cores_.size(), 1);
 }
 
 void System::SetTenantAccounting(
@@ -50,20 +53,27 @@ void System::SubmitWriteback(Addr addr, Cycle now) {
 RunResult System::Run(Cycle max_cycles) {
   RunResult result;
   const bool no_skip = NoSkipRequested();
-  Cycle now = 0;
-  std::vector<Cycle> hints(cores_.size(), 0);
-  // A core is re-polled when its hint comes due or a completion arrived.
-  std::vector<char> poll(cores_.size(), 1);
-
-  // The controller's stored wake: the value its last Tick returned. Between
-  // visits the controller is quiescent unless new input arrives, so ticking
-  // it strictly before `ctrl_wake` with `input_submitted_` clear would be a
-  // provable no-op (DESIGN.md section 10) and is skipped.
-  Cycle ctrl_wake = 0;
-  ticks_executed_ = 0;
-  cycles_skipped_ = 0;
+  // The pacing state (hints_/poll_/ctrl_wake_) lives in members so that a
+  // checkpoint captures it: the controller's stored wake is the value its
+  // last Tick returned — between visits it is quiescent unless new input
+  // arrives, so ticking it strictly before `ctrl_wake_` with
+  // `input_submitted_` clear would be a provable no-op (DESIGN.md section
+  // 10) and is skipped. A core's hint can be a backpressure retry
+  // (now + retry_interval), which no component re-derives on its own.
+  Cycle now = resume_now_;
+  if (!resumed_) {
+    ticks_executed_ = 0;
+    cycles_skipped_ = 0;
+  }
 
   while (now <= max_cycles) {
+    // Checkpoint emission happens before anything else in the iteration:
+    // every component is at a cycle boundary and the loop state above is
+    // exactly what Restore needs to re-enter here.
+    if (ckpt_hook_ && now >= ckpt_next_) {
+      ckpt_hook_(now);
+      ckpt_next_ = ckpt_every_ == 0 ? ~Cycle{0} : ckpt_next_ + ckpt_every_;
+    }
     ticks_executed_++;
     // Telemetry epoch boundary (single predictable branch when detached).
     // Time jumps are clamped to the next boundary below, so this samples
@@ -79,8 +89,8 @@ RunResult System::Run(Cycle max_cycles) {
       input_submitted_ = true;
     }
 
-    if (input_submitted_ || now >= ctrl_wake) {
-      ctrl_wake = controller_->Tick(now);
+    if (input_submitted_ || now >= ctrl_wake_) {
+      ctrl_wake_ = controller_->Tick(now);
       input_submitted_ = false;
     }
 
@@ -89,7 +99,7 @@ RunResult System::Run(Cycle max_cycles) {
       const auto core = static_cast<std::uint32_t>(c.tag >> 48);
       assert(core < cores_.size());
       cores_[core]->OnMemComplete(c.tag, std::max(now, c.done));
-      poll[core] = 1;
+      poll_[core] = 1;
     }
     completions.clear();
 
@@ -97,20 +107,20 @@ RunResult System::Run(Cycle max_cycles) {
     Cycle next = Core::kWaiting;
     for (std::size_t i = 0; i < cores_.size(); ++i) {
       if (cores_[i]->Finished()) continue;
-      if (poll[i] == 0 && hints[i] > now) {
+      if (poll_[i] == 0 && hints_[i] > now) {
         all_done = false;
-        next = std::min(next, hints[i]);
+        next = std::min(next, hints_[i]);
         continue;
       }
-      hints[i] = cores_[i]->Progress(now);
-      poll[i] = 0;
+      hints_[i] = cores_[i]->Progress(now);
+      poll_[i] = 0;
       // Re-check after Progress: a core that retired its last reference this
       // visit must not hold the loop open, or the exit test only passes one
       // visit later — which under skip-ahead can be a refresh interval away
       // and inflates exec_cycles past the true quiesce point.
       if (cores_[i]->Finished()) continue;
       all_done = false;
-      next = std::min(next, hints[i]);
+      next = std::min(next, hints_[i]);
     }
 
     if (all_done && wb_queue_.empty() && controller_->Idle()) {
@@ -122,7 +132,7 @@ RunResult System::Run(Cycle max_cycles) {
     // predates that input, so ask for a fresh hint; otherwise the stored
     // wake is already exact.
     Cycle ctrl_next =
-        input_submitted_ ? controller_->NextEventHint(now) : ctrl_wake;
+        input_submitted_ ? controller_->NextEventHint(now) : ctrl_wake_;
     if (!wb_queue_.empty()) ctrl_next = std::min(ctrl_next, now + 1);
     next = std::min(next, ctrl_next);
     if (next == Core::kWaiting) {
@@ -135,6 +145,13 @@ RunResult System::Run(Cycle max_cycles) {
     // pacing, so attaching telemetry cannot perturb simulation state.
     if (telemetry_ != nullptr && target > telemetry_->next_due()) {
       target = std::max(now + 1, telemetry_->next_due());
+    }
+    // Same clamping for checkpoint emission: land exactly on the due
+    // cycle so the hook fires at the boundary it was scheduled for. The
+    // extra (no-op) visits only move ticks_executed_, which lives outside
+    // result.stats — enabling checkpoints never changes reported stats.
+    if (ckpt_hook_ && target > ckpt_next_) {
+      target = std::max(now + 1, ckpt_next_);
     }
     cycles_skipped_ += target - now - 1;
     now = target;
@@ -172,6 +189,59 @@ RunResult System::Run(Cycle max_cycles) {
       result.stats, finish, static_cast<std::uint32_t>(cores_.size()),
       hbm_channels, ddr_channels);
   return result;
+}
+
+void System::Snapshot(ser::Writer& w, Cycle now) const {
+  w.Section("sys");
+  w.U64(now);
+  w.U64(ticks_executed_);
+  w.U64(cycles_skipped_);
+  w.Bool(input_submitted_);
+  w.U64(ctrl_wake_);
+  w.U64Seq(hints_);
+  w.U8Seq(poll_);
+  w.U64Seq(wb_queue_);
+  hierarchy_.Snapshot(w);
+  w.U64(cores_.size());
+  for (const auto& c : cores_) c->Snapshot(w);
+  trace_->Snapshot(w);
+  controller_->Snapshot(w);
+  w.Bool(tenant_acct_ != nullptr);
+  if (tenant_acct_ != nullptr) tenant_acct_->Snapshot(w);
+}
+
+void System::Restore(ser::Reader& r) {
+  r.Section("sys");
+  resume_now_ = r.U64();
+  ticks_executed_ = r.U64();
+  cycles_skipped_ = r.U64();
+  input_submitted_ = r.Bool();
+  ctrl_wake_ = r.U64();
+  if (r.SeqLen(8) != hints_.size()) {
+    throw ser::SerializeError("checkpoint core count mismatch");
+  }
+  for (Cycle& h : hints_) h = r.U64();
+  if (r.SeqLen(1) != poll_.size()) {
+    throw ser::SerializeError("checkpoint core count mismatch");
+  }
+  for (char& p : poll_) p = static_cast<char>(r.U8());
+  wb_queue_.clear();
+  const std::size_t n_wb = r.SeqLen(8);
+  for (std::size_t i = 0; i < n_wb; ++i) wb_queue_.push_back(r.U64());
+  hierarchy_.Restore(r);
+  if (r.U64() != cores_.size()) {
+    throw ser::SerializeError("checkpoint core count mismatch");
+  }
+  for (auto& c : cores_) c->Restore(r);
+  trace_->Restore(r);
+  controller_->Restore(r);
+  const bool has_tenants = r.Bool();
+  if (has_tenants != (tenant_acct_ != nullptr)) {
+    throw ser::SerializeError(
+        "checkpoint tenant-accounting presence mismatch");
+  }
+  if (tenant_acct_ != nullptr) tenant_acct_->Restore(r);
+  resumed_ = true;
 }
 
 StatSet System::TelemetrySnapshot(Cycle now) const {

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/serialize.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "cpu/core.hpp"
@@ -71,8 +72,46 @@ class System : private MemoryPort {
   void SetTenantAccounting(std::unique_ptr<tenant::TenantAccounting> acct);
   tenant::TenantAccounting* tenant_accounting() { return tenant_acct_.get(); }
 
-  /// Run to completion (or `max_cycles`). May be called once.
+  /// Run to completion (or `max_cycles`). May be called once. After a
+  /// Restore, re-enters the event loop at the checkpointed cycle.
   RunResult Run(Cycle max_cycles = ~Cycle{0});
+
+  /// Checkpoint emission. The hook fires at the top of a loop iteration —
+  /// before the telemetry sample, the writeback drain, and any component
+  /// tick — so every component is quiescent-at-cycle-boundary when the
+  /// hook snapshots it. Skip-ahead jumps are clamped to the next due cycle
+  /// (exactly like telemetry epochs), and a clamped visit re-derives the
+  /// same pacing, so enabling checkpoints cannot perturb simulation state.
+  /// `every == 0` means one-shot: fire once at `first_due`, then disarm.
+  using CheckpointHook = std::function<void(Cycle now)>;
+  void SetCheckpointHook(Cycle first_due, Cycle every, CheckpointHook hook) {
+    ckpt_next_ = first_due;
+    ckpt_every_ = every;
+    ckpt_hook_ = std::move(hook);
+  }
+
+  /// Serialize the complete mutable simulation state at cycle `now` (must
+  /// be a cycle at which the run loop is at its iteration top — i.e. from
+  /// inside a checkpoint hook, or before Run was ever entered).
+  void Snapshot(ser::Writer& w, Cycle now) const;
+  /// Reconstitute state captured by Snapshot into this freshly built
+  /// System (same RunSpec => same shapes). The next Run() call resumes at
+  /// the checkpointed cycle and replays bit-identically.
+  void Restore(ser::Reader& r);
+  /// Cycle the next Run() will start at: 0 normally, the checkpointed
+  /// cycle after a Restore.
+  Cycle resume_cycle() const { return resume_now_; }
+
+  /// Forward fixed-latency functional timing to the memory system (SMARTS
+  /// fast-forward between measurement intervals).
+  void SetFunctionalTiming(Cycle fixed_latency) {
+    controller_->SetFunctionalTiming(fixed_latency);
+  }
+
+  /// Cumulative stats + gauges as of `now` — the same snapshot the epoch
+  /// sampler sees. Public so restore paths can seed telemetry baselines
+  /// and the sampler can difference measurement intervals.
+  StatSet CumulativeStats(Cycle now) const { return TelemetrySnapshot(now); }
 
   const MemController& controller() const { return *controller_; }
   MemController& controller() { return *controller_; }
@@ -103,6 +142,21 @@ class System : private MemoryPort {
   bool input_submitted_ = false;
   std::uint64_t ticks_executed_ = 0;
   std::uint64_t cycles_skipped_ = 0;
+  /// Run-loop pacing state, promoted to members so a checkpoint captures
+  /// it: a core's backpressure retry hint (Core::Progress returning
+  /// now + retry_interval) lives only here, and replaying it exactly is
+  /// required for bit-identical resume.
+  std::vector<Cycle> hints_;
+  std::vector<char> poll_;
+  Cycle ctrl_wake_ = 0;
+  /// Resume support: the cycle Run() enters the loop at, and whether the
+  /// tick/skip counters were restored (and must not be reset by Run).
+  Cycle resume_now_ = 0;
+  bool resumed_ = false;
+  /// Checkpoint emission schedule (disarmed when the hook is empty).
+  CheckpointHook ckpt_hook_;
+  Cycle ckpt_next_ = ~Cycle{0};
+  Cycle ckpt_every_ = 0;
   /// Writeback backlog beyond which cores are throttled.
   static constexpr std::size_t kWbThrottle = 256;
 };

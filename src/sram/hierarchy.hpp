@@ -57,6 +57,20 @@ class CacheHierarchy {
     return cfg_.l1.latency + cfg_.l2.latency + cfg_.l3.latency;
   }
 
+  /// Checkpointing: every level's lines and counters, per-core order.
+  void Snapshot(ser::Writer& w) const {
+    w.Section("hier");
+    for (const auto& c : l1_) c->Snapshot(w);
+    for (const auto& c : l2_) c->Snapshot(w);
+    l3_->Snapshot(w);
+  }
+  void Restore(ser::Reader& r) {
+    r.Section("hier");
+    for (const auto& c : l1_) c->Restore(r);
+    for (const auto& c : l2_) c->Restore(r);
+    l3_->Restore(r);
+  }
+
  private:
   HierarchyConfig cfg_;
   std::vector<std::unique_ptr<SramCache>> l1_;

@@ -76,6 +76,41 @@ class TenantAccounting {
   /// ExportStats plus the point-in-time gauges for the epoch sampler.
   void SampleTelemetry(StatSet& out, Cycle now) const;
 
+  /// Checkpointing: the accumulated per-tenant rows. Solo baselines are
+  /// configuration (re-attached by the builder) and not serialized.
+  void Snapshot(ser::Writer& w) const {
+    w.Section("tenants");
+    w.U64(rows_.size());
+    for (const Row& r : rows_) {
+      w.U64(r.refs);
+      w.U64(r.reads);
+      w.U64(r.writebacks);
+      w.U64(r.serve_hits);
+      w.U64(r.serve_misses);
+      w.U64(r.hbm_bytes);
+      w.U64(r.mm_bytes);
+      w.U64(r.rcu_drains);
+      w.U64(r.finish);
+    }
+  }
+  void Restore(ser::Reader& r) {
+    r.Section("tenants");
+    if (r.U64() != rows_.size()) {
+      throw ser::SerializeError("tenant-count mismatch");
+    }
+    for (Row& row : rows_) {
+      row.refs = r.U64();
+      row.reads = r.U64();
+      row.writebacks = r.U64();
+      row.serve_hits = r.U64();
+      row.serve_misses = r.U64();
+      row.hbm_bytes = r.U64();
+      row.mm_bytes = r.U64();
+      row.rcu_drains = r.U64();
+      row.finish = r.U64();
+    }
+  }
+
  private:
   struct Row {
     std::uint64_t refs = 0;

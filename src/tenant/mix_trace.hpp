@@ -10,6 +10,7 @@
 // are skipped; a core's stream ends when all of its tenants are dry.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -46,6 +47,37 @@ class MixTraceSource : public TraceSource {
   /// "gauge.serve.eof" becomes "gauge.tenant<t>.serve.eof", so a serve
   /// tenant's ingest feed stays attributable inside a mix.
   void SampleTelemetry(StatSet& out) const override;
+
+  /// Checkpointing: the round-robin lanes, per-core exhaustion flags and
+  /// every child's cursors, recursively. Checkpointable only when every
+  /// tenant is (a streamed "serve" tenant is not).
+  bool checkpointable() const override {
+    return std::all_of(children_.begin(), children_.end(),
+                       [](const auto& c) { return c->checkpointable(); });
+  }
+  void Snapshot(ser::Writer& w) const override {
+    w.Section("mix");
+    for (const Lane& lane : lanes_) {
+      w.U32(lane.tenant);
+      w.U32(lane.served);
+    }
+    for (const auto& done : done_) w.U8Seq(done);
+    for (const auto& child : children_) child->Snapshot(w);
+  }
+  void Restore(ser::Reader& r) override {
+    r.Section("mix");
+    for (Lane& lane : lanes_) {
+      lane.tenant = r.U32();
+      lane.served = r.U32();
+    }
+    for (auto& done : done_) {
+      if (r.SeqLen(1) != done.size()) {
+        throw ser::SerializeError("mix tenant-count mismatch");
+      }
+      for (std::size_t t = 0; t < done.size(); ++t) done[t] = r.U8() != 0;
+    }
+    for (const auto& child : children_) child->Restore(r);
+  }
 
  private:
   struct Lane {

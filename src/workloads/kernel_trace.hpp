@@ -77,6 +77,36 @@ class KernelTrace : public TraceSource {
   /// Number of references `kernel` will emit (used to size programs).
   static std::uint64_t KernelRefCount(const Kernel& k);
 
+  /// Checkpointing: per-core cursors + RNG. The kernel programs themselves
+  /// are configuration, rebuilt by constructing the same workload.
+  bool checkpointable() const override { return true; }
+  void Snapshot(ser::Writer& w) const override {
+    w.Section("ktrace");
+    w.U64(cores_.size());
+    for (const CoreState& cs : cores_) {
+      w.U64(cs.kernel_idx);
+      w.U64(cs.emitted);
+      w.U64(cs.cursor);
+      w.U32(cs.pass);
+      w.U64(cs.tile);
+      cs.rng.Snapshot(w);
+    }
+  }
+  void Restore(ser::Reader& r) override {
+    r.Section("ktrace");
+    if (r.U64() != cores_.size()) {
+      throw ser::SerializeError("kernel trace core-count mismatch");
+    }
+    for (CoreState& cs : cores_) {
+      cs.kernel_idx = static_cast<std::size_t>(r.U64());
+      cs.emitted = r.U64();
+      cs.cursor = r.U64();
+      cs.pass = r.U32();
+      cs.tile = r.U64();
+      cs.rng.Restore(r);
+    }
+  }
+
  private:
   struct CoreState {
     std::vector<Kernel> program;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/serialize.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -40,6 +41,23 @@ class TraceSource {
   /// Serve-mode streams report queue depth / EOF / backpressure here, and
   /// the multi-tenant mix re-namespaces its children per tenant.
   virtual void SampleTelemetry(StatSet& out) const { (void)out; }
+
+  /// Checkpointing contract (common/serialize.hpp). A checkpointable source
+  /// serializes its cursors/RNG so a freshly constructed instance of the
+  /// same (workload, seed) resumes mid-stream bit-identically. Sources fed
+  /// by external file descriptors (serve mode) cannot rewind and keep the
+  /// throwing defaults; System::Snapshot surfaces the error to the caller.
+  virtual bool checkpointable() const { return false; }
+  virtual void Snapshot(ser::Writer& w) const {
+    (void)w;
+    throw ser::SerializeError("trace source \"" + name() +
+                              "\" does not support checkpointing");
+  }
+  virtual void Restore(ser::Reader& r) {
+    (void)r;
+    throw ser::SerializeError("trace source \"" + name() +
+                              "\" does not support checkpointing");
+  }
 };
 
 }  // namespace redcache

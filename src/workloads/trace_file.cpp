@@ -89,6 +89,7 @@ FileTraceSource::FileTraceSource(const std::string& path) : name_(path) {
     throw std::runtime_error("implausible core count in " + path);
   }
   per_core_.resize(num_cores_);
+  consumed_.assign(num_cores_, 0);
 
   Addr lo = ~Addr{0}, hi = 0;
   Record r;
@@ -112,7 +113,28 @@ bool FileTraceSource::Next(std::uint32_t core, MemRef& out) {
   if (core >= num_cores_ || per_core_[core].empty()) return false;
   out = per_core_[core].front();
   per_core_[core].pop_front();
+  consumed_[core]++;
   return true;
+}
+
+void FileTraceSource::Restore(ser::Reader& r) {
+  r.Section("ftrace");
+  const std::size_t n = r.SeqLen(8);
+  if (n != num_cores_) {
+    throw ser::SerializeError("trace file core-count mismatch in " + name_);
+  }
+  // Fast-forward a freshly loaded copy of the same file to the snapshotted
+  // consumption point.
+  for (std::uint32_t c = 0; c < num_cores_; ++c) {
+    const std::uint64_t want = r.U64();
+    if (want < consumed_[c] || want - consumed_[c] > per_core_[c].size()) {
+      throw ser::SerializeError("trace file shorter than the checkpoint");
+    }
+    while (consumed_[c] < want) {
+      per_core_[c].pop_front();
+      consumed_[c]++;
+    }
+  }
 }
 
 }  // namespace redcache

@@ -57,12 +57,23 @@ class FileTraceSource : public TraceSource {
 
   std::uint64_t total_records() const { return total_records_; }
 
+  /// Checkpointing: the file contents are configuration (reloaded by
+  /// constructing the same path), so only the per-core consumption counts
+  /// cross the boundary; Restore fast-forwards a freshly loaded source.
+  bool checkpointable() const override { return true; }
+  void Snapshot(ser::Writer& w) const override {
+    w.Section("ftrace");
+    w.U64Seq(consumed_);
+  }
+  void Restore(ser::Reader& r) override;
+
  private:
   std::string name_;
   std::uint32_t num_cores_ = 0;
   std::uint64_t footprint_ = 0;
   std::uint64_t total_records_ = 0;
   std::vector<std::deque<MemRef>> per_core_;
+  std::vector<std::uint64_t> consumed_;  ///< per-core refs already served
 };
 
 }  // namespace redcache

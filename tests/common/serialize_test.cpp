@@ -1,0 +1,117 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace redcache::ser {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  Writer w;
+  w.U8(0xab);
+  w.U32(0xdeadbeefu);
+  w.U64(0x0123456789abcdefull);
+  w.I64(-42);
+  w.Bool(true);
+  w.Bool(false);
+  w.F64(3.14159265358979);
+  w.F64(-0.0);
+  w.Str("hello");
+  w.Str("");
+
+  Reader r(w.buffer().data(), w.buffer().size());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_FALSE(r.Bool());
+  EXPECT_DOUBLE_EQ(r.F64(), 3.14159265358979);
+  const double neg_zero = r.F64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit pattern preserved
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_NO_THROW(r.ExpectEnd());
+}
+
+TEST(Serialize, SequencesRoundTrip) {
+  Writer w;
+  const std::vector<std::uint64_t> v = {1, 2, 3, ~std::uint64_t{0}};
+  const std::deque<std::uint32_t> d = {9, 8};
+  const std::vector<char> flags = {1, 0, 1};
+  w.U64Seq(v);
+  w.U64Seq(d);
+  w.U8Seq(flags);
+
+  Reader r(w.buffer().data(), w.buffer().size());
+  EXPECT_EQ(r.U64Vec(), v);
+  EXPECT_EQ(r.U64Vec(), (std::vector<std::uint64_t>{9, 8}));
+  ASSERT_EQ(r.SeqLen(1), flags.size());
+  for (const char f : flags) EXPECT_EQ(r.U8(), static_cast<std::uint8_t>(f));
+  r.ExpectEnd();
+}
+
+TEST(Serialize, SectionTagGuards) {
+  Writer w;
+  w.Section("alpha");
+  w.U64(7);
+
+  Reader ok(w.buffer().data(), w.buffer().size());
+  EXPECT_NO_THROW(ok.Section("alpha"));
+  EXPECT_EQ(ok.U64(), 7u);
+
+  Reader bad(w.buffer().data(), w.buffer().size());
+  EXPECT_THROW(bad.Section("beta"), SerializeError);
+}
+
+TEST(Serialize, TruncationThrowsNotFaults) {
+  Writer w;
+  w.U64(1);
+  w.Str("some payload");
+  const auto& buf = w.buffer();
+  // Every proper prefix must throw SerializeError, never read off the end.
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    Reader r(buf.data(), cut);
+    EXPECT_THROW(
+        {
+          r.U64();
+          r.Str();
+        },
+        SerializeError)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(Serialize, SeqLenRejectsGiantLengths) {
+  Writer w;
+  w.U64(std::numeric_limits<std::uint64_t>::max());  // absurd element count
+  Reader r(w.buffer().data(), w.buffer().size());
+  EXPECT_THROW(r.SeqLen(8), SerializeError);
+}
+
+TEST(Serialize, ExpectEndRejectsTrailingBytes) {
+  Writer w;
+  w.U32(5);
+  w.U8(0);  // trailing garbage
+  Reader r(w.buffer().data(), w.buffer().size());
+  r.U32();
+  EXPECT_THROW(r.ExpectEnd(), SerializeError);
+}
+
+TEST(Serialize, NameTagIsStable) {
+  // Compile-time FNV-1a; pinned so a hash change (which would invalidate
+  // every on-disk blob) cannot slip in silently.
+  static_assert(NameTag("") == 2166136261u);
+  EXPECT_EQ(NameTag("sys"), NameTag("sys"));
+  EXPECT_NE(NameTag("sys"), NameTag("chan"));
+}
+
+}  // namespace
+}  // namespace redcache::ser

@@ -31,21 +31,21 @@ TEST(Histogram, WeightedMean) {
   EXPECT_DOUBLE_EQ(h.Mean(), (2.0 * 3 + 8.0) / 4.0);
 }
 
-TEST(Histogram, RestoreStateReproducesObservedHistogram) {
+TEST(Histogram, SnapshotRestoreReproducesObservedHistogram) {
   Histogram orig(/*bucket_width=*/10, /*num_buckets=*/4);
   orig.Add(5, 2);
   orig.Add(25);
   orig.Add(70, 3);  // overflow
 
+  ser::Writer w;
+  orig.Snapshot(w);
   Histogram restored;
-  std::vector<std::uint64_t> buckets(orig.num_buckets());
-  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] = orig.bucket(i);
-  restored.RestoreState(orig.bucket_width(), buckets, orig.overflow(),
-                        orig.total_samples(), orig.total_weight(),
-                        orig.weighted_sum());
+  ser::Reader r(w.buffer().data(), w.buffer().size());
+  restored.Restore(r);
+  r.ExpectEnd();
 
   ASSERT_EQ(restored.num_buckets(), orig.num_buckets());
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
+  for (std::size_t i = 0; i < orig.num_buckets(); ++i) {
     EXPECT_EQ(restored.bucket(i), orig.bucket(i));
   }
   EXPECT_EQ(restored.bucket_width(), orig.bucket_width());

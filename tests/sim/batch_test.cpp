@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "obs/json.hpp"
 #include "sim/runner.hpp"
 
@@ -174,11 +175,17 @@ TEST(Batch, DiskCacheRoundTripsAndRejectsBadFingerprint) {
   const RunResult first = RunCellCached(cell);
   const std::string path = dir + "/" + CellKey(cell) + ".stats";
   {
-    std::ifstream in(path);
+    // The entry is a v3 binary blob framed by the common serializer:
+    // section tag, format version, behavioral fingerprint.
+    std::ifstream in(path, std::ios::binary);
     ASSERT_TRUE(in.good()) << "expected cache file at " << path;
-    std::string word;
-    in >> word;
-    EXPECT_EQ(word, "fingerprint");
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ser::Reader r(bytes);
+    ASSERT_NO_THROW(r.Section("rcache"));
+    EXPECT_EQ(r.U64(), kCacheFormatVersion);
+    EXPECT_EQ(r.U64(), SimFingerprint(s.preset, s.workload));
+    EXPECT_EQ(r.U64(), first.exec_cycles);
   }
 
   // A second process would hit the disk entry; emulate the load path by
@@ -186,11 +193,20 @@ TEST(Batch, DiskCacheRoundTripsAndRejectsBadFingerprint) {
   const RunResult again = RunCellCached(cell);
   EXPECT_EQ(Serialize(first), Serialize(again));
 
-  // Corrupt the fingerprint: the loader must refuse the entry and
-  // re-simulate rather than serve stale numbers.
+  // Rewrite the entry with a wrong fingerprint (structurally valid v3):
+  // the loader must refuse it and re-simulate rather than serve stale
+  // numbers.
   {
-    std::ofstream out(path, std::ios::trunc);
-    out << "fingerprint 0\nexec_cycles 1\n";
+    ser::Writer w;
+    w.Section("rcache");
+    w.U64(kCacheFormatVersion);
+    w.U64(0);  // fingerprint that matches no preset
+    w.U64(1);
+    StatSet empty;
+    empty.Snapshot(w);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(w.buffer().data()),
+              static_cast<std::streamsize>(w.buffer().size()));
   }
   // The in-process memo still holds the result; a fresh key forces a miss.
   CellSpec cell2{s, "disk2"};
@@ -206,9 +222,9 @@ TEST(Batch, DiskCacheRoundTripsAndRejectsBadFingerprint) {
 
 TEST(Batch, DiskCacheRoundTripsHistograms) {
   // No current workload emits histograms, so exercise the load path with a
-  // hand-written entry in the documented v2 format: fingerprint, counters,
-  // plus one histogram. RunCellCached must serve it (memo-cold key) with
-  // the histogram restored exactly.
+  // hand-written entry in the v3 binary format: fingerprint + exec_cycles
+  // + a StatSet holding counters and one histogram. RunCellCached must
+  // serve it (memo-cold key) with the histogram restored exactly.
   char tmpl[] = "/tmp/redcache_batch_hist_XXXXXX";
   ASSERT_NE(::mkdtemp(tmpl), nullptr);
   const std::string dir = tmpl;
@@ -222,25 +238,27 @@ TEST(Batch, DiskCacheRoundTripsHistograms) {
   s.seed = 17;
   CellSpec cell{s, "histrt"};
 
-  const std::uint64_t fp = SimFingerprint(s.preset, s.workload);
-  const double wsum = 123.625;  // exactly representable
-  std::uint64_t wsum_bits = 0;
-  std::memcpy(&wsum_bits, &wsum, sizeof(wsum_bits));
+  StatSet source;
+  source.Counter("hbm.reads") = 7;
+  Histogram& src_h = source.Hist("lat", /*bucket_width=*/10,
+                                 /*num_buckets=*/4);
+  src_h.Add(5);               // bucket 0
+  src_h.Add(15);              // bucket 1
+  src_h.Add(15);              // bucket 1
+  src_h.Add(25, /*weight=*/2);  // bucket 2, weighted
+  src_h.Add(1000);            // overflow
+
   const std::string path = dir + "/" + CellKey(cell) + ".stats";
   {
-    std::ofstream out(path);
-    char hex[20];
-    std::snprintf(hex, sizeof(hex), "%016llx",
-                  static_cast<unsigned long long>(fp));
-    out << "fingerprint " << hex << "\n";
-    out << "exec_cycles 4242\n";
-    out << "counters 1\n";
-    out << "hbm.reads 7\n";
-    out << "hists 1\n";
-    std::snprintf(hex, sizeof(hex), "%016llx",
-                  static_cast<unsigned long long>(wsum_bits));
-    out << "lat 10 4 3 6 9 " << hex << "\n";
-    out << "1 2 3 0\n";
+    ser::Writer w;
+    w.Section("rcache");
+    w.U64(kCacheFormatVersion);
+    w.U64(SimFingerprint(s.preset, s.workload));
+    w.U64(4242);
+    source.Snapshot(w);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(w.buffer().data()),
+              static_cast<std::streamsize>(w.buffer().size()));
   }
 
   const RunResult r = RunCellCached(cell);
@@ -253,15 +271,86 @@ TEST(Batch, DiskCacheRoundTripsHistograms) {
   ASSERT_EQ(h->num_buckets(), 4u);
   EXPECT_EQ(h->bucket(0), 1u);
   EXPECT_EQ(h->bucket(1), 2u);
-  EXPECT_EQ(h->bucket(2), 3u);
+  EXPECT_EQ(h->bucket(2), 2u);  // weight-2 sample: buckets count weight
   EXPECT_EQ(h->bucket(3), 0u);
-  EXPECT_EQ(h->overflow(), 3u);
-  EXPECT_EQ(h->total_samples(), 6u);
-  EXPECT_EQ(h->total_weight(), 9u);
-  EXPECT_DOUBLE_EQ(h->weighted_sum(), wsum);
+  EXPECT_EQ(h->overflow(), 1u);
+  EXPECT_EQ(h->total_samples(), 5u);
+  EXPECT_EQ(h->total_weight(), 6u);
+  EXPECT_DOUBLE_EQ(h->weighted_sum(), src_h.weighted_sum());
+  // Loaded StatSet must be byte-identical to the source under the
+  // serializer (counters AND histogram state).
+  ser::Writer ws, wl;
+  source.Snapshot(ws);
+  r.stats.Snapshot(wl);
+  EXPECT_EQ(ws.buffer(), wl.buffer());
 
   ::unsetenv("REDCACHE_CACHE_DIR");
   std::remove(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(Batch, DiskCacheCorruptEntryIsMissAndRepaired) {
+  // Satellite negative test for the v3 binary format: a truncated or
+  // bit-flipped entry must load as a miss (never fault, never serve
+  // garbage), the cell re-simulates, and the bad file is overwritten with
+  // a valid entry that then round-trips.
+  char tmpl[] = "/tmp/redcache_batch_corrupt_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  ASSERT_EQ(::setenv("REDCACHE_CACHE_DIR", dir.c_str(), 1), 0);
+
+  RunSpec s;
+  s.arch = Arch::kBear;
+  s.workload = "LREG";
+  s.scale = 0.02;
+  s.ignore_env_scale = true;
+  s.seed = 23;
+
+  // Seed a valid entry, then damage it in place.
+  CellSpec warm{s, "corrupt-seed"};
+  const RunResult truth = RunCellCached(warm);
+  const std::string warm_path = dir + "/" + CellKey(warm) + ".stats";
+  std::string good_bytes;
+  {
+    std::ifstream in(warm_path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    good_bytes.assign((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(good_bytes.size(), 16u);
+
+  const auto damage = [&](const std::string& variant,
+                          const std::string& bytes) {
+    SCOPED_TRACE(variant);
+    // A fresh key so the in-process memo cannot mask the disk path.
+    CellSpec cell{s, "corrupt-" + variant};
+    const std::string path = dir + "/" + CellKey(cell) + ".stats";
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    const RunResult r = RunCellCached(cell);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.exec_cycles, truth.exec_cycles)
+        << "corrupt entry must re-simulate, not serve garbage";
+    // The entry was repaired: a byte-identical copy of a good entry.
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    const std::string repaired((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    EXPECT_EQ(repaired, good_bytes);
+    std::remove(path.c_str());
+  };
+
+  damage("truncated", good_bytes.substr(0, good_bytes.size() / 3));
+  std::string flipped = good_bytes;
+  flipped[4] ^= 0x01;  // format-version byte
+  damage("version-flip", flipped);
+  damage("garbage", "this is not a cache entry at all");
+  damage("empty", "");
+
+  ::unsetenv("REDCACHE_CACHE_DIR");
+  std::remove(warm_path.c_str());
   ::rmdir(dir.c_str());
 }
 
@@ -355,15 +444,17 @@ TEST(Batch, DiskCacheHitRefreshesRecencyAndProfilesAsDiskHit) {
   const std::uint64_t fp = SimFingerprint(s.preset, s.workload);
   const std::string path = dir + "/" + CellKey(cell) + ".stats";
   {
-    std::ofstream out(path);
-    char hex[20];
-    std::snprintf(hex, sizeof(hex), "%016llx",
-                  static_cast<unsigned long long>(fp));
-    out << "fingerprint " << hex << "\n";
-    out << "exec_cycles 777\n";
-    out << "counters 1\n";
-    out << "hbm.reads 5\n";
-    out << "hists 0\n";
+    ser::Writer w;
+    w.Section("rcache");
+    w.U64(kCacheFormatVersion);
+    w.U64(fp);
+    w.U64(777);
+    StatSet stats;
+    stats.Counter("hbm.reads") = 5;
+    stats.Snapshot(w);
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(w.buffer().data()),
+              static_cast<std::streamsize>(w.buffer().size()));
   }
   const auto stale = fs::file_time_type::clock::now() - std::chrono::hours(1);
   fs::last_write_time(path, stale);

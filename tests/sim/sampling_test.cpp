@@ -1,0 +1,127 @@
+// SMARTS sampled-simulation estimator tests: the sampled estimate of a
+// full detailed run's length must land inside (a padded version of) its
+// own reported confidence interval, the degenerate short-run fallback must
+// stay exact, and the t-table / argument validation must hold.
+#include "sim/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/runner.hpp"
+
+namespace redcache {
+namespace {
+
+RunSpec TinySpec(const std::string& policy, const std::string& wl) {
+  RunSpec spec;
+  spec.policy = policy;
+  spec.workload = wl;
+  spec.scale = 0.02;
+  spec.ignore_env_scale = true;
+  spec.preset = EvalPreset();
+  spec.preset.hierarchy.num_cores = 4;
+  return spec;
+}
+
+TEST(Sampling, TCriticalTable) {
+  EXPECT_DOUBLE_EQ(TCritical95(0), 0.0);
+  EXPECT_DOUBLE_EQ(TCritical95(1), 12.706);
+  EXPECT_DOUBLE_EQ(TCritical95(10), 2.228);
+  EXPECT_DOUBLE_EQ(TCritical95(30), 2.042);
+  EXPECT_DOUBLE_EQ(TCritical95(31), 1.96);
+  EXPECT_DOUBLE_EQ(TCritical95(100000), 1.96);
+}
+
+TEST(Sampling, RejectsBadOptions) {
+  const RunSpec spec = TinySpec("RedCache", "LREG");
+  SamplingOptions opts;
+  opts.fraction = 0.0;
+  EXPECT_THROW(RunSampled(spec, opts), std::invalid_argument);
+  opts.fraction = 1.5;
+  EXPECT_THROW(RunSampled(spec, opts), std::invalid_argument);
+  opts.fraction = 0.1;
+  opts.interval_cycles = 0;
+  EXPECT_THROW(RunSampled(spec, opts), std::invalid_argument);
+}
+
+TEST(Sampling, EstimateBracketsFullRun) {
+  const RunSpec spec = TinySpec("RedCache", "RDX");
+  const RunResult full = RunOne(spec);
+  ASSERT_TRUE(full.completed);
+  const auto actual = static_cast<double>(full.exec_cycles);
+
+  SamplingOptions opts;
+  // Size the intervals off the run so this stays meaningful if workload
+  // scales drift: ~40 strides, a quarter of each measured in detail.
+  opts.interval_cycles = std::max<Cycle>(full.exec_cycles / 160, 64);
+  opts.fraction = 0.25;
+  const SamplingEstimate est = RunSampled(spec, opts);
+
+  EXPECT_FALSE(est.degenerate);
+  EXPECT_GE(est.intervals, 8u);
+  EXPECT_GT(est.total_refs, 0u);
+  EXPECT_GT(est.est_exec_cycles, 0.0);
+  // The ratio estimate must bracket the truth within its own reported CI,
+  // padded by 5% of the actual for systematic-sampling bias on a run this
+  // short (real SMARTS runs have thousands of intervals, we have dozens).
+  const double tolerance = est.ci_half_cycles + 0.05 * actual;
+  EXPECT_NEAR(est.est_exec_cycles, actual, tolerance)
+      << "intervals=" << est.intervals << " ci_pct=" << est.ci_pct;
+
+  // The estimated stats carry the estimate and its quality gauges.
+  EXPECT_EQ(est.est_stats.GetCounter("gauge.sampling.intervals"),
+            est.intervals);
+  EXPECT_EQ(est.est_stats.GetCounter("sys.exec_cycles"),
+            static_cast<std::uint64_t>(std::llround(est.est_exec_cycles)));
+  // Ratio-scaled counter estimates track the full run loosely (20%).
+  const auto full_hits =
+      static_cast<double>(full.stats.GetCounter("dramcache.hits"));
+  if (full_hits > 1000.0) {
+    const auto est_hits =
+        static_cast<double>(est.est_stats.GetCounter("dramcache.hits"));
+    EXPECT_NEAR(est_hits, full_hits, 0.20 * full_hits);
+  }
+}
+
+TEST(Sampling, DeterministicForFixedSeed) {
+  const RunSpec spec = TinySpec("RedCache", "LREG");
+  SamplingOptions opts;
+  opts.interval_cycles = 4096;
+  opts.fraction = 0.2;
+  const SamplingEstimate a = RunSampled(spec, opts);
+  const SamplingEstimate b = RunSampled(spec, opts);
+  EXPECT_EQ(a.intervals, b.intervals);
+  EXPECT_EQ(a.total_refs, b.total_refs);
+  EXPECT_DOUBLE_EQ(a.est_exec_cycles, b.est_exec_cycles);
+  EXPECT_DOUBLE_EQ(a.ci_pct, b.ci_pct);
+}
+
+TEST(Sampling, ShortRunCollapsesToOneExactInterval) {
+  // An interval far longer than the run: the seed-derived phase overshoots
+  // the functional pass, the retry at phase 0 captures exactly one
+  // checkpoint at cycle 0, and the single detailed interval covers the
+  // whole run — so the "estimate" is the exact detailed run length with a
+  // zero CI.
+  const RunSpec spec = TinySpec("Alloy", "LREG");
+  const RunResult full = RunOne(spec);
+  ASSERT_TRUE(full.completed);
+
+  SamplingOptions opts;
+  opts.interval_cycles = full.exec_cycles * 16;
+  opts.fraction = 0.5;
+  const SamplingEstimate est = RunSampled(spec, opts);
+  EXPECT_FALSE(est.degenerate);
+  EXPECT_EQ(est.intervals, 1u);
+  EXPECT_DOUBLE_EQ(est.est_exec_cycles,
+                   static_cast<double>(full.exec_cycles));
+  EXPECT_DOUBLE_EQ(est.ci_pct, 0.0);
+  EXPECT_EQ(est.est_stats.GetCounter("gauge.sampling.ci_pct"), 0u);
+  // A single interval spanning the run reproduces its counters exactly.
+  EXPECT_EQ(est.est_stats.GetCounter("core.refs"),
+            full.stats.GetCounter("core.refs"));
+}
+
+}  // namespace
+}  // namespace redcache

@@ -34,6 +34,7 @@
 #include "obs/trace.hpp"
 #include "obs/trace_spill.hpp"
 #include "sim/batch.hpp"
+#include "sim/sampling.hpp"
 #include "tenant/mix_trace.hpp"
 #include "tenant/qos.hpp"
 #include "tenant/stream_trace.hpp"
@@ -72,6 +73,10 @@ struct CliOptions {
   std::string mix_mode = "offset";  ///< address placement: offset|interleave
   std::uint32_t mix_window_bits = 0;  ///< 0 = planner default
   std::string serve_path;         ///< stream an RCTR trace ("-" = stdin)
+  std::string checkpoint_path;    ///< --checkpoint blob destination
+  Cycle checkpoint_at = 0;        ///< --checkpoint-at cycle (default 0)
+  std::string restore_path;       ///< --restore blob to resume from
+  std::string sample;             ///< --sample P[:INTERVAL] sampled run
   bool no_solo = false;           ///< skip the solo baselines for --mix QoS
   bool sweep = false;             ///< run an (arch x workload) matrix
   std::string sweep_archs;        ///< comma list; empty = evaluation archs
@@ -119,6 +124,16 @@ void PrintUsage() {
       "  --serve PATH       serve mode: ingest an RCTR trace stream from a\n"
       "                     pipe / FIFO / file (\"-\" = stdin); SIGTERM or\n"
       "                     EOF drains gracefully\n"
+      "  --checkpoint FILE  write a full-state checkpoint blob to FILE\n"
+      "  --checkpoint-at N  cycle for --checkpoint (default 0 = run start)\n"
+      "  --restore FILE     resume from a checkpoint blob captured by a run\n"
+      "                     with the same policy/workload/preset/seed;\n"
+      "                     the resumed run is bit-identical to the\n"
+      "                     uninterrupted one\n"
+      "  --sample P[:INT]   SMARTS sampled run: fast-forward functionally,\n"
+      "                     replay a fraction P of cycles in detail in\n"
+      "                     parallel (interval INT cycles, default 200000)\n"
+      "                     and report estimates with a 95%% CI\n"
       "  --verify           run under the shadow checker; exit 1 on any\n"
       "                     divergence from the reference memory model\n"
       "  --stats            dump every counter after the run\n"
@@ -240,6 +255,22 @@ bool ParseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt.serve_path = v;
+    } else if (arg == "--checkpoint") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.checkpoint_path = v;
+    } else if (arg == "--checkpoint-at") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.checkpoint_at = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--restore") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.restore_path = v;
+    } else if (arg == "--sample") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.sample = v;
     } else if (arg == "--verify") {
       opt.verify = true;
     } else if (arg == "--sweep") {
@@ -704,6 +735,133 @@ int RunMixServe(const CliOptions& opt) {
   return 0;
 }
 
+/// --checkpoint / --restore / --sample: runs driven through RunSpec, so
+/// the blob's compatibility key covers exactly the inputs that shape
+/// results. Mixes are allowed (the blob captures tenant state); the
+/// trace/extension flags that bypass the policy registry are not.
+int RunSpecMode(const CliOptions& opt) {
+  if (opt.capture_path || opt.replay_path || opt.footprint || opt.ways > 1 ||
+      opt.alpha || opt.gamma || !opt.serve_path.empty() ||
+      opt.trace_out_path) {
+    std::fprintf(stderr,
+                 "--checkpoint/--restore/--sample cannot be combined with "
+                 "--capture, --replay, --footprint, --ways, --alpha, "
+                 "--gamma, --serve or --trace\n");
+    return 2;
+  }
+  SimPreset preset = opt.paper_preset ? PaperPreset() : EvalPreset();
+  if (opt.hbm_mib) preset.mem.hbm = HbmCacheConfig(*opt.hbm_mib << 20);
+
+  RunSpec spec;
+  spec.policy = opt.arch;
+  spec.workload = opt.workload;
+  spec.preset = preset;
+  spec.scale = opt.scale;
+  spec.seed = opt.seed;
+  spec.verify = opt.verify;
+  if (!opt.mix.empty()) {
+    if (const int rc = ParseMixOptions(opt, spec.mix); rc != 0) return rc;
+  }
+  if (opt.telemetry_path) spec.telemetry_path = *opt.telemetry_path;
+  spec.epoch = opt.epoch;
+  spec.checkpoint_path = opt.checkpoint_path;
+  spec.checkpoint_at = opt.checkpoint_at;
+  spec.restore_path = opt.restore_path;
+  FILE* out = HumanOut(opt);
+
+  if (!opt.sample.empty()) {
+    if (!opt.checkpoint_path.empty() || !opt.restore_path.empty()) {
+      std::fprintf(stderr,
+                   "--sample manages its own checkpoints; drop "
+                   "--checkpoint/--restore\n");
+      return 2;
+    }
+    SamplingOptions sopts;
+    sopts.jobs = opt.jobs;
+    char* rest = nullptr;
+    sopts.fraction = std::strtod(opt.sample.c_str(), &rest);
+    if (rest != nullptr && *rest == ':') {
+      sopts.interval_cycles = std::strtoull(rest + 1, nullptr, 10);
+    }
+    const SamplingEstimate est = RunSampled(spec, sopts);
+    if (est.degenerate) {
+      std::fprintf(out,
+                   "sampling degenerated to one full detailed run (run "
+                   "shorter than the first measurement interval)\n");
+    }
+    std::fprintf(
+        out,
+        "%s on %s (sampled %.1f%%): est %.0f cycles +/- %.0f "
+        "(95%% CI, +/-%.2f%%), %llu intervals, %llu refs\n",
+        opt.arch.c_str(), opt.workload.c_str(), sopts.fraction * 100.0,
+        est.est_exec_cycles, est.ci_half_cycles, est.ci_pct,
+        static_cast<unsigned long long>(est.intervals),
+        static_cast<unsigned long long>(est.total_refs));
+    std::fprintf(out,
+                 "sampling passes: functional %.2fs + parallel replay "
+                 "%.2fs\n",
+                 est.functional_seconds, est.replay_seconds);
+    if (opt.report_path) {
+      BatchReport report;
+      report.label = "sample";
+      report.jobs = sopts.jobs;
+      report.wall_seconds = est.functional_seconds + est.replay_seconds;
+      CellProfile prof;
+      prof.key = CellKey(CellSpec{spec, ""});
+      prof.arch = opt.arch;
+      prof.workload = opt.workload;
+      prof.wall_seconds = report.wall_seconds;
+      prof.sim_seconds = report.wall_seconds;
+      prof.exec_cycles = est.est_stats.GetCounter("sys.exec_cycles");
+      prof.sampled = true;
+      prof.sampling_intervals = est.intervals;
+      prof.sampling_ci_pct = est.ci_pct;
+      report.cells.push_back(prof);
+      if (!WriteBatchReportJson(*opt.report_path, report)) {
+        std::fprintf(stderr, "cannot write report to %s\n",
+                     opt.report_path->c_str());
+        return 1;
+      }
+    }
+    if (opt.dump_stats) {
+      std::fprintf(out, "%s", est.est_stats.ToString().c_str());
+    }
+    return 0;
+  }
+
+  const RunResult r = RunOne(spec);
+  if (!r.completed) {
+    std::fprintf(stderr, "simulation did not complete\n");
+    return 1;
+  }
+  if (!opt.checkpoint_path.empty() && opt.checkpoint_at >= r.exec_cycles) {
+    std::fprintf(stderr,
+                 "warning: --checkpoint-at %llu is past the end of the run "
+                 "(%llu cycles); no checkpoint was written\n",
+                 static_cast<unsigned long long>(opt.checkpoint_at),
+                 static_cast<unsigned long long>(r.exec_cycles));
+  }
+  const auto hits = r.stats.GetCounter("ctrl.cache_hits");
+  const auto misses = r.stats.GetCounter("ctrl.cache_misses");
+  std::fprintf(
+      out,
+      "%s on %s: %llu cycles (%.2f ms @3.2GHz), hit rate %.1f%%, "
+      "HBM %.3f GB, DDR4 %.3f GB, system energy %.2f mJ\n",
+      opt.arch.c_str(), opt.workload.c_str(),
+      static_cast<unsigned long long>(r.exec_cycles),
+      static_cast<double>(r.exec_cycles) / 3.2e9 * 1e3,
+      hits + misses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(hits) /
+                static_cast<double>(hits + misses),
+      static_cast<double>(r.HbmBytes()) / 1e9,
+      static_cast<double>(r.MmBytes()) / 1e9, r.energy.SystemNj() / 1e6);
+  if (opt.dump_stats) {
+    std::fprintf(out, "%s", r.stats.ToString().c_str());
+  }
+  return 0;
+}
+
 int Run(const CliOptions& opt) {
   SimPreset preset = opt.paper_preset ? PaperPreset() : EvalPreset();
   if (opt.hbm_mib) {
@@ -879,6 +1037,10 @@ int main(int argc, char** argv) {
   }
   try {
     if (opt.sweep) return RunSweep(opt);
+    if (!opt.checkpoint_path.empty() || !opt.restore_path.empty() ||
+        !opt.sample.empty()) {
+      return RunSpecMode(opt);
+    }
     if (!opt.mix.empty() || !opt.serve_path.empty()) return RunMixServe(opt);
     return Run(opt);
   } catch (const std::exception& e) {
